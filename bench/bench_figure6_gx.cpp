@@ -1,0 +1,56 @@
+//===- bench/bench_figure6_gx.cpp - Paper Figure 6 ------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces paper Figure 6: the Gx kernels. The synthesized program
+/// discovers that the Sobel x-filter is separable ([1 2 1]^T x [-1 0 1]),
+/// implements the multiply-by-2 as an addition, and interleaves rotations
+/// with arithmetic: 7 instructions vs the baseline's 12.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "backend/SealCodeGen.h"
+#include "kernels/Kernels.h"
+#include "support/Random.h"
+
+#include <cstdio>
+
+using namespace porcupine;
+using namespace porcupine::bench;
+using namespace porcupine::kernels;
+using namespace porcupine::quill;
+
+int main(int Argc, char **Argv) {
+  int Repeats = argInt(Argc, Argv, "--repeats", 50);
+  KernelBundle B = gxKernel();
+
+  std::printf("Figure 6: Gx - synthesized (a) vs minimal-depth baseline "
+              "(b)\n\n");
+  std::printf("--- (a) synthesized: %zu instructions, depth %d ---\n%s\n",
+              B.Synthesized.Instructions.size(), programDepth(B.Synthesized),
+              printProgram(B.Synthesized).c_str());
+  std::printf("--- (b) baseline: %zu instructions, depth %d ---\n%s\n",
+              B.Baseline.Instructions.size(), programDepth(B.Baseline),
+              printProgram(B.Baseline).c_str());
+
+  Rng R(12);
+  BfvContext Ctx = contextFor(B.Baseline, B.Synthesized);
+  BfvExecutor Exec(Ctx, R, {&B.Baseline, &B.Synthesized});
+  auto Inputs = B.Spec.randomInputs(R, Ctx.plainModulus(), 64);
+  std::vector<Ciphertext> Encrypted = {Exec.encryptInput(Inputs[0])};
+
+  double BaseUs = timeEncryptedRuns(Exec, B.Baseline, Encrypted, Repeats);
+  double SynthUs = timeEncryptedRuns(Exec, B.Synthesized, Encrypted, Repeats);
+  std::printf("measured over %d runs at N=%zu:\n", Repeats, Ctx.polyDegree());
+  std::printf("  baseline    : %8.2f ms\n", BaseUs / 1000.0);
+  std::printf("  synthesized : %8.2f ms\n", SynthUs / 1000.0);
+  std::printf("  speedup     : %+.1f%%  (paper: +26.6%%)\n\n",
+              (BaseUs / SynthUs - 1.0) * 100.0);
+
+  std::printf("--- generated SEAL code for the synthesized kernel ---\n%s",
+              emitSealCode(B.Synthesized, {"gx", true}).c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- bench/bench_table1_microbench.cpp - Quill instruction latencies ----===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces the latency side of paper Table 1: per-instruction costs of
+/// the BFV instruction set, profiled from the bundled HE library exactly as
+/// the paper profiles SEAL. Uses google-benchmark; run with
+/// --benchmark_min_time=... to tighten confidence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bfv/BatchEncoder.h"
+#include "bfv/Decryptor.h"
+#include "bfv/Encryptor.h"
+#include "bfv/Evaluator.h"
+#include "bfv/KeyGenerator.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace porcupine;
+
+namespace {
+
+/// Shared state per parameter set (N selects the context depth tier).
+struct MicrobenchState {
+  BfvContext Ctx;
+  Rng R;
+  KeyGenerator Keygen;
+  PublicKey Pk;
+  Encryptor Enc;
+  Evaluator Eval;
+  BatchEncoder Encoder;
+  RelinKeys Relin;
+  GaloisKeys Galois;
+  Plaintext Plain;
+  Ciphertext A, B;
+
+  explicit MicrobenchState(unsigned Depth)
+      : Ctx(BfvContext::forMultDepth(Depth)), R(7), Keygen(Ctx, R),
+        Pk(Keygen.createPublicKey()), Enc(Ctx, Pk, R), Eval(Ctx),
+        Encoder(Ctx), Relin(Keygen.createRelinKeys()),
+        Galois(Keygen.createGaloisKeys({1})),
+        Plain(Encoder.encode(R.vectorBelow(Ctx.plainModulus(),
+                                           Ctx.slotCount()))),
+        A(Enc.encrypt(Plain)), B(Enc.encrypt(Plain)) {}
+};
+
+MicrobenchState &state(unsigned Depth) {
+  static MicrobenchState Depth1(1);
+  static MicrobenchState Depth3(3);
+  return Depth == 1 ? Depth1 : Depth3;
+}
+
+void BM_AddCtCt(benchmark::State &S) {
+  auto &St = state(S.range(0));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(St.Eval.add(St.A, St.B));
+}
+
+void BM_SubCtCt(benchmark::State &S) {
+  auto &St = state(S.range(0));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(St.Eval.sub(St.A, St.B));
+}
+
+void BM_AddCtPt(benchmark::State &S) {
+  auto &St = state(S.range(0));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(St.Eval.addPlain(St.A, St.Plain));
+}
+
+void BM_MulCtPt(benchmark::State &S) {
+  auto &St = state(S.range(0));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(St.Eval.multiplyPlain(St.A, St.Plain));
+}
+
+void BM_MulCtCtWithRelin(benchmark::State &S) {
+  auto &St = state(S.range(0));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(
+        St.Eval.relinearize(St.Eval.multiply(St.A, St.B), St.Relin));
+}
+
+void BM_RotCt(benchmark::State &S) {
+  auto &St = state(S.range(0));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(St.Eval.rotateRows(St.A, 1, St.Galois));
+}
+
+void BM_Encrypt(benchmark::State &S) {
+  auto &St = state(S.range(0));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(St.Enc.encrypt(St.Plain));
+}
+
+BENCHMARK(BM_AddCtCt)->Arg(1)->Arg(3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SubCtCt)->Arg(1)->Arg(3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AddCtPt)->Arg(1)->Arg(3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MulCtPt)->Arg(1)->Arg(3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MulCtCtWithRelin)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RotCt)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Encrypt)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+//===- backend/BfvExecutor.cpp - Encrypted Quill execution -----------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/BfvExecutor.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+std::vector<int> porcupine::requiredRotations(const Program &P) {
+  std::vector<int> Steps;
+  for (const Instr &I : P.Instructions)
+    if (I.Op == Opcode::RotCt)
+      Steps.push_back(I.Rot);
+  std::sort(Steps.begin(), Steps.end());
+  Steps.erase(std::unique(Steps.begin(), Steps.end()), Steps.end());
+  return Steps;
+}
+
+BfvExecutor::BfvExecutor(const BfvContext &Ctx, Rng &R,
+                         const std::vector<const Program *> &Programs)
+    : Ctx(Ctx), Keygen(Ctx, R), Pk(Keygen.createPublicKey()), Eval(Ctx),
+      Enc(Ctx, Pk, R), Dec(Ctx, Keygen.secretKey()),
+      Relin(Keygen.createRelinKeys()) {
+  std::vector<int> AllSteps;
+  for (const Program *P : Programs) {
+    assert(P->VectorSize <= Ctx.slotCount() &&
+           "kernel wider than a batching row");
+    auto Steps = requiredRotations(*P);
+    AllSteps.insert(AllSteps.end(), Steps.begin(), Steps.end());
+  }
+  std::sort(AllSteps.begin(), AllSteps.end());
+  AllSteps.erase(std::unique(AllSteps.begin(), AllSteps.end()),
+                 AllSteps.end());
+  Galois = Keygen.createGaloisKeys(AllSteps);
+}
+
+Ciphertext
+BfvExecutor::encryptInput(const std::vector<uint64_t> &Values) const {
+  assert(Values.size() <= Ctx.slotCount() && "input wider than a row");
+  return Enc.encrypt(Eval.encoder().encode(Values));
+}
+
+Plaintext BfvExecutor::encodeConstant(const PlainConstant &C) const {
+  const BatchEncoder &Encoder = Eval.encoder();
+  std::vector<int64_t> Slots;
+  if (C.isSplat()) {
+    Slots.assign(Encoder.slotCount(), C.Values[0]);
+  } else {
+    Slots.assign(Encoder.slotCount(), 0);
+    for (size_t I = 0; I < C.Values.size(); ++I)
+      Slots[I] = C.Values[I];
+  }
+  return Encoder.encodeSigned(Slots);
+}
+
+Ciphertext BfvExecutor::execInstr(const Instr &I,
+                                  const std::vector<Ciphertext> &Values,
+                                  const std::vector<Plaintext> &Consts) const {
+  const Ciphertext &A = Values[I.Src0];
+  switch (I.Op) {
+  case Opcode::AddCtCt:
+    return Eval.add(A, Values[I.Src1]);
+  case Opcode::SubCtCt:
+    return Eval.sub(A, Values[I.Src1]);
+  case Opcode::MulCtCt:
+    // The paper's code generation inserts relinearization after every
+    // ciphertext-ciphertext multiply.
+    return Eval.relinearize(Eval.multiply(A, Values[I.Src1]), Relin);
+  case Opcode::AddCtPt:
+    return Eval.addPlain(A, Consts[I.PtIdx]);
+  case Opcode::SubCtPt:
+    return Eval.subPlain(A, Consts[I.PtIdx]);
+  case Opcode::MulCtPt:
+    return Eval.multiplyPlain(A, Consts[I.PtIdx]);
+  case Opcode::RotCt:
+    return Eval.rotateRows(A, I.Rot, Galois);
+  }
+  PORC_UNREACHABLE("unhandled opcode");
+}
+
+Ciphertext BfvExecutor::run(const Program &P,
+                            const std::vector<Ciphertext> &Inputs) const {
+  assert(static_cast<int>(Inputs.size()) == P.NumInputs && "input count");
+  std::vector<Plaintext> Consts;
+  Consts.reserve(P.Constants.size());
+  for (const PlainConstant &C : P.Constants)
+    Consts.push_back(encodeConstant(C));
+
+  std::vector<Ciphertext> Values = Inputs;
+  Values.reserve(P.numValues());
+  for (const Instr &I : P.Instructions)
+    Values.push_back(execInstr(I, Values, Consts));
+  return Values[P.outputId()];
+}
+
+std::vector<uint64_t> BfvExecutor::decryptOutput(const Ciphertext &Ct,
+                                                 size_t Width) const {
+  auto Slots = Eval.encoder().decode(Dec.decrypt(Ct));
+  Slots.resize(Width);
+  return Slots;
+}
+
+double BfvExecutor::noiseBudget(const Ciphertext &Ct) const {
+  return Dec.invariantNoiseBudget(Ct);
+}
+
+std::vector<std::vector<uint64_t>>
+BfvExecutor::runWithTrace(const Program &P,
+                          const std::vector<Ciphertext> &Inputs,
+                          size_t TraceWidth) const {
+  assert(static_cast<int>(Inputs.size()) == P.NumInputs && "input count");
+  std::vector<Plaintext> Consts;
+  for (const PlainConstant &C : P.Constants)
+    Consts.push_back(encodeConstant(C));
+
+  std::vector<Ciphertext> Values = Inputs;
+  std::vector<std::vector<uint64_t>> Trace;
+  for (const Instr &I : P.Instructions) {
+    Values.push_back(execInstr(I, Values, Consts));
+    Trace.push_back(decryptOutput(Values.back(), TraceWidth));
+  }
+  return Trace;
+}

@@ -1,0 +1,89 @@
+//===- backend/BfvExecutor.h - Encrypted Quill execution --------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes Quill programs on real BFV ciphertexts - the role SEAL plays in
+/// the paper's toolchain. The executor performs the code-generation
+/// post-processing the paper describes: relinearization is inserted after
+/// every ciphertext-ciphertext multiply, and the Galois keys for exactly
+/// the rotations a program needs are generated up front.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BACKEND_BFVEXECUTOR_H
+#define PORCUPINE_BACKEND_BFVEXECUTOR_H
+
+#include "bfv/Decryptor.h"
+#include "bfv/Encryptor.h"
+#include "bfv/Evaluator.h"
+#include "bfv/KeyGenerator.h"
+#include "quill/Interpreter.h"
+#include "quill/Program.h"
+
+#include <vector>
+
+namespace porcupine {
+
+/// The rotation steps a program performs (deduplicated, signed).
+std::vector<int> requiredRotations(const quill::Program &P);
+
+/// Host-side runner: owns keys and the evaluator for one context and a set
+/// of programs.
+class BfvExecutor {
+public:
+  /// Creates keys sufficient for every program in \p Programs.
+  BfvExecutor(const BfvContext &Ctx, Rng &R,
+              const std::vector<const quill::Program *> &Programs);
+
+  /// Encrypts one kernel input vector (width = program VectorSize) into a
+  /// ciphertext, placing the data in batching row 0.
+  Ciphertext encryptInput(const std::vector<uint64_t> &Values) const;
+
+  /// Runs \p P over encrypted inputs, returning the encrypted result.
+  Ciphertext run(const quill::Program &P,
+                 const std::vector<Ciphertext> &Inputs) const;
+
+  /// Decrypts a result and returns the first \p Width slots.
+  std::vector<uint64_t> decryptOutput(const Ciphertext &Ct,
+                                      size_t Width) const;
+
+  /// Remaining invariant noise budget of a ciphertext, in bits.
+  double noiseBudget(const Ciphertext &Ct) const;
+
+  /// Runs \p P and records the decrypted slot state after every
+  /// instruction (first \p TraceWidth slots); index k holds the state of
+  /// value NumInputs+k. Used for the paper's Figure 7 style traces.
+  std::vector<std::vector<uint64_t>>
+  runWithTrace(const quill::Program &P, const std::vector<Ciphertext> &Inputs,
+               size_t TraceWidth) const;
+
+  const BfvContext &context() const { return Ctx; }
+  const Evaluator &evaluator() const { return Eval; }
+  const GaloisKeys &galoisKeys() const { return Galois; }
+  const RelinKeys &relinKeys() const { return Relin; }
+
+private:
+  const BfvContext &Ctx;
+  KeyGenerator Keygen;
+  PublicKey Pk;
+  Evaluator Eval;
+  Encryptor Enc;
+  Decryptor Dec;
+  RelinKeys Relin;
+  GaloisKeys Galois;
+
+  /// Encodes a Quill plaintext constant for the full batching vector:
+  /// splats broadcast everywhere; vectors occupy row-0 slots [0, size).
+  Plaintext encodeConstant(const quill::PlainConstant &C) const;
+
+  Ciphertext execInstr(const quill::Instr &I,
+                       const std::vector<Ciphertext> &Values,
+                       const std::vector<Plaintext> &Consts) const;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BACKEND_BFVEXECUTOR_H

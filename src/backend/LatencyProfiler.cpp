@@ -1,0 +1,67 @@
+//===- backend/LatencyProfiler.cpp - HE instruction profiling --------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/LatencyProfiler.h"
+
+#include "bfv/BatchEncoder.h"
+#include "bfv/Decryptor.h"
+#include "bfv/Encryptor.h"
+#include "bfv/Evaluator.h"
+#include "bfv/KeyGenerator.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace porcupine;
+
+namespace {
+
+/// Median of repeated timings of \p Fn, in microseconds.
+template <typename FnT> double medianMicros(int Repeats, FnT Fn) {
+  std::vector<double> Times;
+  Times.reserve(Repeats);
+  for (int I = 0; I < Repeats; ++I) {
+    Stopwatch W;
+    Fn();
+    Times.push_back(W.micros());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+} // namespace
+
+quill::LatencyTable porcupine::profileLatencies(const BfvContext &Ctx, Rng &R,
+                                                int Repeats) {
+  KeyGenerator Keygen(Ctx, R);
+  PublicKey Pk = Keygen.createPublicKey();
+  Encryptor Enc(Ctx, Pk, R);
+  Evaluator Eval(Ctx);
+  BatchEncoder Encoder(Ctx);
+  RelinKeys Relin = Keygen.createRelinKeys();
+  GaloisKeys Galois = Keygen.createGaloisKeys({1});
+
+  std::vector<uint64_t> Values =
+      R.vectorBelow(Ctx.plainModulus(), Ctx.slotCount());
+  Plaintext Plain = Encoder.encode(Values);
+  Ciphertext A = Enc.encrypt(Plain);
+  Ciphertext B = Enc.encrypt(Plain);
+
+  quill::LatencyTable Table;
+  Table.AddCtCt = medianMicros(Repeats, [&] { Eval.add(A, B); });
+  Table.SubCtCt = medianMicros(Repeats, [&] { Eval.sub(A, B); });
+  Table.AddCtPt = medianMicros(Repeats, [&] { Eval.addPlain(A, Plain); });
+  Table.SubCtPt = medianMicros(Repeats, [&] { Eval.subPlain(A, Plain); });
+  Table.MulCtPt = medianMicros(Repeats, [&] { Eval.multiplyPlain(A, Plain); });
+  // Mandatory relinearization is part of the instruction the compiler
+  // schedules, so include it.
+  Table.MulCtCt = medianMicros(
+      Repeats, [&] { Eval.relinearize(Eval.multiply(A, B), Relin); });
+  Table.RotCt =
+      medianMicros(Repeats, [&] { Eval.rotateRows(A, 1, Galois); });
+  return Table;
+}

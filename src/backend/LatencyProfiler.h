@@ -1,0 +1,32 @@
+//===- backend/LatencyProfiler.h - HE instruction profiling -----*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures per-instruction latencies of the BFV evaluator and produces the
+/// Quill cost-model table, exactly as the paper derives Quill's latencies
+/// "by profiling its corresponding HE instruction with the SEAL HE
+/// library". Profiling at context-construction parameters keeps the cost
+/// model faithful to the machine the benchmarks run on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BACKEND_LATENCYPROFILER_H
+#define PORCUPINE_BACKEND_LATENCYPROFILER_H
+
+#include "bfv/BfvContext.h"
+#include "quill/CostModel.h"
+#include "support/Random.h"
+
+namespace porcupine {
+
+/// Profiles every Quill opcode on \p Ctx and returns measured latencies in
+/// microseconds; \p Repeats controls the median window.
+quill::LatencyTable profileLatencies(const BfvContext &Ctx, Rng &R,
+                                     int Repeats = 5);
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BACKEND_LATENCYPROFILER_H

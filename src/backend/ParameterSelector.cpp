@@ -1,0 +1,34 @@
+//===- backend/ParameterSelector.cpp - Program-driven parameters -----------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/ParameterSelector.h"
+
+#include "quill/Analysis.h"
+
+using namespace porcupine;
+
+ParameterChoice porcupine::selectParameters(const quill::Program &P) {
+  ParameterChoice Choice;
+  Choice.MultiplicativeDepth =
+      static_cast<unsigned>(quill::programMultiplicativeDepth(P));
+  // Mirror BfvContext::forMultDepth's ladder without constructing tables.
+  if (Choice.MultiplicativeDepth <= 1) {
+    Choice.PolyDegree = 4096;
+    Choice.CoeffModulusBits = 109;
+  } else if (Choice.MultiplicativeDepth <= 3) {
+    Choice.PolyDegree = 8192;
+    Choice.CoeffModulusBits = 175;
+  } else {
+    Choice.PolyDegree = 8192;
+    Choice.CoeffModulusBits = 218;
+  }
+  return Choice;
+}
+
+BfvContext porcupine::contextForProgram(const quill::Program &P) {
+  return BfvContext::forMultDepth(
+      static_cast<unsigned>(quill::programMultiplicativeDepth(P)));
+}

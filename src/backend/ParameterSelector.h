@@ -1,0 +1,40 @@
+//===- backend/ParameterSelector.h - Program-driven parameters --*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic BFV parameter selection from a compiled program - the
+/// "parameter tuning" step the paper cites as prior work ([3, 11, 13, 14])
+/// and assumes around its compiler: analyze the program's multiplicative
+/// depth and pick the smallest standard 128-bit-security (N, Q) pair whose
+/// budget covers it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BACKEND_PARAMETERSELECTOR_H
+#define PORCUPINE_BACKEND_PARAMETERSELECTOR_H
+
+#include "bfv/BfvContext.h"
+#include "quill/Program.h"
+
+namespace porcupine {
+
+/// Chosen parameters with the analysis that justified them.
+struct ParameterChoice {
+  unsigned MultiplicativeDepth = 0;
+  size_t PolyDegree = 0;
+  unsigned CoeffModulusBits = 0;
+};
+
+/// Analyzes \p P and returns the parameter choice (without building the
+/// heavy context).
+ParameterChoice selectParameters(const quill::Program &P);
+
+/// Builds a ready context sized for \p P.
+BfvContext contextForProgram(const quill::Program &P);
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BACKEND_PARAMETERSELECTOR_H

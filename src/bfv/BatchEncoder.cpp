@@ -1,0 +1,91 @@
+//===- bfv/BatchEncoder.cpp - SIMD slot packing ----------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfv/BatchEncoder.h"
+
+#include "math/ModArith.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+static size_t reverseBits(size_t X, unsigned Bits) {
+  size_t R = 0;
+  for (unsigned I = 0; I < Bits; ++I)
+    R |= ((X >> I) & 1) << (Bits - 1 - I);
+  return R;
+}
+
+BatchEncoder::BatchEncoder(const BfvContext &Ctx)
+    : Ctx(Ctx), N(Ctx.polyDegree()) {
+  LogN = 0;
+  while ((size_t(1) << LogN) < N)
+    ++LogN;
+
+  // SEAL's matrix_reps_index_map: slot i of row 0 corresponds to the
+  // primitive root power 3^i, slot i of row 1 to -(3^i); the NTT position
+  // of an odd exponent e is reverse_bits((e-1)/2).
+  IndexMap.resize(N);
+  size_t RowSize = N / 2;
+  uint64_t M = 2 * N;
+  uint64_t Gen = 3;
+  uint64_t Pos = 1;
+  for (size_t I = 0; I < RowSize; ++I) {
+    uint64_t Index1 = (Pos - 1) >> 1;
+    uint64_t Index2 = (M - Pos - 1) >> 1;
+    IndexMap[I] = reverseBits(Index1, LogN);
+    IndexMap[RowSize + I] = reverseBits(Index2, LogN);
+    Pos = (Pos * Gen) & (M - 1);
+  }
+}
+
+Plaintext BatchEncoder::encode(const std::vector<uint64_t> &Values) const {
+  assert(Values.size() <= N && "too many values for the slot count");
+  uint64_t T = Ctx.plainModulus();
+  std::vector<uint64_t> Slots(N, 0);
+  for (size_t I = 0; I < Values.size(); ++I)
+    Slots[IndexMap[I]] = Values[I] % T;
+  // Interpolate: slot values are evaluations, so apply the inverse NTT to
+  // recover coefficients.
+  Ctx.plainNtt().inverseTransform(Slots);
+  return Plaintext(std::move(Slots));
+}
+
+Plaintext BatchEncoder::encodeSigned(const std::vector<int64_t> &Values) const {
+  uint64_t T = Ctx.plainModulus();
+  std::vector<uint64_t> Reduced(Values.size());
+  for (size_t I = 0; I < Values.size(); ++I)
+    Reduced[I] = toResidue(Values[I], T);
+  return encode(Reduced);
+}
+
+std::vector<uint64_t> BatchEncoder::decode(const Plaintext &Plain) const {
+  assert(Plain.Coeffs.size() == N && "plaintext degree mismatch");
+  std::vector<uint64_t> Evals = Plain.Coeffs;
+  Ctx.plainNtt().forwardTransform(Evals);
+  std::vector<uint64_t> Values(N);
+  for (size_t I = 0; I < N; ++I)
+    Values[I] = Evals[IndexMap[I]];
+  return Values;
+}
+
+uint64_t BatchEncoder::galoisEltForRotation(int Steps) const {
+  size_t RowSize = N / 2;
+  uint64_t M = 2 * N;
+  // Normalize to [0, RowSize).
+  long Norm = Steps % static_cast<long>(RowSize);
+  if (Norm < 0)
+    Norm += RowSize;
+  if (Norm == 0)
+    return 1;
+  // Left rotation by k corresponds to the automorphism x -> x^(3^k):
+  // it maps the slot holding 3^(i+k) onto the slot holding 3^i.
+  uint64_t Elt = 1;
+  for (long I = 0; I < Norm; ++I)
+    Elt = (Elt * 3) & (M - 1);
+  return Elt;
+}

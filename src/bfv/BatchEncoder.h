@@ -1,0 +1,65 @@
+//===- bfv/BatchEncoder.h - SIMD slot packing -------------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRT batching for BFV (Smart-Vercauteren packing): encodes a vector of up
+/// to N integers mod t into one plaintext polynomial such that ring
+/// addition/multiplication act slot-wise (SIMD) and the Galois automorphism
+/// x -> x^3 rotates slots. Slots are arranged as a 2 x (N/2) matrix, exactly
+/// as in SEAL: rotate-rows cyclically shifts each row, rotate-columns swaps
+/// the rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BFV_BATCHENCODER_H
+#define PORCUPINE_BFV_BATCHENCODER_H
+
+#include "bfv/BfvContext.h"
+#include "bfv/Plaintext.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace porcupine {
+
+/// Encoder/decoder between slot vectors and plaintext polynomials.
+class BatchEncoder {
+public:
+  explicit BatchEncoder(const BfvContext &Ctx);
+
+  /// Number of slots (= N).
+  size_t slotCount() const { return N; }
+  /// Slots per batching row (= N/2); the usable SIMD width for kernels.
+  size_t rowSize() const { return N / 2; }
+
+  /// Encodes \p Values (size <= N, entries reduced mod t) into a plaintext.
+  /// Missing trailing slots are zero.
+  Plaintext encode(const std::vector<uint64_t> &Values) const;
+
+  /// Encodes signed values by reducing mod t.
+  Plaintext encodeSigned(const std::vector<int64_t> &Values) const;
+
+  /// Decodes a plaintext back to its N slot values.
+  std::vector<uint64_t> decode(const Plaintext &Plain) const;
+
+  /// The Galois element that rotates every batching row \p Steps slots to
+  /// the left (Steps may be negative for right rotation).
+  uint64_t galoisEltForRotation(int Steps) const;
+
+  /// The Galois element that swaps the two batching rows.
+  uint64_t galoisEltForColumnSwap() const { return 2 * N - 1; }
+
+private:
+  const BfvContext &Ctx;
+  size_t N;
+  unsigned LogN;
+  /// Slot position i lives at polynomial NTT position IndexMap[i].
+  std::vector<size_t> IndexMap;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BFV_BATCHENCODER_H

@@ -1,0 +1,112 @@
+//===- bfv/BfvContext.h - BFV parameter context -----------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encryption parameters and precomputed tables for the BFV scheme
+/// (Fan-Vercauteren 2012), playing the role of SEAL's SEALContext. A context
+/// fixes the ring Z_Q[x]/(x^N + 1), the plaintext modulus t, and every table
+/// derived from them: the RNS basis for Q, per-prime NTTs, the auxiliary
+/// basis for exact tensor products, and key-switching decomposition
+/// constants.
+///
+/// All other BFV objects (keys, ciphertexts, the evaluator) borrow a const
+/// reference to the context; the caller keeps it alive, mirroring SEAL's
+/// usage pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BFV_BFVCONTEXT_H
+#define PORCUPINE_BFV_BFVCONTEXT_H
+
+#include "math/BigInt.h"
+#include "math/Crt.h"
+#include "math/Ntt.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace porcupine {
+
+/// User-facing knobs for a BFV instantiation.
+struct BfvParams {
+  /// Ring degree N; must be a power of two. Batching packs N slots arranged
+  /// as a 2 x (N/2) matrix; kernels use row 0, so the usable vector length
+  /// is N/2.
+  size_t PolyDegree = 4096;
+  /// Plaintext modulus t; must be prime with t = 1 mod 2N for batching.
+  uint64_t PlainModulus = 65537;
+  /// Bit sizes of the RNS primes whose product is the ciphertext modulus Q.
+  std::vector<unsigned> CoeffPrimeBits = {45, 45, 45};
+  /// Key-switching digit width in bits (trade-off: smaller = less noise per
+  /// switch, more NTTs).
+  unsigned DecompWidth = 16;
+};
+
+/// Immutable parameter context with derived tables.
+class BfvContext {
+public:
+  explicit BfvContext(const BfvParams &Params);
+
+  /// Builds a context sized for programs with multiplicative depth
+  /// \p Depth, using the HE-standard 128-bit-security N/log2(Q) pairs.
+  static BfvContext forMultDepth(unsigned Depth);
+
+  size_t polyDegree() const { return N; }
+  /// Usable SIMD vector length (one batching row).
+  size_t slotCount() const { return N / 2; }
+  uint64_t plainModulus() const { return T; }
+
+  const CrtBasis &coeffBasis() const { return CoeffBasis; }
+  const std::vector<NttTables> &coeffNtt() const { return CoeffNtt; }
+  const NttTables &plainNtt() const { return PlainNtt; }
+  const CrtBasis &auxBasis() const { return AuxBasis; }
+  const std::vector<NttTables> &auxNtt() const { return AuxNtt; }
+
+  /// Q as a wide integer.
+  const BigInt &coeffModulus() const { return CoeffBasis.modulus(); }
+
+  /// floor(Q / t), the plaintext scaling factor Delta.
+  const BigInt &delta() const { return Delta; }
+  /// Delta mod q_i for each coefficient prime.
+  const std::vector<uint64_t> &deltaModPrimes() const {
+    return DeltaModPrimes;
+  }
+
+  unsigned decompWidth() const { return Width; }
+  unsigned decompDigitCount() const { return Digits; }
+  /// (2^(d * width)) mod q_i for digit d and prime i, indexed [d][i].
+  const std::vector<std::vector<uint64_t>> &digitScaleModPrimes() const {
+    return DigitScales;
+  }
+
+  /// Total bits in Q; the budget ceiling for noise.
+  unsigned coeffModulusBits() const { return CoeffBasis.modulus().bitLength(); }
+
+  /// Maximum log2(Q) allowed for 128-bit security at this N
+  /// (HomomorphicEncryption.org standard table); 0 if N is non-standard.
+  static unsigned maxSecureCoeffBits(size_t PolyDegree);
+
+private:
+  size_t N;
+  uint64_t T;
+  CrtBasis CoeffBasis;
+  std::vector<NttTables> CoeffNtt;
+  NttTables PlainNtt;
+  CrtBasis AuxBasis;
+  std::vector<NttTables> AuxNtt;
+  BigInt Delta;
+  std::vector<uint64_t> DeltaModPrimes;
+  unsigned Width;
+  unsigned Digits;
+  std::vector<std::vector<uint64_t>> DigitScales;
+
+  static CrtBasis makeCoeffBasis(const BfvParams &Params);
+  static CrtBasis makeAuxBasis(size_t N, const CrtBasis &Coeff);
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BFV_BFVCONTEXT_H

@@ -1,0 +1,35 @@
+//===- bfv/Ciphertext.h - BFV ciphertexts -----------------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BFV ciphertext: a short vector of R_Q elements. Fresh encryptions have
+/// two components; a ciphertext-ciphertext multiply yields three until
+/// relinearization switches it back to two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BFV_CIPHERTEXT_H
+#define PORCUPINE_BFV_CIPHERTEXT_H
+
+#include "bfv/RingPoly.h"
+
+#include <vector>
+
+namespace porcupine {
+
+/// Ciphertext c(s) = c0 + c1*s (+ c2*s^2). Decryption evaluates the
+/// components at the secret key.
+struct Ciphertext {
+  std::vector<RingPoly> Components;
+
+  size_t size() const { return Components.size(); }
+  RingPoly &operator[](size_t I) { return Components[I]; }
+  const RingPoly &operator[](size_t I) const { return Components[I]; }
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BFV_CIPHERTEXT_H

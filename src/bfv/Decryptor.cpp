@@ -1,0 +1,73 @@
+//===- bfv/Decryptor.cpp - BFV decryption and noise metering ---------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfv/Decryptor.h"
+
+#include "math/ModArith.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+RingPoly Decryptor::evaluateAtSecret(const Ciphertext &Ct) const {
+  assert(Ct.size() >= 2 && "malformed ciphertext");
+  // Horner evaluation: (((c_k * s) + c_{k-1}) * s + ...) + c_0.
+  RingPoly Acc = Ct[Ct.size() - 1];
+  for (size_t I = Ct.size() - 1; I-- > 0;) {
+    Acc = RingPoly::multiply(Ctx, Acc, Sk.S);
+    Acc.addAssign(Ctx, Ct[I]);
+  }
+  return Acc;
+}
+
+Plaintext Decryptor::decrypt(const Ciphertext &Ct) const {
+  RingPoly CS = evaluateAtSecret(Ct);
+  std::vector<BigInt> Lifted = CS.liftCentered(Ctx);
+  const BigInt &Q = Ctx.coeffModulus();
+  uint64_t T = Ctx.plainModulus();
+  BigInt TBig = BigInt::fromU64(T);
+
+  std::vector<uint64_t> Coeffs(Ctx.polyDegree());
+  for (size_t J = 0; J < Lifted.size(); ++J) {
+    // m_j = round(t * x_j / Q) mod t; the centered lift keeps the rounding
+    // error symmetric.
+    BigInt Scaled = (Lifted[J] * TBig).divRoundNearest(Q);
+    Coeffs[J] = Scaled.modWord(T);
+  }
+  return Plaintext(std::move(Coeffs));
+}
+
+double Decryptor::invariantNoiseBudget(const Ciphertext &Ct) const {
+  RingPoly CS = evaluateAtSecret(Ct);
+  std::vector<BigInt> Lifted = CS.liftCentered(Ctx);
+  const BigInt &Q = Ctx.coeffModulus();
+  uint64_t T = Ctx.plainModulus();
+
+  // The invariant noise v satisfies (t/Q)*c(s) = m + v (mod t); its
+  // numerator is the centered remainder of t*x mod Q. Decryption is correct
+  // while |v| < 1/2, i.e. while 2*|r| < Q.
+  BigInt MaxR;
+  for (const BigInt &X : Lifted) {
+    BigInt Prod = X * BigInt::fromU64(T);
+    BigInt Quot, Rem;
+    Prod.divMod(Q, Quot, Rem);
+    // Center the remainder into (-Q/2, Q/2].
+    if (!Rem.isNegative()) {
+      if (Rem.shiftLeft(1) > Q)
+        Rem -= Q;
+    } else {
+      if ((-Rem).shiftLeft(1) > Q)
+        Rem += Q;
+    }
+    BigInt AbsRem = Rem.isNegative() ? -Rem : Rem;
+    if (AbsRem > MaxR)
+      MaxR = AbsRem;
+  }
+  if (MaxR.isZero())
+    return Q.log2Magnitude() - 1.0;
+  double Budget = Q.log2Magnitude() - MaxR.log2Magnitude() - 1.0;
+  return Budget > 0.0 ? Budget : 0.0;
+}

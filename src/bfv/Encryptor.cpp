@@ -1,0 +1,48 @@
+//===- bfv/Encryptor.cpp - BFV encryption ----------------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfv/Encryptor.h"
+
+#include "math/ModArith.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+Ciphertext Encryptor::encrypt(const Plaintext &Plain) const {
+  assert(Plain.Coeffs.size() <= Ctx.polyDegree() && "plaintext too large");
+  RingPoly U = RingPoly::sampleTernary(Ctx, R);
+  RingPoly E1 = RingPoly::sampleError(Ctx, R);
+  RingPoly E2 = RingPoly::sampleError(Ctx, R);
+
+  RingPoly C0 = RingPoly::multiply(Ctx, Pk.Pk0, U);
+  C0.addAssign(Ctx, E1);
+
+  // Add Delta * m: per prime, coefficient-wise (m_j * Delta) mod q_i.
+  const auto &Primes = Ctx.coeffBasis().primes();
+  const auto &DeltaMod = Ctx.deltaModPrimes();
+  for (size_t I = 0; I < Primes.size(); ++I) {
+    uint64_t Q = Primes[I];
+    auto &Res = C0.residues(I);
+    for (size_t J = 0; J < Plain.Coeffs.size(); ++J) {
+      uint64_t Scaled = mulMod(Plain.Coeffs[J] % Q, DeltaMod[I], Q);
+      Res[J] = addMod(Res[J], Scaled, Q);
+    }
+  }
+
+  RingPoly C1 = RingPoly::multiply(Ctx, Pk.Pk1, U);
+  C1.addAssign(Ctx, E2);
+
+  Ciphertext Ct;
+  Ct.Components.push_back(std::move(C0));
+  Ct.Components.push_back(std::move(C1));
+  return Ct;
+}
+
+Ciphertext Encryptor::encryptZero() const {
+  Plaintext Zero(std::vector<uint64_t>(Ctx.polyDegree(), 0));
+  return encrypt(Zero);
+}

@@ -1,0 +1,246 @@
+//===- bfv/Evaluator.cpp - Homomorphic operations ---------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bfv/Evaluator.h"
+
+#include "math/ModArith.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+Ciphertext Evaluator::add(const Ciphertext &A, const Ciphertext &B) const {
+  const Ciphertext &Long = A.size() >= B.size() ? A : B;
+  const Ciphertext &Short = A.size() >= B.size() ? B : A;
+  Ciphertext Out = Long;
+  for (size_t I = 0; I < Short.size(); ++I)
+    Out[I].addAssign(Ctx, Short[I]);
+  return Out;
+}
+
+Ciphertext Evaluator::sub(const Ciphertext &A, const Ciphertext &B) const {
+  // Pad the shorter operand with zero components, then subtract.
+  Ciphertext Out = A;
+  while (Out.size() < B.size())
+    Out.Components.push_back(RingPoly::zero(Ctx));
+  for (size_t I = 0; I < B.size(); ++I)
+    Out[I].subAssign(Ctx, B[I]);
+  return Out;
+}
+
+Ciphertext Evaluator::negate(const Ciphertext &A) const {
+  Ciphertext Out = A;
+  for (auto &Component : Out.Components)
+    Component.negate(Ctx);
+  return Out;
+}
+
+RingPoly Evaluator::plainToRing(const Plaintext &P) const {
+  // Centered embedding keeps the operand norm (and thus the multiply noise)
+  // minimal.
+  uint64_t T = Ctx.plainModulus();
+  std::vector<int64_t> Centered(Ctx.polyDegree(), 0);
+  for (size_t J = 0; J < P.Coeffs.size(); ++J)
+    Centered[J] = toCentered(P.Coeffs[J] % T, T);
+  return RingPoly::fromSignedCoeffs(Ctx, Centered);
+}
+
+Ciphertext Evaluator::addPlain(const Ciphertext &A, const Plaintext &B) const {
+  assert(!A.Components.empty());
+  Ciphertext Out = A;
+  const auto &Primes = Ctx.coeffBasis().primes();
+  const auto &DeltaMod = Ctx.deltaModPrimes();
+  for (size_t I = 0; I < Primes.size(); ++I) {
+    uint64_t Q = Primes[I];
+    auto &Res = Out[0].residues(I);
+    for (size_t J = 0; J < B.Coeffs.size(); ++J) {
+      uint64_t Scaled = mulMod(B.Coeffs[J] % Q, DeltaMod[I], Q);
+      Res[J] = addMod(Res[J], Scaled, Q);
+    }
+  }
+  return Out;
+}
+
+Ciphertext Evaluator::subPlain(const Ciphertext &A, const Plaintext &B) const {
+  assert(!A.Components.empty());
+  Ciphertext Out = A;
+  const auto &Primes = Ctx.coeffBasis().primes();
+  const auto &DeltaMod = Ctx.deltaModPrimes();
+  for (size_t I = 0; I < Primes.size(); ++I) {
+    uint64_t Q = Primes[I];
+    auto &Res = Out[0].residues(I);
+    for (size_t J = 0; J < B.Coeffs.size(); ++J) {
+      uint64_t Scaled = mulMod(B.Coeffs[J] % Q, DeltaMod[I], Q);
+      Res[J] = subMod(Res[J], Scaled, Q);
+    }
+  }
+  return Out;
+}
+
+std::vector<BigInt> Evaluator::exactConvolution(const RingPoly &A,
+                                                const RingPoly &B) const {
+  size_t N = Ctx.polyDegree();
+  const auto &Aux = Ctx.auxBasis();
+  const auto &AuxNtt = Ctx.auxNtt();
+
+  std::vector<BigInt> ALift = A.liftCentered(Ctx);
+  std::vector<BigInt> BLift = B.liftCentered(Ctx);
+
+  // Convolve modulo each auxiliary prime, then CRT-reconstruct the exact
+  // signed integer result (|result| < Maux/2 by construction of the basis).
+  std::vector<std::vector<uint64_t>> ResidueProducts(Aux.count());
+  for (size_t P = 0; P < Aux.count(); ++P) {
+    uint64_t Prime = Aux.primes()[P];
+    std::vector<uint64_t> AR(N), BR(N);
+    for (size_t J = 0; J < N; ++J) {
+      AR[J] = ALift[J].modWord(Prime);
+      BR[J] = BLift[J].modWord(Prime);
+    }
+    ResidueProducts[P] = AuxNtt[P].multiply(AR, BR);
+  }
+
+  std::vector<BigInt> Out(N);
+  std::vector<uint64_t> Slice(Aux.count());
+  for (size_t J = 0; J < N; ++J) {
+    for (size_t P = 0; P < Aux.count(); ++P)
+      Slice[P] = ResidueProducts[P][J];
+    Out[J] = Aux.reconstructCentered(Slice);
+  }
+  return Out;
+}
+
+/// Scales each wide coefficient by t/Q with rounding and reduces into RNS.
+static RingPoly scaleToRing(const BfvContext &Ctx,
+                            const std::vector<BigInt> &Wide) {
+  const BigInt &Q = Ctx.coeffModulus();
+  BigInt T = BigInt::fromU64(Ctx.plainModulus());
+  RingPoly Out = RingPoly::zero(Ctx);
+  const auto &Primes = Ctx.coeffBasis().primes();
+  for (size_t J = 0; J < Wide.size(); ++J) {
+    BigInt Scaled = (Wide[J] * T).divRoundNearest(Q);
+    for (size_t I = 0; I < Primes.size(); ++I)
+      Out.residues(I)[J] = Scaled.modWord(Primes[I]);
+  }
+  return Out;
+}
+
+Ciphertext Evaluator::multiply(const Ciphertext &A, const Ciphertext &B) const {
+  if (A.size() != 2 || B.size() != 2)
+    fatalError("multiply requires two-component operands; relinearize first");
+
+  // BFV tensor product: e0 = a0*b0, e1 = a0*b1 + a1*b0, e2 = a1*b1 over the
+  // integers, each scaled by t/Q with rounding.
+  std::vector<BigInt> E0 = exactConvolution(A[0], B[0]);
+  std::vector<BigInt> E1A = exactConvolution(A[0], B[1]);
+  std::vector<BigInt> E1B = exactConvolution(A[1], B[0]);
+  std::vector<BigInt> E2 = exactConvolution(A[1], B[1]);
+  for (size_t J = 0; J < E1A.size(); ++J)
+    E1A[J] += E1B[J];
+
+  Ciphertext Out;
+  Out.Components.push_back(scaleToRing(Ctx, E0));
+  Out.Components.push_back(scaleToRing(Ctx, E1A));
+  Out.Components.push_back(scaleToRing(Ctx, E2));
+  return Out;
+}
+
+Ciphertext Evaluator::multiplyPlain(const Ciphertext &A,
+                                    const Plaintext &B) const {
+  RingPoly M = plainToRing(B);
+  M.toNtt(Ctx);
+  Ciphertext Out;
+  for (const RingPoly &Component : A.Components) {
+    RingPoly C = Component;
+    C.toNtt(Ctx);
+    RingPoly Prod = RingPoly::zero(Ctx);
+    Prod.toNtt(Ctx);
+    Prod.fmaNtt(Ctx, C, M);
+    Prod.fromNtt(Ctx);
+    Out.Components.push_back(std::move(Prod));
+  }
+  return Out;
+}
+
+std::pair<RingPoly, RingPoly>
+Evaluator::keySwitch(const RingPoly &P, const KeySwitchKey &Key) const {
+  assert(!Key.empty() && "missing key-switching key");
+  unsigned Digits = Ctx.decompDigitCount();
+  unsigned Width = Ctx.decompWidth();
+  size_t N = Ctx.polyDegree();
+
+  // Decompose P into base-2^w digit polynomials from the canonical lift.
+  std::vector<BigInt> Lifted = P.liftCanonical(Ctx);
+  RingPoly Acc0 = RingPoly::zero(Ctx);
+  Acc0.toNtt(Ctx);
+  RingPoly Acc1 = RingPoly::zero(Ctx);
+  Acc1.toNtt(Ctx);
+
+  std::vector<int64_t> DigitCoeffs(N);
+  for (unsigned D = 0; D < Digits; ++D) {
+    for (size_t J = 0; J < N; ++J)
+      DigitCoeffs[J] = static_cast<int64_t>(Lifted[J].digit(D, Width));
+    RingPoly DigitPoly = RingPoly::fromSignedCoeffs(Ctx, DigitCoeffs);
+    DigitPoly.toNtt(Ctx);
+    Acc0.fmaNtt(Ctx, DigitPoly, Key.K0[D]);
+    Acc1.fmaNtt(Ctx, DigitPoly, Key.K1[D]);
+  }
+  Acc0.fromNtt(Ctx);
+  Acc1.fromNtt(Ctx);
+  return {std::move(Acc0), std::move(Acc1)};
+}
+
+Ciphertext Evaluator::relinearize(const Ciphertext &A,
+                                  const RelinKeys &Keys) const {
+  if (A.size() == 2)
+    return A;
+  if (A.size() != 3)
+    fatalError("relinearize expects a two- or three-component ciphertext");
+  auto [D0, D1] = keySwitch(A[2], Keys.Key);
+  Ciphertext Out;
+  Out.Components.push_back(A[0]);
+  Out.Components.push_back(A[1]);
+  Out[0].addAssign(Ctx, D0);
+  Out[1].addAssign(Ctx, D1);
+  return Out;
+}
+
+Ciphertext Evaluator::applyGalois(const Ciphertext &A, uint64_t Elt,
+                                  const KeySwitchKey &Key) const {
+  if (A.size() != 2)
+    fatalError("applyGalois requires a two-component ciphertext; "
+               "relinearize first");
+  if (Elt == 1)
+    return A;
+  RingPoly C0 = A[0].applyGalois(Ctx, Elt);
+  RingPoly C1 = A[1].applyGalois(Ctx, Elt);
+  // C0 + C1 * s(x^elt) decrypts the rotated message; switch the C1 part
+  // back to the base secret.
+  auto [D0, D1] = keySwitch(C1, Key);
+  C0.addAssign(Ctx, D0);
+  Ciphertext Out;
+  Out.Components.push_back(std::move(C0));
+  Out.Components.push_back(std::move(D1));
+  return Out;
+}
+
+Ciphertext Evaluator::rotateRows(const Ciphertext &A, int Steps,
+                                 const GaloisKeys &Keys) const {
+  uint64_t Elt = Encoder.galoisEltForRotation(Steps);
+  if (Elt == 1)
+    return A;
+  if (!Keys.hasKey(Elt))
+    fatalError("missing Galois key for the requested rotation step");
+  return applyGalois(A, Elt, Keys.key(Elt));
+}
+
+Ciphertext Evaluator::rotateColumns(const Ciphertext &A,
+                                    const GaloisKeys &Keys) const {
+  uint64_t Elt = Encoder.galoisEltForColumnSwap();
+  if (!Keys.hasKey(Elt))
+    fatalError("missing Galois key for the column swap");
+  return applyGalois(A, Elt, Keys.key(Elt));
+}

@@ -1,0 +1,89 @@
+//===- bfv/Evaluator.h - Homomorphic operations -----------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The homomorphic instruction set Porcupine targets (Table 1 of the paper):
+/// SIMD add/sub/multiply over ciphertext-ciphertext and ciphertext-plaintext
+/// operands, slot rotation, plus relinearization. The method surface mirrors
+/// SEAL's Evaluator so generated kernels read like SEAL programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BFV_EVALUATOR_H
+#define PORCUPINE_BFV_EVALUATOR_H
+
+#include "bfv/BatchEncoder.h"
+#include "bfv/Ciphertext.h"
+#include "bfv/Keys.h"
+#include "bfv/Plaintext.h"
+
+namespace porcupine {
+
+/// Stateless (except for the context) homomorphic operator suite.
+class Evaluator {
+public:
+  explicit Evaluator(const BfvContext &Ctx) : Ctx(Ctx), Encoder(Ctx) {}
+
+  /// Slot-wise ciphertext addition; operands may have 2 or 3 components.
+  Ciphertext add(const Ciphertext &A, const Ciphertext &B) const;
+
+  /// Slot-wise ciphertext subtraction.
+  Ciphertext sub(const Ciphertext &A, const Ciphertext &B) const;
+
+  /// Negation.
+  Ciphertext negate(const Ciphertext &A) const;
+
+  /// Ciphertext + plaintext.
+  Ciphertext addPlain(const Ciphertext &A, const Plaintext &B) const;
+
+  /// Ciphertext - plaintext.
+  Ciphertext subPlain(const Ciphertext &A, const Plaintext &B) const;
+
+  /// Slot-wise ciphertext multiplication; the result has three components
+  /// until relinearize() is applied. Operands must be two-component.
+  Ciphertext multiply(const Ciphertext &A, const Ciphertext &B) const;
+
+  /// Ciphertext * plaintext (no component growth, milder noise).
+  Ciphertext multiplyPlain(const Ciphertext &A, const Plaintext &B) const;
+
+  /// Switches a three-component product back to two components.
+  Ciphertext relinearize(const Ciphertext &A, const RelinKeys &Keys) const;
+
+  /// Rotates every batching row \p Steps slots to the left (negative =
+  /// right). Requires the matching Galois key.
+  Ciphertext rotateRows(const Ciphertext &A, int Steps,
+                        const GaloisKeys &Keys) const;
+
+  /// Swaps the two batching rows.
+  Ciphertext rotateColumns(const Ciphertext &A, const GaloisKeys &Keys) const;
+
+  /// Applies the raw automorphism x -> x^Elt with key switching.
+  Ciphertext applyGalois(const Ciphertext &A, uint64_t Elt,
+                         const KeySwitchKey &Key) const;
+
+  const BatchEncoder &encoder() const { return Encoder; }
+
+private:
+  const BfvContext &Ctx;
+  BatchEncoder Encoder;
+
+  /// Key-switching workhorse: returns (d0, d1) such that
+  /// d0 + d1*s ~= P * s' where Key switches s' -> s.
+  std::pair<RingPoly, RingPoly> keySwitch(const RingPoly &P,
+                                          const KeySwitchKey &Key) const;
+
+  /// Exact negacyclic convolution of two R_Q elements over the integers
+  /// (centered lifts), returned as wide-integer coefficients.
+  std::vector<BigInt> exactConvolution(const RingPoly &A,
+                                       const RingPoly &B) const;
+
+  /// Embeds a centered plaintext polynomial into RNS form.
+  RingPoly plainToRing(const Plaintext &P) const;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BFV_EVALUATOR_H

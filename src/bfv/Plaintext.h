@@ -1,0 +1,34 @@
+//===- bfv/Plaintext.h - BFV plaintext polynomials --------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BFV plaintext: a polynomial of degree < N with coefficients mod t.
+/// Produced by the BatchEncoder (SIMD slot packing) or directly for scalar
+/// constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BFV_PLAINTEXT_H
+#define PORCUPINE_BFV_PLAINTEXT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace porcupine {
+
+/// Plaintext ring element in Z_t[x]/(x^N + 1), coefficient order.
+struct Plaintext {
+  std::vector<uint64_t> Coeffs;
+
+  Plaintext() = default;
+  explicit Plaintext(std::vector<uint64_t> Coeffs) : Coeffs(std::move(Coeffs)) {}
+
+  bool operator==(const Plaintext &RHS) const { return Coeffs == RHS.Coeffs; }
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_BFV_PLAINTEXT_H

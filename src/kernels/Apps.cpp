@@ -1,0 +1,185 @@
+//===- kernels/Apps.cpp - Multi-step applications ---------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sobel and Harris, the paper's multi-step synthesis case studies (section
+/// 6.3 / 7.2): larger pipelines stitched together from independently
+/// synthesized kernels plus a small combination stage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "synth/Compose.h"
+
+using namespace porcupine;
+using namespace porcupine::kernels;
+using namespace porcupine::quill;
+
+namespace {
+
+constexpr int Dim = ImageGeom::Dim;
+constexpr size_t Slots = ImageGeom::Slots;
+
+/// Reference gradients shared by the Sobel and Harris specs. Returns
+/// (gx, gy) at every interior pixel, zero elsewhere.
+template <typename E, typename KonstT>
+std::pair<std::vector<E>, std::vector<E>>
+referenceGradients(const std::vector<E> &Img, KonstT Konst) {
+  std::vector<E> Gx(Slots, Konst(0)), Gy(Slots, Konst(0));
+  for (int R = 1; R < Dim - 1; ++R)
+    for (int C = 1; C < Dim - 1; ++C) {
+      auto At = [&](int RR, int CC) { return Img[ImageGeom::index(RR, CC)]; };
+      Gx[ImageGeom::index(R, C)] =
+          (At(R - 1, C + 1) + At(R, C + 1) + At(R, C + 1) +
+           At(R + 1, C + 1)) -
+          (At(R - 1, C - 1) + At(R, C - 1) + At(R, C - 1) + At(R + 1, C - 1));
+      Gy[ImageGeom::index(R, C)] =
+          (At(R + 1, C - 1) + At(R + 1, C) + At(R + 1, C) +
+           At(R + 1, C + 1)) -
+          (At(R - 1, C - 1) + At(R - 1, C) + At(R - 1, C) + At(R - 1, C + 1));
+    }
+  return {std::move(Gx), std::move(Gy)};
+}
+
+/// 2x2 window sum (the box-blur kernel's semantics), valid where the
+/// window fits.
+template <typename E, typename KonstT>
+std::vector<E> referenceBlur(const std::vector<E> &In, KonstT Konst) {
+  std::vector<E> Out(Slots, Konst(0));
+  for (int R = 0; R + 1 < Dim; ++R)
+    for (int C = 0; C + 1 < Dim; ++C)
+      Out[ImageGeom::index(R, C)] =
+          In[ImageGeom::index(R, C)] + In[ImageGeom::index(R, C + 1)] +
+          In[ImageGeom::index(R + 1, C)] + In[ImageGeom::index(R + 1, C + 1)];
+  return Out;
+}
+
+/// Builds the Sobel program from gradient stages: gx^2 + gy^2.
+Program buildSobel(const Program &GxProg, const Program &GyProg) {
+  Program P;
+  P.NumInputs = 1;
+  P.VectorSize = Slots;
+  int Gx = synth::inlineProgram(P, GxProg, {0});
+  int Gy = synth::inlineProgram(P, GyProg, {0});
+  int Gx2 = P.append(Instr::ctCt(Opcode::MulCtCt, Gx, Gx));
+  int Gy2 = P.append(Instr::ctCt(Opcode::MulCtCt, Gy, Gy));
+  P.append(Instr::ctCt(Opcode::AddCtCt, Gx2, Gy2));
+  return P;
+}
+
+/// Builds the Harris response program from gradient and blur stages:
+/// 16*(Sxx*Syy - Sxy^2) - (Sxx + Syy)^2.
+Program buildHarris(const Program &GxProg, const Program &GyProg,
+                    const Program &BlurProg) {
+  Program P;
+  P.NumInputs = 1;
+  P.VectorSize = Slots;
+  int Gx = synth::inlineProgram(P, GxProg, {0});
+  int Gy = synth::inlineProgram(P, GyProg, {0});
+  int Ixx = P.append(Instr::ctCt(Opcode::MulCtCt, Gx, Gx));
+  int Iyy = P.append(Instr::ctCt(Opcode::MulCtCt, Gy, Gy));
+  int Ixy = P.append(Instr::ctCt(Opcode::MulCtCt, Gx, Gy));
+  int Sxx = synth::inlineProgram(P, BlurProg, {Ixx});
+  int Syy = synth::inlineProgram(P, BlurProg, {Iyy});
+  int Sxy = synth::inlineProgram(P, BlurProg, {Ixy});
+  int Det1 = P.append(Instr::ctCt(Opcode::MulCtCt, Sxx, Syy));
+  int Det2 = P.append(Instr::ctCt(Opcode::MulCtCt, Sxy, Sxy));
+  int Det = P.append(Instr::ctCt(Opcode::SubCtCt, Det1, Det2));
+  int Sixteen = P.internConstant(PlainConstant{{16}});
+  int DetScaled = P.append(Instr::ctPt(Opcode::MulCtPt, Det, Sixteen));
+  int Trace = P.append(Instr::ctCt(Opcode::AddCtCt, Sxx, Syy));
+  int Trace2 = P.append(Instr::ctCt(Opcode::MulCtCt, Trace, Trace));
+  P.append(Instr::ctCt(Opcode::SubCtCt, DetScaled, Trace2));
+  return P;
+}
+
+} // namespace
+
+AppBundle kernels::sobelApp(const Program &GxProg, const Program &GyProg) {
+  DataLayout Layout;
+  Layout.Description = "5x5 bordered image; Sobel response gx^2 + gy^2 on "
+                       "the interior";
+  Layout.OutputMask = ImageGeom::interiorMask();
+  Layout.InputMasks = {ImageGeom::interiorMask()};
+
+  KernelSpec Spec = makeKernelSpec(
+      "Sobel", 1, Slots, Layout, [](const auto &In, auto Konst) {
+        auto [Gx, Gy] = referenceGradients(In[0], Konst);
+        std::vector<std::decay_t<decltype(In[0][0])>> Out(Slots, Konst(0));
+        for (int R = 1; R < Dim - 1; ++R)
+          for (int C = 1; C < Dim - 1; ++C) {
+            int I = ImageGeom::index(R, C);
+            Out[I] = Gx[I] * Gx[I] + Gy[I] * Gy[I];
+          }
+        return Out;
+      });
+
+  AppBundle App;
+  App.Name = "Sobel";
+  App.Spec = std::move(Spec);
+  App.Baseline = buildSobel(gxKernel().Baseline, gyKernel().Baseline);
+  App.Synthesized = buildSobel(GxProg, GyProg);
+  App.Notes = "27 vs 17 instructions at this layout (paper: 31 vs 21); the "
+              "10-instruction saving matches the paper exactly";
+  return App;
+}
+
+AppBundle kernels::harrisApp(const Program &GxProg, const Program &GyProg,
+                             const Program &BlurProg) {
+  DataLayout Layout;
+  Layout.Description = "5x5 bordered image; Harris response "
+                       "16*det(M) - trace(M)^2 with 2x2 structure windows";
+  // Valid where the 2x2 structure window covers only interior gradients.
+  std::vector<bool> Mask(Slots, false);
+  for (int R = 1; R <= 2; ++R)
+    for (int C = 1; C <= 2; ++C)
+      Mask[ImageGeom::index(R, C)] = true;
+  Layout.OutputMask = Mask;
+  Layout.InputMasks = {ImageGeom::interiorMask()};
+
+  KernelSpec Spec = makeKernelSpec(
+      "Harris", 1, Slots, Layout, [Mask](const auto &In, auto Konst) {
+        auto [Gx, Gy] = referenceGradients(In[0], Konst);
+        std::vector<std::decay_t<decltype(In[0][0])>> Ixx(Slots, Konst(0)),
+            Iyy(Slots, Konst(0)), Ixy(Slots, Konst(0));
+        for (size_t I = 0; I < Slots; ++I) {
+          Ixx[I] = Gx[I] * Gx[I];
+          Iyy[I] = Gy[I] * Gy[I];
+          Ixy[I] = Gx[I] * Gy[I];
+        }
+        auto Sxx = referenceBlur(Ixx, Konst);
+        auto Syy = referenceBlur(Iyy, Konst);
+        auto Sxy = referenceBlur(Ixy, Konst);
+        std::vector<std::decay_t<decltype(In[0][0])>> Out(Slots, Konst(0));
+        for (size_t I = 0; I < Slots; ++I) {
+          if (!Mask[I])
+            continue;
+          auto Det = Sxx[I] * Syy[I] - Sxy[I] * Sxy[I];
+          auto Trace = Sxx[I] + Syy[I];
+          Out[I] = Konst(16) * Det - Trace * Trace;
+        }
+        return Out;
+      });
+
+  AppBundle App;
+  App.Name = "Harris";
+  App.Spec = std::move(Spec);
+  App.Baseline = buildHarris(gxKernel().Baseline, gyKernel().Baseline,
+                             boxBlurKernel().Baseline);
+  App.Synthesized = buildHarris(GxProg, GyProg, BlurProg);
+  App.Notes = "structure windows use the 2x2 box-blur kernel; instruction "
+              "savings (52 -> 36) track the paper's 59 -> 43";
+  return App;
+}
+
+AppBundle kernels::sobelApp() {
+  return sobelApp(gxKernel().Synthesized, gyKernel().Synthesized);
+}
+
+AppBundle kernels::harrisApp() {
+  return harrisApp(gxKernel().Synthesized, gyKernel().Synthesized,
+                   boxBlurKernel().Synthesized);
+}

@@ -1,0 +1,108 @@
+//===- kernels/Kernels.h - The paper's evaluation kernels -------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eleven kernels of the paper's evaluation (Table 2 / Figure 4), each
+/// bundled with everything the experiments need:
+///
+///  * the kernel specification (reference + data layout),
+///  * a Porcupine sketch (component menu + rotation restriction),
+///  * the hand-written baseline, depth-optimized per the paper's
+///    best-practice rules (align in level 1, balanced reduction trees),
+///  * the known synthesized program (from the paper's figures, or derived
+///    with the same optimizations) used as a regression anchor and as the
+///    bench fallback when synthesis is skipped.
+///
+/// Layout conventions: images are 5x5 row-major in 25 slots; gradient
+/// kernels (Gx/Gy/Sobel/Harris) keep a one-pixel zero border so stencil
+/// rotations never wrap data (which also makes programs width-portable to
+/// the real ciphertext row). Vector kernels pack operands from slot 0 and
+/// reduce into slot 0 with left rotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_KERNELS_KERNELS_H
+#define PORCUPINE_KERNELS_KERNELS_H
+
+#include "quill/Program.h"
+#include "spec/KernelSpec.h"
+#include "synth/Sketch.h"
+
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace kernels {
+
+/// Everything the experiments need for one kernel.
+struct KernelBundle {
+  KernelSpec Spec;
+  synth::Sketch Sketch;
+  /// Depth-optimized hand-written implementation (the paper's baseline).
+  quill::Program Baseline;
+  /// The synthesized program reported by the paper (regression anchor).
+  quill::Program Synthesized;
+  /// Deviations from the paper's exact instruction counts, if any.
+  std::string Notes;
+};
+
+/// Image geometry shared by the stencil kernels.
+struct ImageGeom {
+  static constexpr int Dim = 5;
+  static constexpr size_t Slots = Dim * Dim;
+  static int index(int Row, int Col) { return Row * Dim + Col; }
+  /// Mask of interior pixels (one-pixel border excluded).
+  static std::vector<bool> interiorMask();
+  /// Mask where a WinH x WinW window anchored at (r, c) stays in bounds.
+  static std::vector<bool> windowMask(int WinH, int WinW);
+  /// All-true mask.
+  static std::vector<bool> fullMask();
+};
+
+// Vector kernels.
+KernelBundle dotProductKernel();       ///< 8-wide dot product, result slot 0.
+KernelBundle hammingDistanceKernel();  ///< 4-wide sum of squared diffs.
+KernelBundle l2DistanceKernel();       ///< 8-wide squared L2 distance.
+KernelBundle linearRegressionKernel(); ///< w.x + b over 2 features.
+KernelBundle polyRegressionKernel();   ///< a*x^2 + b*x + c, slot-parallel.
+
+// Image kernels (5x5 packed images).
+KernelBundle boxBlurKernel();      ///< 2x2 window sum (paper Figure 5).
+KernelBundle gxKernel();           ///< x-gradient (paper Figure 6).
+KernelBundle gyKernel();           ///< y-gradient.
+KernelBundle robertsCrossKernel(); ///< Roberts cross response.
+
+/// All nine directly synthesized kernels, in the paper's Table 2 order.
+std::vector<KernelBundle> allKernels();
+
+/// Multi-step applications (paper section 6.3): stitched from kernel
+/// programs plus a combination stage.
+struct AppBundle {
+  std::string Name;
+  KernelSpec Spec;
+  quill::Program Baseline;
+  quill::Program Synthesized;
+  std::string Notes;
+};
+
+/// Sobel operator: Gx^2 + Gy^2, composed from the gradient kernels.
+/// \p GxProg / \p GyProg supply the synthesized stages (pass the bundles'
+/// Synthesized members, or freshly synthesized programs).
+AppBundle sobelApp(const quill::Program &GxProg, const quill::Program &GyProg);
+
+/// Harris corner response composed from Gx, Gy, and box blur:
+/// 16*(Sxx*Syy - Sxy^2) - (Sxx + Syy)^2 over blurred gradient products.
+AppBundle harrisApp(const quill::Program &GxProg, const quill::Program &GyProg,
+                    const quill::Program &BlurProg);
+
+/// Convenience overloads using the bundled paper programs.
+AppBundle sobelApp();
+AppBundle harrisApp();
+
+} // namespace kernels
+} // namespace porcupine
+
+#endif // PORCUPINE_KERNELS_KERNELS_H

@@ -1,0 +1,284 @@
+//===- kernels/VectorKernels.cpp - Linear-algebra / ML kernels -------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Dot product, Hamming distance, L2 distance, linear regression, and
+/// polynomial regression: the machine-learning building blocks of the
+/// paper's evaluation. Reductions follow the packed-vector pattern of paper
+/// Figure 2 (multiply, then log2(n) rotate-add steps into slot 0).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+using namespace porcupine;
+using namespace porcupine::kernels;
+using namespace porcupine::quill;
+using namespace porcupine::synth;
+
+namespace {
+
+/// Appends a left-rotation reduction tree summing \p Width slots into slot
+/// 0 of \p Value; returns the result id.
+int appendReduction(Program &P, int Value, size_t Width) {
+  for (size_t Step = Width / 2; Step >= 1; Step /= 2) {
+    int Rot = P.append(Instr::rot(Value, static_cast<int>(Step)));
+    Value = P.append(Instr::ctCt(Opcode::AddCtCt, Value, Rot));
+  }
+  return Value;
+}
+
+/// Output mask with only slot 0 constrained.
+std::vector<bool> slotZeroMask(size_t Width) {
+  std::vector<bool> Mask(Width, false);
+  Mask[0] = true;
+  return Mask;
+}
+
+} // namespace
+
+std::vector<bool> ImageGeom::interiorMask() {
+  std::vector<bool> Mask(Slots, false);
+  for (int R = 1; R < Dim - 1; ++R)
+    for (int C = 1; C < Dim - 1; ++C)
+      Mask[index(R, C)] = true;
+  return Mask;
+}
+
+std::vector<bool> ImageGeom::windowMask(int WinH, int WinW) {
+  std::vector<bool> Mask(Slots, false);
+  for (int R = 0; R + WinH <= Dim; ++R)
+    for (int C = 0; C + WinW <= Dim; ++C)
+      Mask[index(R, C)] = true;
+  return Mask;
+}
+
+std::vector<bool> ImageGeom::fullMask() {
+  return std::vector<bool>(Slots, true);
+}
+
+KernelBundle kernels::dotProductKernel() {
+  constexpr size_t W = 8;
+  DataLayout Layout;
+  Layout.Description =
+      "two 8-element vectors packed from slot 0; scalar result in slot 0";
+  Layout.OutputMask = slotZeroMask(W);
+
+  KernelSpec Spec = makeKernelSpec(
+      "Dot Product", 2, W, Layout, [](const auto &In, auto Konst) {
+        auto Acc = Konst(0);
+        for (size_t I = 0; I < W; ++I)
+          Acc = Acc + In[0][I] * In[1][I];
+        std::vector<std::decay_t<decltype(Acc)>> Out(W, Konst(0));
+        Out[0] = Acc;
+        return Out;
+      });
+
+  Sketch Sk;
+  Sk.NumInputs = 2;
+  Sk.VectorSize = W;
+  Sk.Menu = {Component::ctCt(Opcode::MulCtCt, OperandKind::Ct, OperandKind::Ct),
+             Component::ctCt(Opcode::AddCtCt)};
+  Sk.Rotations = RotationSet::powersOfTwo(W);
+
+  // Depth-optimal and instruction-optimal coincide here (paper 7.2): the
+  // baseline and the synthesized kernel are the same 7-instruction program.
+  Program Base;
+  Base.NumInputs = 2;
+  Base.VectorSize = W;
+  int Prod = Base.append(Instr::ctCt(Opcode::MulCtCt, 0, 1));
+  appendReduction(Base, Prod, W);
+
+  KernelBundle B;
+  B.Spec = std::move(Spec);
+  B.Sketch = std::move(Sk);
+  B.Baseline = Base;
+  B.Synthesized = Base;
+  return B;
+}
+
+KernelBundle kernels::hammingDistanceKernel() {
+  constexpr size_t W = 4;
+  DataLayout Layout;
+  Layout.Description = "two 4-element vectors; sum of squared differences "
+                       "(= Hamming distance on binary data) in slot 0";
+  Layout.OutputMask = slotZeroMask(W);
+
+  KernelSpec Spec = makeKernelSpec(
+      "Hamming Distance", 2, W, Layout, [](const auto &In, auto Konst) {
+        auto Acc = Konst(0);
+        for (size_t I = 0; I < W; ++I) {
+          auto D = In[0][I] - In[1][I];
+          Acc = Acc + D * D;
+        }
+        std::vector<std::decay_t<decltype(Acc)>> Out(W, Konst(0));
+        Out[0] = Acc;
+        return Out;
+      });
+
+  Sketch Sk;
+  Sk.NumInputs = 2;
+  Sk.VectorSize = W;
+  Sk.Menu = {Component::ctCt(Opcode::SubCtCt, OperandKind::Ct, OperandKind::Ct),
+             Component::ctCt(Opcode::MulCtCt, OperandKind::Ct, OperandKind::Ct),
+             Component::ctCt(Opcode::AddCtCt)};
+  Sk.Rotations = RotationSet::powersOfTwo(W);
+
+  Program Base;
+  Base.NumInputs = 2;
+  Base.VectorSize = W;
+  int D = Base.append(Instr::ctCt(Opcode::SubCtCt, 0, 1));
+  int Sq = Base.append(Instr::ctCt(Opcode::MulCtCt, D, D));
+  appendReduction(Base, Sq, W);
+
+  KernelBundle B;
+  B.Spec = std::move(Spec);
+  B.Sketch = std::move(Sk);
+  B.Baseline = Base;
+  B.Synthesized = Base; // Paper: parity (0.1%).
+  return B;
+}
+
+KernelBundle kernels::l2DistanceKernel() {
+  constexpr size_t W = 8;
+  DataLayout Layout;
+  Layout.Description =
+      "two 8-element vectors; squared L2 distance in slot 0";
+  Layout.OutputMask = slotZeroMask(W);
+
+  KernelSpec Spec = makeKernelSpec(
+      "L2 Distance", 2, W, Layout, [](const auto &In, auto Konst) {
+        auto Acc = Konst(0);
+        for (size_t I = 0; I < W; ++I) {
+          auto D = In[0][I] - In[1][I];
+          Acc = Acc + D * D;
+        }
+        std::vector<std::decay_t<decltype(Acc)>> Out(W, Konst(0));
+        Out[0] = Acc;
+        return Out;
+      });
+
+  Sketch Sk;
+  Sk.NumInputs = 2;
+  Sk.VectorSize = W;
+  Sk.Menu = {Component::ctCt(Opcode::SubCtCt, OperandKind::Ct, OperandKind::Ct),
+             Component::ctCt(Opcode::MulCtCt, OperandKind::Ct, OperandKind::Ct),
+             Component::ctCt(Opcode::AddCtCt)};
+  Sk.Rotations = RotationSet::powersOfTwo(W);
+
+  Program Base;
+  Base.NumInputs = 2;
+  Base.VectorSize = W;
+  int D = Base.append(Instr::ctCt(Opcode::SubCtCt, 0, 1));
+  int Sq = Base.append(Instr::ctCt(Opcode::MulCtCt, D, D));
+  appendReduction(Base, Sq, W);
+
+  KernelBundle B;
+  B.Spec = std::move(Spec);
+  B.Sketch = std::move(Sk);
+  B.Baseline = Base;
+  B.Synthesized = Base; // Paper: parity (-0.9%).
+  B.Notes = "8 instructions at our 8-wide layout (paper reports 9 at its "
+            "unstated vector length)";
+  return B;
+}
+
+KernelBundle kernels::linearRegressionKernel() {
+  constexpr size_t W = 2;
+  DataLayout Layout;
+  Layout.Description = "weights w, features x, bias b packed 2-wide; "
+                       "prediction w.x + b in slot 0";
+  Layout.OutputMask = slotZeroMask(W);
+
+  KernelSpec Spec = makeKernelSpec(
+      "Linear Regression", 3, W, Layout, [](const auto &In, auto Konst) {
+        auto Acc = Konst(0);
+        for (size_t I = 0; I < W; ++I)
+          Acc = Acc + In[0][I] * In[1][I];
+        Acc = Acc + In[2][0];
+        std::vector<std::decay_t<decltype(Acc)>> Out(W, Konst(0));
+        Out[0] = Acc;
+        return Out;
+      });
+
+  Sketch Sk;
+  Sk.NumInputs = 3;
+  Sk.VectorSize = W;
+  Sk.Menu = {Component::ctCt(Opcode::MulCtCt, OperandKind::Ct, OperandKind::Ct),
+             Component::ctCt(Opcode::AddCtCt)};
+  Sk.Rotations = RotationSet::powersOfTwo(W);
+
+  // mul, rot, add, add-bias: 4 instructions, depth 4 (paper Table 2).
+  Program Base;
+  Base.NumInputs = 3;
+  Base.VectorSize = W;
+  int Prod = Base.append(Instr::ctCt(Opcode::MulCtCt, 0, 1));
+  int Sum = appendReduction(Base, Prod, W);
+  Base.append(Instr::ctCt(Opcode::AddCtCt, Sum, 2));
+
+  KernelBundle B;
+  B.Spec = std::move(Spec);
+  B.Sketch = std::move(Sk);
+  B.Baseline = Base;
+  B.Synthesized = Base; // Paper: parity (0.6%).
+  return B;
+}
+
+KernelBundle kernels::polyRegressionKernel() {
+  constexpr size_t W = 4;
+  DataLayout Layout;
+  Layout.Description = "slot-parallel a*x^2 + b*x + c over 4 independent "
+                       "samples; inputs x, a, b, c";
+  Layout.OutputMask = std::vector<bool>(W, true);
+
+  KernelSpec Spec = makeKernelSpec(
+      "Polynomial Regression", 4, W, Layout, [](const auto &In, auto Konst) {
+        (void)Konst;
+        std::vector<std::decay_t<decltype(In[0][0])>> Out;
+        for (size_t I = 0; I < W; ++I)
+          Out.push_back(In[1][I] * In[0][I] * In[0][I] +
+                        In[2][I] * In[0][I] + In[3][I]);
+        return Out;
+      });
+
+  Sketch Sk;
+  Sk.NumInputs = 4;
+  Sk.VectorSize = W;
+  Sk.Menu = {Component::ctCt(Opcode::MulCtCt, OperandKind::Ct, OperandKind::Ct),
+             Component::ctCt(Opcode::AddCtCt, OperandKind::Ct,
+                             OperandKind::Ct)};
+  Sk.Rotations = RotationSet::explicitAmounts(W, {});
+
+  // Baseline (depth-first best practice): evaluate both products early,
+  // then combine: 5 instructions, 3 ct-ct multiplies.
+  Program Base;
+  Base.NumInputs = 4;
+  Base.VectorSize = W;
+  int X2 = Base.append(Instr::ctCt(Opcode::MulCtCt, 0, 0));
+  int AX2 = Base.append(Instr::ctCt(Opcode::MulCtCt, X2, 1));
+  int BX = Base.append(Instr::ctCt(Opcode::MulCtCt, 0, 2));
+  int Sum = Base.append(Instr::ctCt(Opcode::AddCtCt, AX2, BX));
+  Base.append(Instr::ctCt(Opcode::AddCtCt, Sum, 3));
+
+  // Synthesized: the factorization the paper highlights,
+  // (a*x + b)*x + c: 4 instructions, only 2 ct-ct multiplies.
+  Program Synth;
+  Synth.NumInputs = 4;
+  Synth.VectorSize = W;
+  int AX = Synth.append(Instr::ctCt(Opcode::MulCtCt, 0, 1));
+  int AXB = Synth.append(Instr::ctCt(Opcode::AddCtCt, AX, 2));
+  int AXBX = Synth.append(Instr::ctCt(Opcode::MulCtCt, AXB, 0));
+  Synth.append(Instr::ctCt(Opcode::AddCtCt, AXBX, 3));
+
+  KernelBundle B;
+  B.Spec = std::move(Spec);
+  B.Sketch = std::move(Sk);
+  B.Baseline = Base;
+  B.Synthesized = Synth;
+  B.Notes = "slot-parallel layout: 5->4 instructions and 3->2 ct-ct "
+            "multiplies (paper reports 9->7 at its layout); the win comes "
+            "from the same (ax+b)x factorization";
+  return B;
+}

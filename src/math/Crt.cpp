@@ -1,0 +1,61 @@
+//===- math/Crt.cpp - Chinese-remainder bases -----------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Crt.h"
+
+#include "math/ModArith.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+CrtBasis::CrtBasis(std::vector<uint64_t> PrimesIn) : Primes(std::move(PrimesIn)) {
+  assert(!Primes.empty() && "CRT basis needs at least one prime");
+  Q = BigInt::fromU64(1);
+  for (uint64_t P : Primes)
+    Q = Q.mulWord(P);
+  HalfQ = Q.shiftRight(1);
+
+  PuncturedProducts.reserve(Primes.size());
+  InvPunctured.reserve(Primes.size());
+  for (uint64_t P : Primes) {
+    BigInt Punctured = BigInt::fromU64(1);
+    for (uint64_t Other : Primes)
+      if (Other != P)
+        Punctured = Punctured.mulWord(Other);
+    PuncturedProducts.push_back(Punctured);
+    InvPunctured.push_back(invMod(Punctured.modWord(P), P));
+  }
+}
+
+std::vector<uint64_t> CrtBasis::decompose(const BigInt &Value) const {
+  std::vector<uint64_t> Residues(Primes.size());
+  for (size_t I = 0; I < Primes.size(); ++I)
+    Residues[I] = Value.modWord(Primes[I]);
+  return Residues;
+}
+
+BigInt CrtBasis::reconstruct(const std::vector<uint64_t> &Residues) const {
+  assert(Residues.size() == Primes.size() && "residue count mismatch");
+  // X = sum_i ((x_i * inv_i) mod q_i) * (Q / q_i), reduced mod Q. The sum of
+  // k terms each below Q is below k*Q, so at most k-1 subtractions.
+  BigInt Sum;
+  for (size_t I = 0; I < Primes.size(); ++I) {
+    uint64_t Coef = mulMod(Residues[I] % Primes[I], InvPunctured[I], Primes[I]);
+    Sum += PuncturedProducts[I].mulWord(Coef);
+  }
+  while (Sum >= Q)
+    Sum -= Q;
+  return Sum;
+}
+
+BigInt CrtBasis::reconstructCentered(
+    const std::vector<uint64_t> &Residues) const {
+  BigInt X = reconstruct(Residues);
+  if (X > HalfQ)
+    X -= Q;
+  return X;
+}

@@ -1,0 +1,62 @@
+//===- math/Crt.h - Chinese-remainder bases ---------------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRT residue-number-system support. The BFV coefficient modulus Q is a
+/// product of word-sized NTT primes; ring elements live as per-prime residue
+/// vectors, and CrtBasis converts between residues and exact wide integers
+/// for the operations that need them (tensor-product scaling, decryption,
+/// key-switch digit decomposition, noise measurement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_MATH_CRT_H
+#define PORCUPINE_MATH_CRT_H
+
+#include "math/BigInt.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace porcupine {
+
+/// An RNS basis q_0, ..., q_{k-1} of pairwise-coprime word primes with
+/// precomputed reconstruction constants.
+class CrtBasis {
+public:
+  explicit CrtBasis(std::vector<uint64_t> Primes);
+
+  const std::vector<uint64_t> &primes() const { return Primes; }
+  size_t count() const { return Primes.size(); }
+
+  /// The full modulus Q = prod q_i.
+  const BigInt &modulus() const { return Q; }
+
+  /// Q / 2 rounded down, used for centered reduction.
+  const BigInt &halfModulus() const { return HalfQ; }
+
+  /// Maps a wide integer to its residue vector (canonical [0, q_i)).
+  std::vector<uint64_t> decompose(const BigInt &Value) const;
+
+  /// Reconstructs the canonical representative X in [0, Q) from residues.
+  BigInt reconstruct(const std::vector<uint64_t> &Residues) const;
+
+  /// Reconstructs the centered representative in (-Q/2, Q/2].
+  BigInt reconstructCentered(const std::vector<uint64_t> &Residues) const;
+
+private:
+  std::vector<uint64_t> Primes;
+  BigInt Q;
+  BigInt HalfQ;
+  /// PuncturedProducts[i] = Q / q_i.
+  std::vector<BigInt> PuncturedProducts;
+  /// InvPunctured[i] = (Q / q_i)^-1 mod q_i.
+  std::vector<uint64_t> InvPunctured;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_MATH_CRT_H

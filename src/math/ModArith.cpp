@@ -1,0 +1,43 @@
+//===- math/ModArith.cpp - 64-bit modular arithmetic ----------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/ModArith.h"
+
+using namespace porcupine;
+
+uint64_t porcupine::powMod(uint64_t Base, uint64_t Exp, uint64_t Q) {
+  assert(Q != 0);
+  uint64_t Result = 1 % Q;
+  uint64_t Acc = Base % Q;
+  while (Exp != 0) {
+    if (Exp & 1)
+      Result = mulMod(Result, Acc, Q);
+    Acc = mulMod(Acc, Acc, Q);
+    Exp >>= 1;
+  }
+  return Result;
+}
+
+uint64_t porcupine::invMod(uint64_t A, uint64_t Q) {
+  assert(A % Q != 0 && "cannot invert zero");
+  // Extended Euclid over signed 128-bit to avoid overflow on coefficient
+  // updates.
+  __int128 T = 0, NewT = 1;
+  __int128 R = Q, NewR = A % Q;
+  while (NewR != 0) {
+    __int128 Quot = R / NewR;
+    __int128 Tmp = T - Quot * NewT;
+    T = NewT;
+    NewT = Tmp;
+    Tmp = R - Quot * NewR;
+    R = NewR;
+    NewR = Tmp;
+  }
+  assert(R == 1 && "operand not coprime with the modulus");
+  if (T < 0)
+    T += Q;
+  return static_cast<uint64_t>(T);
+}

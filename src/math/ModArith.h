@@ -1,0 +1,75 @@
+//===- math/ModArith.h - 64-bit modular arithmetic --------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Modular arithmetic over word-sized moduli. These primitives back every
+/// layer of the stack: the NTT, the BFV ring arithmetic, the batching
+/// encoder, and the symbolic polynomial algebra used for verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_MATH_MODARITH_H
+#define PORCUPINE_MATH_MODARITH_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace porcupine {
+
+/// Adds two residues modulo \p Q. Operands must already be reduced.
+inline uint64_t addMod(uint64_t A, uint64_t B, uint64_t Q) {
+  assert(A < Q && B < Q && "operands must be reduced");
+  uint64_t S = A + B; // May wrap for Q > 2^63; the test below handles it.
+  if (S < A || S >= Q)
+    S -= Q;
+  return S;
+}
+
+/// Subtracts \p B from \p A modulo \p Q. Operands must already be reduced.
+inline uint64_t subMod(uint64_t A, uint64_t B, uint64_t Q) {
+  assert(A < Q && B < Q && "operands must be reduced");
+  return A >= B ? A - B : A + Q - B;
+}
+
+/// Negates \p A modulo \p Q.
+inline uint64_t negMod(uint64_t A, uint64_t Q) {
+  assert(A < Q && "operand must be reduced");
+  return A == 0 ? 0 : Q - A;
+}
+
+/// Multiplies two residues modulo \p Q using 128-bit intermediates.
+inline uint64_t mulMod(uint64_t A, uint64_t B, uint64_t Q) {
+  assert(Q != 0);
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(A) * B % Q);
+}
+
+/// Raises \p Base to \p Exp modulo \p Q by square-and-multiply.
+uint64_t powMod(uint64_t Base, uint64_t Exp, uint64_t Q);
+
+/// Returns the inverse of \p A modulo \p Q via the extended Euclidean
+/// algorithm. \p A must be coprime with \p Q (asserted).
+uint64_t invMod(uint64_t A, uint64_t Q);
+
+/// Maps a signed value into the canonical residue range [0, Q).
+inline uint64_t toResidue(int64_t V, uint64_t Q) {
+  int64_t R = V % static_cast<int64_t>(Q);
+  if (R < 0)
+    R += static_cast<int64_t>(Q);
+  return static_cast<uint64_t>(R);
+}
+
+/// Maps a residue in [0, Q) to its centered representative in
+/// (-Q/2, Q/2].
+inline int64_t toCentered(uint64_t R, uint64_t Q) {
+  assert(R < Q && "operand must be reduced");
+  if (R > Q / 2)
+    return static_cast<int64_t>(R) - static_cast<int64_t>(Q);
+  return static_cast<int64_t>(R);
+}
+
+} // namespace porcupine
+
+#endif // PORCUPINE_MATH_MODARITH_H

@@ -1,0 +1,149 @@
+//===- math/Ntt.cpp - Negacyclic number-theoretic transform ---------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Ntt.h"
+
+#include "math/ModArith.h"
+#include "math/Primes.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+static unsigned log2Exact(size_t N) {
+  unsigned L = 0;
+  while ((size_t(1) << L) < N)
+    ++L;
+  assert((size_t(1) << L) == N && "NTT length must be a power of two");
+  return L;
+}
+
+static size_t reverseBits(size_t X, unsigned Bits) {
+  size_t R = 0;
+  for (unsigned I = 0; I < Bits; ++I)
+    R |= ((X >> I) & 1) << (Bits - 1 - I);
+  return R;
+}
+
+/// Shoup precomputation: floor(W * 2^64 / P), enabling a modular multiply by
+/// the fixed constant W with two machine multiplies and no division.
+static uint64_t shoupPrecompute(uint64_t W, uint64_t P) {
+  return static_cast<uint64_t>((static_cast<unsigned __int128>(W) << 64) / P);
+}
+
+/// Computes (X * W) mod P given the Shoup pair (W, WShoup). Requires X < P
+/// and W < P.
+static inline uint64_t mulModShoup(uint64_t X, uint64_t W, uint64_t WShoup,
+                                   uint64_t P) {
+  uint64_t Approx = static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(X) * WShoup) >> 64);
+  uint64_t R = X * W - Approx * P;
+  return R >= P ? R - P : R;
+}
+
+NttTables::NttTables(size_t N, uint64_t P) : N(N), P(P) {
+  LogN = log2Exact(N);
+  assert(P < (1ull << 62) && "NTT modulus must leave headroom for Shoup");
+  assert((P - 1) % (2 * N) == 0 && "prime is not NTT-friendly for this N");
+  uint64_t Psi = findMinimalPrimitiveRoot(2 * N, P);
+  uint64_t PsiInv = invMod(Psi, P);
+
+  PsiBitRev.resize(N);
+  PsiBitRevShoup.resize(N);
+  InvPsiBitRev.resize(N);
+  InvPsiBitRevShoup.resize(N);
+  uint64_t Power = 1, InvPower = 1;
+  for (size_t I = 0; I < N; ++I) {
+    size_t Rev = reverseBits(I, LogN);
+    PsiBitRev[Rev] = Power;
+    PsiBitRevShoup[Rev] = shoupPrecompute(Power, P);
+    InvPsiBitRev[Rev] = InvPower;
+    InvPsiBitRevShoup[Rev] = shoupPrecompute(InvPower, P);
+    Power = mulMod(Power, Psi, P);
+    InvPower = mulMod(InvPower, PsiInv, P);
+  }
+  NInv = invMod(N % P, P);
+  NInvShoup = shoupPrecompute(NInv, P);
+}
+
+void NttTables::forwardTransform(std::vector<uint64_t> &Values) const {
+  assert(Values.size() == N && "length mismatch");
+  // Cooley-Tukey butterflies with the negacyclic twist absorbed into the
+  // twiddle table (Longa-Naehrig / SEAL formulation).
+  size_t T = N;
+  for (size_t M = 1; M < N; M <<= 1) {
+    T >>= 1;
+    for (size_t I = 0; I < M; ++I) {
+      uint64_t S = PsiBitRev[M + I];
+      uint64_t SShoup = PsiBitRevShoup[M + I];
+      size_t J1 = 2 * I * T;
+      for (size_t J = J1; J < J1 + T; ++J) {
+        uint64_t U = Values[J];
+        uint64_t V = mulModShoup(Values[J + T], S, SShoup, P);
+        Values[J] = addMod(U, V, P);
+        Values[J + T] = subMod(U, V, P);
+      }
+    }
+  }
+}
+
+void NttTables::inverseTransform(std::vector<uint64_t> &Values) const {
+  assert(Values.size() == N && "length mismatch");
+  // Gentleman-Sande butterflies.
+  size_t T = 1;
+  for (size_t M = N; M > 1; M >>= 1) {
+    size_t J1 = 0;
+    size_t H = M >> 1;
+    for (size_t I = 0; I < H; ++I) {
+      uint64_t S = InvPsiBitRev[H + I];
+      uint64_t SShoup = InvPsiBitRevShoup[H + I];
+      for (size_t J = J1; J < J1 + T; ++J) {
+        uint64_t U = Values[J];
+        uint64_t V = Values[J + T];
+        Values[J] = addMod(U, V, P);
+        Values[J + T] = mulModShoup(subMod(U, V, P), S, SShoup, P);
+      }
+      J1 += 2 * T;
+    }
+    T <<= 1;
+  }
+  for (auto &V : Values)
+    V = mulModShoup(V, NInv, NInvShoup, P);
+}
+
+std::vector<uint64_t>
+NttTables::multiply(const std::vector<uint64_t> &A,
+                    const std::vector<uint64_t> &B) const {
+  std::vector<uint64_t> FA = A, FB = B;
+  forwardTransform(FA);
+  forwardTransform(FB);
+  for (size_t I = 0; I < N; ++I)
+    FA[I] = mulMod(FA[I], FB[I], P);
+  inverseTransform(FA);
+  return FA;
+}
+
+std::vector<uint64_t>
+porcupine::naiveNegacyclicMultiply(const std::vector<uint64_t> &A,
+                                   const std::vector<uint64_t> &B,
+                                   uint64_t P) {
+  size_t N = A.size();
+  assert(B.size() == N && "length mismatch");
+  std::vector<uint64_t> Out(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    if (A[I] == 0)
+      continue;
+    for (size_t J = 0; J < N; ++J) {
+      uint64_t Prod = mulMod(A[I] % P, B[J] % P, P);
+      size_t K = I + J;
+      if (K < N)
+        Out[K] = addMod(Out[K], Prod, P);
+      else // x^N = -1: wrap with sign flip.
+        Out[K - N] = subMod(Out[K - N], Prod, P);
+    }
+  }
+  return Out;
+}

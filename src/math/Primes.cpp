@@ -1,0 +1,116 @@
+//===- math/Primes.cpp - Primality and NTT-friendly primes ----------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Primes.h"
+
+#include "math/ModArith.h"
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace porcupine;
+
+/// One Miller-Rabin round with witness \p A; returns false if \p N is proven
+/// composite.
+static bool millerRabinRound(uint64_t N, uint64_t A, uint64_t D, unsigned R) {
+  uint64_t X = powMod(A % N, D, N);
+  if (X == 1 || X == N - 1)
+    return true;
+  for (unsigned I = 1; I < R; ++I) {
+    X = mulMod(X, X, N);
+    if (X == N - 1)
+      return true;
+  }
+  return false;
+}
+
+bool porcupine::isPrime(uint64_t N) {
+  if (N < 2)
+    return false;
+  for (uint64_t P : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (N == P)
+      return true;
+    if (N % P == 0)
+      return false;
+  }
+  uint64_t D = N - 1;
+  unsigned R = 0;
+  while ((D & 1) == 0) {
+    D >>= 1;
+    ++R;
+  }
+  // This witness set is deterministic for all N < 2^64 (Sorenson & Webster).
+  for (uint64_t A : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull})
+    if (!millerRabinRound(N, A, D, R))
+      return false;
+  return true;
+}
+
+uint64_t porcupine::generateNttPrime(unsigned Bits, uint64_t Factor,
+                                     const std::vector<uint64_t> &Exclude) {
+  assert(Bits >= 2 && Bits <= 62 && "prime size out of supported range");
+  assert(Factor != 0);
+  uint64_t Top = 1ull << Bits;
+  // Start from the largest candidate = 1 mod Factor below 2^Bits and walk
+  // down in steps of Factor.
+  uint64_t Candidate = ((Top - 2) / Factor) * Factor + 1;
+  while (Candidate > Factor) {
+    if (isPrime(Candidate) &&
+        std::find(Exclude.begin(), Exclude.end(), Candidate) == Exclude.end())
+      return Candidate;
+    Candidate -= Factor;
+  }
+  fatalError("no NTT prime exists with the requested size and factor");
+}
+
+std::vector<uint64_t> porcupine::generateNttPrimes(unsigned Bits,
+                                                   uint64_t Factor,
+                                                   unsigned Count) {
+  std::vector<uint64_t> Primes;
+  Primes.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    Primes.push_back(generateNttPrime(Bits, Factor, Primes));
+  return Primes;
+}
+
+/// Checks that Psi is a primitive 2N-th root: Psi^N = -1 implies the order
+/// is exactly 2N (it divides 2N, does not divide N).
+static bool isPrimitiveRoot(uint64_t Psi, uint64_t TwoN, uint64_t P) {
+  if (Psi == 0)
+    return false;
+  return powMod(Psi, TwoN / 2, P) == P - 1;
+}
+
+uint64_t porcupine::findPrimitiveRoot(uint64_t TwoN, uint64_t P) {
+  assert((P - 1) % TwoN == 0 && "2N must divide P-1 for an NTT prime");
+  Rng R(/*Seed=*/P ^ TwoN);
+  for (unsigned Attempt = 0; Attempt < 4096; ++Attempt) {
+    uint64_t X = R.below(P - 2) + 2;
+    uint64_t Psi = powMod(X, (P - 1) / TwoN, P);
+    if (isPrimitiveRoot(Psi, TwoN, P))
+      return Psi;
+  }
+  fatalError("failed to find a primitive root (is P prime?)");
+}
+
+uint64_t porcupine::findMinimalPrimitiveRoot(uint64_t TwoN, uint64_t P) {
+  uint64_t Root = findPrimitiveRoot(TwoN, P);
+  // All primitive roots are odd powers of any one of them; scan for the
+  // smallest to make tables deterministic across runs.
+  uint64_t Generator = mulMod(Root, Root, P);
+  uint64_t Current = Root;
+  uint64_t Best = Root;
+  for (uint64_t I = 0; I < TwoN / 2; ++I) {
+    if (Current < Best)
+      Best = Current;
+    Current = mulMod(Current, Generator, P);
+  }
+  return Best;
+}

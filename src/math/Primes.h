@@ -1,0 +1,45 @@
+//===- math/Primes.h - Primality and NTT-friendly primes --------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primality testing and generation of NTT-friendly primes (primes P with
+/// P = 1 mod 2N), used both for BFV coefficient-modulus chains and for the
+/// auxiliary CRT basis that makes ciphertext multiplication exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_MATH_PRIMES_H
+#define PORCUPINE_MATH_PRIMES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace porcupine {
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs.
+bool isPrime(uint64_t N);
+
+/// Returns the largest prime P < 2^\p Bits with P = 1 (mod \p Factor) that
+/// does not appear in \p Exclude. Aborts if none exists in range.
+uint64_t generateNttPrime(unsigned Bits, uint64_t Factor,
+                          const std::vector<uint64_t> &Exclude = {});
+
+/// Returns \p Count distinct NTT-friendly primes just below 2^\p Bits, each
+/// congruent to 1 mod \p Factor.
+std::vector<uint64_t> generateNttPrimes(unsigned Bits, uint64_t Factor,
+                                        unsigned Count);
+
+/// Finds a primitive 2N-th root of unity modulo prime \p P, i.e. an element
+/// Psi with Psi^N = -1 (mod P). Requires 2N to divide P-1.
+uint64_t findPrimitiveRoot(uint64_t TwoN, uint64_t P);
+
+/// Returns the minimal primitive 2N-th root of unity (useful for
+/// reproducible tables).
+uint64_t findMinimalPrimitiveRoot(uint64_t TwoN, uint64_t P);
+
+} // namespace porcupine
+
+#endif // PORCUPINE_MATH_PRIMES_H

@@ -1,0 +1,87 @@
+//===- quill/Analysis.cpp - Static analyses over Quill programs ------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quill/Analysis.h"
+
+#include <algorithm>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+std::vector<int> quill::computeDepths(const Program &P) {
+  std::vector<int> Depth(P.numValues(), 0);
+  for (size_t K = 0; K < P.Instructions.size(); ++K) {
+    const Instr &I = P.Instructions[K];
+    int D = Depth[I.Src0];
+    if (isCtCt(I.Op))
+      D = std::max(D, Depth[I.Src1]);
+    Depth[P.valueOf(K)] = D + 1;
+  }
+  return Depth;
+}
+
+std::vector<int> quill::computeMultiplicativeDepths(const Program &P) {
+  std::vector<int> Depth(P.numValues(), 0);
+  for (size_t K = 0; K < P.Instructions.size(); ++K) {
+    const Instr &I = P.Instructions[K];
+    int D = Depth[I.Src0];
+    if (isCtCt(I.Op))
+      D = std::max(D, Depth[I.Src1]);
+    if (isMultiply(I.Op))
+      ++D;
+    Depth[P.valueOf(K)] = D;
+  }
+  return Depth;
+}
+
+int quill::programDepth(const Program &P) {
+  return computeDepths(P)[P.outputId()];
+}
+
+int quill::programMultiplicativeDepth(const Program &P) {
+  return computeMultiplicativeDepths(P)[P.outputId()];
+}
+
+InstrMix quill::countInstructions(const Program &P) {
+  InstrMix Mix;
+  Mix.Total = static_cast<int>(P.Instructions.size());
+  for (const Instr &I : P.Instructions) {
+    switch (I.Op) {
+    case Opcode::RotCt:
+      ++Mix.Rotations;
+      break;
+    case Opcode::MulCtCt:
+      ++Mix.CtCtMuls;
+      break;
+    case Opcode::MulCtPt:
+      ++Mix.CtPtMuls;
+      break;
+    default:
+      ++Mix.AddsSubs;
+      break;
+    }
+  }
+  return Mix;
+}
+
+std::vector<int> quill::deadValues(const Program &P) {
+  std::vector<bool> Live(P.numValues(), false);
+  Live[P.outputId()] = true;
+  for (size_t K = P.Instructions.size(); K-- > 0;) {
+    int Id = P.valueOf(K);
+    if (!Live[Id])
+      continue;
+    const Instr &I = P.Instructions[K];
+    Live[I.Src0] = true;
+    if (isCtCt(I.Op))
+      Live[I.Src1] = true;
+  }
+  std::vector<int> Dead;
+  for (size_t K = 0; K < P.Instructions.size(); ++K)
+    if (!Live[P.valueOf(K)])
+      Dead.push_back(P.valueOf(K));
+  return Dead;
+}

@@ -1,0 +1,57 @@
+//===- quill/Analysis.h - Static analyses over Quill programs ---*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static program properties the paper reports and optimizes:
+/// instruction count, logical depth (paper Table 2's "Depth"), and
+/// multiplicative depth (the noise model of Table 1: multiplies increment,
+/// everything else takes the operand maximum).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_QUILL_ANALYSIS_H
+#define PORCUPINE_QUILL_ANALYSIS_H
+
+#include "quill/Program.h"
+
+#include <vector>
+
+namespace porcupine {
+namespace quill {
+
+/// Per-value logical depth: inputs are 0; every instruction is one more
+/// than its deepest operand.
+std::vector<int> computeDepths(const Program &P);
+
+/// Per-value multiplicative depth per Table 1: multiplies add one; add,
+/// subtract, and rotate preserve the operand maximum.
+std::vector<int> computeMultiplicativeDepths(const Program &P);
+
+/// Depth of the output value.
+int programDepth(const Program &P);
+
+/// Multiplicative depth of the output value.
+int programMultiplicativeDepth(const Program &P);
+
+/// Instruction counts by category.
+struct InstrMix {
+  int Total = 0;
+  int Rotations = 0;
+  int CtCtMuls = 0;
+  int CtPtMuls = 0;
+  int AddsSubs = 0;
+};
+
+InstrMix countInstructions(const Program &P);
+
+/// Ids of values that do not (transitively) feed the output. An optimal
+/// synthesized program has none.
+std::vector<int> deadValues(const Program &P);
+
+} // namespace quill
+} // namespace porcupine
+
+#endif // PORCUPINE_QUILL_ANALYSIS_H

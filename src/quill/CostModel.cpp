@@ -1,0 +1,54 @@
+//===- quill/CostModel.cpp - Latency/noise cost model ----------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quill/CostModel.h"
+
+#include "quill/Analysis.h"
+
+#include <sstream>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+double LatencyTable::latencyOf(Opcode Op) const {
+  switch (Op) {
+  case Opcode::AddCtCt:
+    return AddCtCt;
+  case Opcode::AddCtPt:
+    return AddCtPt;
+  case Opcode::SubCtCt:
+    return SubCtCt;
+  case Opcode::SubCtPt:
+    return SubCtPt;
+  case Opcode::MulCtCt:
+    return MulCtCt;
+  case Opcode::MulCtPt:
+    return MulCtPt;
+  case Opcode::RotCt:
+    return RotCt;
+  }
+  return 0.0;
+}
+
+std::string LatencyTable::toString() const {
+  std::ostringstream OS;
+  OS << "add-ct-ct=" << AddCtCt << "us add-ct-pt=" << AddCtPt
+     << "us sub-ct-ct=" << SubCtCt << "us sub-ct-pt=" << SubCtPt
+     << "us mul-ct-ct=" << MulCtCt << "us mul-ct-pt=" << MulCtPt
+     << "us rot-ct=" << RotCt << "us";
+  return OS.str();
+}
+
+double CostModel::latency(const Program &P) const {
+  double Sum = 0.0;
+  for (const Instr &I : P.Instructions)
+    Sum += Table.latencyOf(I.Op);
+  return Sum;
+}
+
+double CostModel::cost(const Program &P) const {
+  return latency(P) * (1.0 + programMultiplicativeDepth(P));
+}

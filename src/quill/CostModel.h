@@ -1,0 +1,65 @@
+//===- quill/CostModel.h - Latency/noise cost model -------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Porcupine's compound cost model (paper section 5.2):
+///
+///   cost(p) = latency(p) * (1 + mdepth(p))
+///
+/// Latency sums per-instruction constants profiled from the HE library
+/// (the paper profiles SEAL; we profile the bundled BFV evaluator — see
+/// backend/LatencyProfiler). Multiplicative depth penalizes noise-hungry
+/// programs, which would force larger parameters and slower arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_QUILL_COSTMODEL_H
+#define PORCUPINE_QUILL_COSTMODEL_H
+
+#include "quill/Program.h"
+
+#include <string>
+
+namespace porcupine {
+namespace quill {
+
+/// Per-opcode latencies in microseconds.
+struct LatencyTable {
+  double AddCtCt = 20.0;
+  double AddCtPt = 15.0;
+  double SubCtCt = 20.0;
+  double SubCtPt = 15.0;
+  /// Includes the mandatory relinearization.
+  double MulCtCt = 15000.0;
+  double MulCtPt = 800.0;
+  double RotCt = 2500.0;
+
+  double latencyOf(Opcode Op) const;
+  std::string toString() const;
+};
+
+/// The paper's cost function.
+class CostModel {
+public:
+  CostModel() = default;
+  explicit CostModel(LatencyTable Table) : Table(Table) {}
+
+  /// Sum of per-instruction latencies (microseconds).
+  double latency(const Program &P) const;
+
+  /// latency * (1 + multiplicative depth).
+  double cost(const Program &P) const;
+
+  const LatencyTable &table() const { return Table; }
+
+private:
+  LatencyTable Table;
+};
+
+} // namespace quill
+} // namespace porcupine
+
+#endif // PORCUPINE_QUILL_COSTMODEL_H

@@ -1,0 +1,65 @@
+//===- quill/Opcode.h - Quill instruction opcodes ---------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Quill instruction set: a one-to-one model of the BFV SIMD
+/// instructions (paper Table 1). Arithmetic comes in ciphertext-ciphertext
+/// and ciphertext-plaintext flavors; rot-ct rotates batching-row slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_QUILL_OPCODE_H
+#define PORCUPINE_QUILL_OPCODE_H
+
+#include <optional>
+#include <string>
+
+namespace porcupine {
+namespace quill {
+
+/// Quill opcodes. Names follow the paper's s-expression mnemonics.
+enum class Opcode {
+  AddCtCt,
+  AddCtPt,
+  SubCtCt,
+  SubCtPt,
+  MulCtCt,
+  MulCtPt,
+  RotCt,
+};
+
+/// True for opcodes whose both operands are ciphertexts.
+inline bool isCtCt(Opcode Op) {
+  return Op == Opcode::AddCtCt || Op == Opcode::SubCtCt ||
+         Op == Opcode::MulCtCt;
+}
+
+/// True for opcodes with a plaintext second operand.
+inline bool isCtPt(Opcode Op) {
+  return Op == Opcode::AddCtPt || Op == Opcode::SubCtPt ||
+         Op == Opcode::MulCtPt;
+}
+
+/// True for the multiplication opcodes (the noise-dominant instructions).
+inline bool isMultiply(Opcode Op) {
+  return Op == Opcode::MulCtCt || Op == Opcode::MulCtPt;
+}
+
+/// True when operand order does not matter.
+inline bool isCommutative(Opcode Op) {
+  return Op == Opcode::AddCtCt || Op == Opcode::MulCtCt;
+}
+
+/// Paper mnemonic, e.g. "add-ct-ct".
+const char *opcodeName(Opcode Op);
+
+/// Parses a mnemonic; std::nullopt if unknown.
+std::optional<Opcode> parseOpcode(const std::string &Name);
+
+} // namespace quill
+} // namespace porcupine
+
+#endif // PORCUPINE_QUILL_OPCODE_H

@@ -1,0 +1,214 @@
+//===- quill/Peephole.cpp - Rewrite-rule optimizer --------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quill/Peephole.h"
+
+#include "quill/Analysis.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+namespace {
+
+/// True if constant \p C broadcasts \p Value to every slot.
+bool isSplatOf(const PlainConstant &C, int64_t Value) {
+  if (!C.isSplat())
+    return false;
+  return C.Values[0] == Value;
+}
+
+/// One rewrite pass; returns true if anything changed. Out-of-line so the
+/// driver can iterate to fixpoint.
+bool rewriteOnce(Program &P, const LatencyTable &Latency,
+                 PeepholeStats &Stats) {
+  bool Changed = false;
+  long Width = static_cast<long>(P.VectorSize);
+
+  // Value forwarding map: id -> replacement id (identity by default).
+  std::vector<int> Fwd(P.numValues());
+  for (size_t I = 0; I < Fwd.size(); ++I)
+    Fwd[I] = static_cast<int>(I);
+  auto Resolve = [&](int Id) {
+    while (Fwd[Id] != Id)
+      Id = Fwd[Id];
+    return Id;
+  };
+
+  // Rotation CSE table: (source, normalized amount) -> defining id.
+  std::map<std::pair<int, long>, int> RotTable;
+
+  Program Out;
+  Out.NumInputs = P.NumInputs;
+  Out.VectorSize = P.VectorSize;
+  Out.Constants = P.Constants;
+
+  // Old id -> new id (after instruction removal/renumbering).
+  std::vector<int> NewId(P.numValues(), -1);
+  for (int I = 0; I < P.NumInputs; ++I)
+    NewId[I] = I;
+
+  for (size_t K = 0; K < P.Instructions.size(); ++K) {
+    Instr I = P.Instructions[K];
+    int OldDst = P.valueOf(K);
+    I.Src0 = Resolve(I.Src0);
+    if (isCtCt(I.Op))
+      I.Src1 = Resolve(I.Src1);
+
+    // --- Rotation rules -------------------------------------------------
+    if (I.Op == Opcode::RotCt) {
+      long Amount = I.Rot % Width;
+      // Fuse with a defining rotation (look up the *old* program because
+      // forwarding has collapsed chains already mapped into Out).
+      // rot by 0: forward.
+      if (Amount % Width == 0) {
+        Fwd[OldDst] = I.Src0;
+        ++Stats.IdentitiesFolded;
+        Changed = true;
+        continue;
+      }
+      // Fusion: if the operand is itself a rotation in Out, compose.
+      int SrcNew = NewId[I.Src0];
+      assert(SrcNew >= 0 && "operand not yet emitted");
+      if (SrcNew >= Out.NumInputs) {
+        const Instr &Def =
+            Out.Instructions[SrcNew - Out.NumInputs];
+        if (Def.Op == Opcode::RotCt) {
+          long Fused = (Def.Rot + Amount) % Width;
+          ++Stats.RotationsFused;
+          Changed = true;
+          if (Fused == 0) {
+            // Composes to identity: forward to the original source.
+            for (int Old = 0; Old < P.numValues(); ++Old)
+              if (NewId[Old] == Def.Src0) {
+                Fwd[OldDst] = Old;
+                break;
+              }
+            // If the pre-rotation value is not reachable in old ids (it
+            // must be), fall through to emitting a no-op-free rotation.
+            if (Fwd[OldDst] != OldDst)
+              continue;
+          } else {
+            auto Key = std::make_pair(Def.Src0, Fused);
+            auto It = RotTable.find(Key);
+            if (It != RotTable.end()) {
+              NewId[OldDst] = It->second;
+              ++Stats.RotationsDeduped;
+              continue;
+            }
+            int Id = Out.append(Instr::rot(Def.Src0,
+                                           static_cast<int>(Fused)));
+            RotTable.emplace(Key, Id);
+            NewId[OldDst] = Id;
+            continue;
+          }
+        }
+      }
+      // CSE of plain rotations.
+      long Norm = ((Amount % Width) + Width) % Width;
+      auto Key = std::make_pair(SrcNew, Norm);
+      auto It = RotTable.find(Key);
+      if (It != RotTable.end()) {
+        NewId[OldDst] = It->second;
+        ++Stats.RotationsDeduped;
+        Changed = true;
+        continue;
+      }
+      int Id = Out.append(Instr::rot(SrcNew, I.Rot));
+      RotTable.emplace(Key, Id);
+      NewId[OldDst] = Id;
+      continue;
+    }
+
+    // --- Identity folding on ct-pt ops ----------------------------------
+    if (isCtPt(I.Op)) {
+      const PlainConstant &C = P.Constants[I.PtIdx];
+      bool Identity =
+          (I.Op == Opcode::AddCtPt && isSplatOf(C, 0)) ||
+          (I.Op == Opcode::SubCtPt && isSplatOf(C, 0)) ||
+          (I.Op == Opcode::MulCtPt && isSplatOf(C, 1));
+      if (Identity) {
+        Fwd[OldDst] = I.Src0;
+        ++Stats.IdentitiesFolded;
+        Changed = true;
+        continue;
+      }
+      // Strength reduction: multiply by splat 2 -> x + x when cheaper.
+      if (I.Op == Opcode::MulCtPt && isSplatOf(C, 2) &&
+          Latency.AddCtCt < Latency.MulCtPt) {
+        int Src = NewId[I.Src0];
+        NewId[OldDst] = Out.append(Instr::ctCt(Opcode::AddCtCt, Src, Src));
+        ++Stats.OpsStrengthReduced;
+        Changed = true;
+        continue;
+      }
+      NewId[OldDst] =
+          Out.append(Instr::ctPt(I.Op, NewId[I.Src0], I.PtIdx));
+      continue;
+    }
+
+    // --- ct-ct ops -------------------------------------------------------
+    NewId[OldDst] =
+        Out.append(Instr::ctCt(I.Op, NewId[I.Src0], NewId[I.Src1]));
+  }
+
+  int OldOutput = Resolve(P.outputId());
+  assert(NewId[OldOutput] >= 0 && "output value vanished");
+  Out.Output = NewId[OldOutput];
+
+  // --- Dead-code elimination -------------------------------------------
+  auto Dead = deadValues(Out);
+  if (!Dead.empty()) {
+    Program Pruned;
+    Pruned.NumInputs = Out.NumInputs;
+    Pruned.VectorSize = Out.VectorSize;
+    Pruned.Constants = Out.Constants;
+    std::vector<int> Remap(Out.numValues(), -1);
+    for (int I = 0; I < Out.NumInputs; ++I)
+      Remap[I] = I;
+    std::vector<bool> IsDead(Out.numValues(), false);
+    for (int Id : Dead)
+      IsDead[Id] = true;
+    for (size_t K = 0; K < Out.Instructions.size(); ++K) {
+      int Id = Out.valueOf(K);
+      if (IsDead[Id]) {
+        ++Stats.DeadInstructionsRemoved;
+        continue;
+      }
+      Instr I = Out.Instructions[K];
+      I.Src0 = Remap[I.Src0];
+      if (isCtCt(I.Op))
+        I.Src1 = Remap[I.Src1];
+      Remap[Id] = Pruned.append(I);
+    }
+    Pruned.Output = Remap[Out.outputId()];
+    Out = std::move(Pruned);
+    Changed = true;
+  }
+
+  P = std::move(Out);
+  return Changed;
+}
+
+} // namespace
+
+Program quill::peepholeOptimize(const Program &P, const LatencyTable &Latency,
+                                PeepholeStats *Stats) {
+  PeepholeStats Local;
+  Program Current = P;
+  // Iterate to fixpoint; each pass strictly shrinks or simplifies, so this
+  // terminates quickly.
+  for (int Round = 0; Round < 16; ++Round)
+    if (!rewriteOnce(Current, Latency, Local))
+      break;
+  if (Stats)
+    *Stats = Local;
+  assert(Current.validate().empty() && "peephole produced invalid program");
+  return Current;
+}

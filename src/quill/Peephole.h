@@ -1,0 +1,58 @@
+//===- quill/Peephole.h - Rewrite-rule optimizer ----------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conventional rewrite-rule peephole optimizer over Quill programs - the
+/// compilation strategy of the prior work Porcupine is contrasted against
+/// (Cingulata/EVA-style local rules). It is deliberately *local*: it
+/// simplifies what is syntactically visible (rotation composition and CSE,
+/// identity/zero folding, dead-code elimination, cheaper-op substitution),
+/// but cannot discover the global restructurings synthesis finds (separable
+/// filters, factorizations). The ablation bench quantifies that gap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_QUILL_PEEPHOLE_H
+#define PORCUPINE_QUILL_PEEPHOLE_H
+
+#include "quill/CostModel.h"
+#include "quill/Program.h"
+
+namespace porcupine {
+namespace quill {
+
+/// Statistics from one optimization run.
+struct PeepholeStats {
+  int RotationsFused = 0;
+  int RotationsDeduped = 0;
+  int IdentitiesFolded = 0;
+  int OpsStrengthReduced = 0;
+  int DeadInstructionsRemoved = 0;
+
+  int total() const {
+    return RotationsFused + RotationsDeduped + IdentitiesFolded +
+           OpsStrengthReduced + DeadInstructionsRemoved;
+  }
+};
+
+/// Applies rewrite rules to fixpoint and returns the optimized program.
+/// Rules applied:
+///   * rot(rot(x, a), b)          -> rot(x, a+b)   (rotation fusion)
+///   * duplicate rot(x, a)        -> reuse         (rotation CSE)
+///   * rot by 0 mod width         -> x
+///   * x + 0, x - 0, x * 1 (splat constants)  -> x
+///   * x * 0 (splat)              -> canonical zero via sub(x, x)
+///   * mul-ct-pt by splat 2       -> add(x, x) when addition is cheaper
+///   * unused instruction         -> removed
+/// The rewrite preserves semantics instruction-for-instruction (each rule
+/// is locally sound), so no re-verification is required.
+Program peepholeOptimize(const Program &P, const LatencyTable &Latency,
+                         PeepholeStats *Stats = nullptr);
+
+} // namespace quill
+} // namespace porcupine
+
+#endif // PORCUPINE_QUILL_PEEPHOLE_H

@@ -1,0 +1,280 @@
+//===- quill/Program.cpp - Quill straight-line programs --------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quill/Program.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+const char *quill::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::AddCtCt:
+    return "add-ct-ct";
+  case Opcode::AddCtPt:
+    return "add-ct-pt";
+  case Opcode::SubCtCt:
+    return "sub-ct-ct";
+  case Opcode::SubCtPt:
+    return "sub-ct-pt";
+  case Opcode::MulCtCt:
+    return "mul-ct-ct";
+  case Opcode::MulCtPt:
+    return "mul-ct-pt";
+  case Opcode::RotCt:
+    return "rot-ct";
+  }
+  return "<invalid>";
+}
+
+std::optional<Opcode> quill::parseOpcode(const std::string &Name) {
+  for (Opcode Op : {Opcode::AddCtCt, Opcode::AddCtPt, Opcode::SubCtCt,
+                    Opcode::SubCtPt, Opcode::MulCtCt, Opcode::MulCtPt,
+                    Opcode::RotCt})
+    if (Name == opcodeName(Op))
+      return Op;
+  return std::nullopt;
+}
+
+int Program::internConstant(const PlainConstant &C) {
+  for (size_t I = 0; I < Constants.size(); ++I)
+    if (Constants[I] == C)
+      return static_cast<int>(I);
+  Constants.push_back(C);
+  return static_cast<int>(Constants.size()) - 1;
+}
+
+std::string Program::validate() const {
+  std::ostringstream Err;
+  if (NumInputs < 1)
+    return "program must have at least one ciphertext input";
+  if (VectorSize == 0)
+    return "program must set a vector size";
+  for (size_t K = 0; K < Instructions.size(); ++K) {
+    const Instr &I = Instructions[K];
+    int Defined = NumInputs + static_cast<int>(K);
+    auto CheckSrc = [&](int Src) {
+      if (Src < 0 || Src >= Defined) {
+        Err << "instruction " << K << " uses undefined value c" << Src;
+        return false;
+      }
+      return true;
+    };
+    if (!CheckSrc(I.Src0))
+      return Err.str();
+    if (isCtCt(I.Op) && !CheckSrc(I.Src1))
+      return Err.str();
+    if (isCtPt(I.Op) &&
+        (I.PtIdx < 0 || I.PtIdx >= static_cast<int>(Constants.size()))) {
+      Err << "instruction " << K << " references missing constant p"
+          << I.PtIdx;
+      return Err.str();
+    }
+    if (I.Op == Opcode::RotCt) {
+      long Norm = I.Rot % static_cast<long>(VectorSize);
+      if (Norm == 0) {
+        Err << "instruction " << K << " is a no-op rotation";
+        return Err.str();
+      }
+    }
+  }
+  for (const PlainConstant &C : Constants) {
+    if (C.Values.empty())
+      return "empty plaintext constant";
+    if (C.Values.size() != 1 && C.Values.size() != VectorSize)
+      return "plaintext constant is neither splat nor full-width";
+  }
+  int Out = outputId();
+  if (Out < 0 || Out >= numValues())
+    return "output id out of range";
+  return "";
+}
+
+std::string quill::printProgram(const Program &P) {
+  std::ostringstream OS;
+  OS << "quill inputs=" << P.NumInputs << " width=" << P.VectorSize << "\n";
+  for (size_t I = 0; I < P.Constants.size(); ++I) {
+    OS << "const p" << I << " = [";
+    const auto &Values = P.Constants[I].Values;
+    for (size_t J = 0; J < Values.size(); ++J)
+      OS << (J ? " " : "") << Values[J];
+    OS << "]\n";
+  }
+  for (size_t K = 0; K < P.Instructions.size(); ++K) {
+    const Instr &I = P.Instructions[K];
+    OS << "c" << P.NumInputs + K << " = " << opcodeName(I.Op) << " c"
+       << I.Src0;
+    if (isCtCt(I.Op))
+      OS << " c" << I.Src1;
+    else if (isCtPt(I.Op))
+      OS << " p" << I.PtIdx;
+    else
+      OS << " " << I.Rot;
+    OS << "\n";
+  }
+  OS << "return c" << P.outputId() << "\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Token-level helpers for the tiny recursive-descent parser.
+struct LineLexer {
+  std::istringstream In;
+  explicit LineLexer(const std::string &Line) : In(Line) {}
+
+  bool next(std::string &Tok) { return static_cast<bool>(In >> Tok); }
+};
+
+bool parseValueRef(const std::string &Tok, char Prefix, int &Out) {
+  if (Tok.size() < 2 || Tok[0] != Prefix)
+    return false;
+  for (size_t I = 1; I < Tok.size(); ++I)
+    if (!isdigit(Tok[I]))
+      return false;
+  Out = std::stoi(Tok.substr(1));
+  return true;
+}
+
+} // namespace
+
+bool quill::parseProgram(const std::string &Text, Program &Out,
+                         std::string &Error) {
+  Out = Program();
+  Out.Output = -1;
+  std::istringstream In(Text);
+  std::string Line;
+  bool SawHeader = false;
+  bool SawReturn = false;
+  int LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // Strip comments.
+    size_t Semi = Line.find(';');
+    if (Semi != std::string::npos)
+      Line = Line.substr(0, Semi);
+    LineLexer Lex(Line);
+    std::string Tok;
+    if (!Lex.next(Tok))
+      continue; // Blank line.
+    std::ostringstream Err;
+    Err << "line " << LineNo << ": ";
+    if (Tok == "quill") {
+      std::string A, B;
+      if (!Lex.next(A) || !Lex.next(B) || A.rfind("inputs=", 0) != 0 ||
+          B.rfind("width=", 0) != 0) {
+        Error = Err.str() + "malformed header";
+        return false;
+      }
+      Out.NumInputs = std::stoi(A.substr(7));
+      Out.VectorSize = std::stoul(B.substr(6));
+      SawHeader = true;
+      continue;
+    }
+    if (!SawHeader) {
+      Error = Err.str() + "expected 'quill inputs=... width=...' header";
+      return false;
+    }
+    if (Tok == "const") {
+      std::string Name, Eq, Rest;
+      if (!Lex.next(Name) || !Lex.next(Eq) || Eq != "=") {
+        Error = Err.str() + "malformed constant";
+        return false;
+      }
+      std::getline(Lex.In, Rest);
+      size_t Open = Rest.find('['), Close = Rest.rfind(']');
+      if (Open == std::string::npos || Close == std::string::npos ||
+          Close < Open) {
+        Error = Err.str() + "constant needs [ ... ] value list";
+        return false;
+      }
+      PlainConstant C;
+      std::istringstream Vals(Rest.substr(Open + 1, Close - Open - 1));
+      int64_t V;
+      while (Vals >> V)
+        C.Values.push_back(V);
+      if (C.Values.empty()) {
+        Error = Err.str() + "empty constant";
+        return false;
+      }
+      Out.Constants.push_back(C);
+      continue;
+    }
+    if (Tok == "return") {
+      std::string Ref;
+      int Id;
+      if (!Lex.next(Ref) || !parseValueRef(Ref, 'c', Id)) {
+        Error = Err.str() + "malformed return";
+        return false;
+      }
+      Out.Output = Id;
+      SawReturn = true;
+      continue;
+    }
+    // Instruction: cK = <op> c<src0> (c<src1> | p<idx> | <amount>)
+    int Dst;
+    if (!parseValueRef(Tok, 'c', Dst)) {
+      Error = Err.str() + "expected instruction definition";
+      return false;
+    }
+    std::string Eq, OpName, A;
+    if (!Lex.next(Eq) || Eq != "=" || !Lex.next(OpName) || !Lex.next(A)) {
+      Error = Err.str() + "malformed instruction";
+      return false;
+    }
+    auto Op = parseOpcode(OpName);
+    if (!Op) {
+      Error = Err.str() + "unknown opcode '" + OpName + "'";
+      return false;
+    }
+    int Src0;
+    if (!parseValueRef(A, 'c', Src0)) {
+      Error = Err.str() + "first operand must be a ciphertext";
+      return false;
+    }
+    if (Dst != Out.numValues()) {
+      Error = Err.str() + "definitions must be consecutive SSA ids";
+      return false;
+    }
+    Instr I;
+    I.Op = *Op;
+    I.Src0 = Src0;
+    std::string B;
+    if (!Lex.next(B)) {
+      Error = Err.str() + "missing second operand";
+      return false;
+    }
+    if (isCtCt(*Op)) {
+      if (!parseValueRef(B, 'c', I.Src1)) {
+        Error = Err.str() + "second operand must be a ciphertext";
+        return false;
+      }
+    } else if (isCtPt(*Op)) {
+      if (!parseValueRef(B, 'p', I.PtIdx)) {
+        Error = Err.str() + "second operand must be a plaintext constant";
+        return false;
+      }
+    } else {
+      I.Rot = std::stoi(B);
+    }
+    Out.Instructions.push_back(I);
+  }
+  if (!SawHeader) {
+    Error = "missing program header";
+    return false;
+  }
+  if (!SawReturn)
+    Out.Output = -1;
+  std::string Invalid = Out.validate();
+  if (!Invalid.empty()) {
+    Error = Invalid;
+    return false;
+  }
+  Error.clear();
+  return true;
+}

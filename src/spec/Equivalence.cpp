@@ -1,0 +1,114 @@
+//===- spec/Equivalence.cpp - Program-vs-spec verification ------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Equivalence.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+std::vector<SymPoly>
+porcupine::evalProgramSymbolic(const Program &P,
+                               const std::vector<std::vector<SymPoly>> &Inputs,
+                               uint64_t T) {
+  assert(static_cast<int>(Inputs.size()) == P.NumInputs && "input count");
+  std::vector<std::vector<SymPoly>> Values;
+  Values.reserve(P.numValues());
+  for (const auto &In : Inputs) {
+    assert(In.size() == P.VectorSize && "input width");
+    Values.push_back(In);
+  }
+  size_t N = P.VectorSize;
+  for (const Instr &I : P.Instructions) {
+    const auto &A = Values[I.Src0];
+    std::vector<SymPoly> Out;
+    Out.reserve(N);
+    switch (I.Op) {
+    case Opcode::AddCtCt:
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[J] + Values[I.Src1][J]);
+      break;
+    case Opcode::SubCtCt:
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[J] - Values[I.Src1][J]);
+      break;
+    case Opcode::MulCtCt:
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[J] * Values[I.Src1][J]);
+      break;
+    case Opcode::AddCtPt:
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[J] +
+                      SymPoly::constant(P.Constants[I.PtIdx].at(J), T));
+      break;
+    case Opcode::SubCtPt:
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[J] -
+                      SymPoly::constant(P.Constants[I.PtIdx].at(J), T));
+      break;
+    case Opcode::MulCtPt:
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[J] *
+                      SymPoly::constant(P.Constants[I.PtIdx].at(J), T));
+      break;
+    case Opcode::RotCt: {
+      long Norm = I.Rot % static_cast<long>(N);
+      if (Norm < 0)
+        Norm += N;
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[(J + Norm) % N]);
+      break;
+    }
+    }
+    Values.push_back(std::move(Out));
+  }
+  return Values[P.outputId()];
+}
+
+VerifyResult porcupine::verifyProgram(const Program &P, const KernelSpec &Spec,
+                                      uint64_t T, Rng &R) {
+  assert(P.VectorSize == Spec.vectorSize() && "width mismatch");
+  assert(P.NumInputs == Spec.numInputs() && "input count mismatch");
+
+  std::vector<SymPoly> Want = Spec.symbolicOutputs(T);
+  std::vector<SymPoly> Got =
+      evalProgramSymbolic(P, Spec.symbolicInputs(T), T);
+
+  // Find the first constrained slot whose polynomials differ.
+  SymPoly Diff(T);
+  bool Differs = false;
+  for (size_t J = 0; J < Spec.vectorSize(); ++J) {
+    if (!Spec.outputSlotMatters(J))
+      continue;
+    if (Got[J] != Want[J]) {
+      Diff = Got[J] - Want[J];
+      Differs = true;
+      break;
+    }
+  }
+  if (!Differs)
+    return VerifyResult{true, {}};
+
+  // Schwartz-Zippel: a nonzero polynomial of degree d over prime Z_t
+  // vanishes on a random point with probability <= d/t; a handful of
+  // samples finds a witness with overwhelming probability.
+  size_t VarCount =
+      static_cast<size_t>(Spec.numInputs()) * Spec.vectorSize();
+  for (int Attempt = 0; Attempt < 256; ++Attempt) {
+    std::vector<std::vector<uint64_t>> Inputs = Spec.randomInputs(R, T);
+    std::vector<uint64_t> Assignment(VarCount, 0);
+    for (int I = 0; I < Spec.numInputs(); ++I)
+      for (size_t J = 0; J < Spec.vectorSize(); ++J)
+        Assignment[I * Spec.vectorSize() + J] = Inputs[I][J];
+    if (Diff.evaluate(Assignment) != 0)
+      return VerifyResult{false, std::move(Inputs)};
+  }
+  fatalError("failed to sample a counterexample for an inequivalent program "
+             "(degenerate specification?)");
+}

@@ -1,0 +1,47 @@
+//===- spec/Equivalence.h - Program-vs-spec verification --------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verification half of CEGIS: symbolically evaluate a candidate Quill
+/// program, compare its per-slot polynomials against the lifted
+/// specification on every constrained output slot, and - on mismatch -
+/// manufacture a concrete counterexample input by Schwartz-Zippel sampling
+/// of the difference polynomial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SPEC_EQUIVALENCE_H
+#define PORCUPINE_SPEC_EQUIVALENCE_H
+
+#include "quill/Program.h"
+#include "spec/KernelSpec.h"
+
+#include <optional>
+
+namespace porcupine {
+
+/// Symbolically evaluates \p P on \p Inputs (SymPoly vectors) and returns
+/// the per-slot output polynomials.
+std::vector<SymPoly>
+evalProgramSymbolic(const quill::Program &P,
+                    const std::vector<std::vector<SymPoly>> &Inputs,
+                    uint64_t T);
+
+/// Result of a verification query.
+struct VerifyResult {
+  bool Equivalent = false;
+  /// On inequivalence: a concrete input on which program and spec differ.
+  std::vector<std::vector<uint64_t>> Counterexample;
+};
+
+/// Verifies \p P against \p Spec for all inputs (exact polynomial identity
+/// on masked slots). \p R drives counterexample sampling.
+VerifyResult verifyProgram(const quill::Program &P, const KernelSpec &Spec,
+                           uint64_t T, Rng &R);
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SPEC_EQUIVALENCE_H

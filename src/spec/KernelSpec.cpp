@@ -1,0 +1,74 @@
+//===- spec/KernelSpec.cpp - Kernel specifications --------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/KernelSpec.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+std::vector<uint64_t>
+KernelSpec::evalConcrete(const std::vector<std::vector<uint64_t>> &Inputs,
+                         uint64_t T) const {
+  assert(static_cast<int>(Inputs.size()) == NumInputs && "input count");
+  std::vector<std::vector<ModInt>> Ring(Inputs.size());
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    assert(Inputs[I].size() == VectorSize && "input width");
+    Ring[I].reserve(VectorSize);
+    for (uint64_t V : Inputs[I])
+      Ring[I].emplace_back(V, T);
+  }
+  std::vector<ModInt> Out = Concrete(Ring);
+  assert(Out.size() == VectorSize && "reference output width");
+  std::vector<uint64_t> Values(Out.size());
+  for (size_t I = 0; I < Out.size(); ++I)
+    Values[I] = Out[I].V;
+  return Values;
+}
+
+std::vector<std::vector<SymPoly>>
+KernelSpec::symbolicInputs(uint64_t T) const {
+  std::vector<std::vector<SymPoly>> Inputs(NumInputs);
+  for (int I = 0; I < NumInputs; ++I) {
+    Inputs[I].reserve(VectorSize);
+    const std::vector<bool> *Mask = nullptr;
+    if (!Layout.InputMasks.empty()) {
+      assert(Layout.InputMasks.size() == static_cast<size_t>(NumInputs));
+      Mask = &Layout.InputMasks[I];
+    }
+    for (size_t J = 0; J < VectorSize; ++J) {
+      bool Live = !Mask || (*Mask)[J];
+      if (Live)
+        Inputs[I].push_back(
+            SymPoly::variable(static_cast<uint32_t>(I * VectorSize + J), T));
+      else
+        Inputs[I].push_back(SymPoly::constant(0, T));
+    }
+  }
+  return Inputs;
+}
+
+std::vector<SymPoly> KernelSpec::symbolicOutputs(uint64_t T) const {
+  std::vector<SymPoly> Out = Symbolic(symbolicInputs(T), T);
+  assert(Out.size() == VectorSize && "reference output width");
+  return Out;
+}
+
+std::vector<std::vector<uint64_t>>
+KernelSpec::randomInputs(Rng &R, uint64_t T, uint64_t Bound) const {
+  if (Bound == 0 || Bound > T)
+    Bound = T;
+  std::vector<std::vector<uint64_t>> Inputs(NumInputs);
+  for (int I = 0; I < NumInputs; ++I) {
+    Inputs[I].assign(VectorSize, 0);
+    const std::vector<bool> *Mask =
+        Layout.InputMasks.empty() ? nullptr : &Layout.InputMasks[I];
+    for (size_t J = 0; J < VectorSize; ++J)
+      if (!Mask || (*Mask)[J])
+        Inputs[I][J] = R.below(Bound);
+  }
+  return Inputs;
+}

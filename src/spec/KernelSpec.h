@@ -1,0 +1,117 @@
+//===- spec/KernelSpec.h - Kernel specifications ----------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A kernel specification in Porcupine's sense (paper section 4.3): a
+/// plaintext reference implementation plus the data layout the packed
+/// inputs/outputs adhere to. The reference is a generic function over a
+/// ring element type; instantiating it with ModInt gives concrete
+/// evaluation (example generation) and with SymPoly gives the lifted
+/// symbolic input-output relation used for verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SPEC_KERNELSPEC_H
+#define PORCUPINE_SPEC_KERNELSPEC_H
+
+#include "spec/ModInt.h"
+#include "spec/SymPoly.h"
+#include "support/Random.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+
+/// Describes how logical data maps onto ciphertext slots.
+struct DataLayout {
+  /// Human-readable packing description (for docs and generated code).
+  std::string Description;
+  /// Slots whose output values the kernel must produce; unmasked slots are
+  /// unconstrained (scratch). Size = VectorSize.
+  std::vector<bool> OutputMask;
+  /// Per-input masks of slots that carry data; slots outside the mask are
+  /// zero padding. Empty = every slot carries data.
+  std::vector<std::vector<bool>> InputMasks;
+};
+
+/// A complete kernel specification.
+class KernelSpec {
+public:
+  using ConcreteFn = std::function<std::vector<ModInt>(
+      const std::vector<std::vector<ModInt>> &)>;
+  using SymbolicFn = std::function<std::vector<SymPoly>(
+      const std::vector<std::vector<SymPoly>> &, uint64_t)>;
+
+  KernelSpec() = default;
+  KernelSpec(std::string Name, int NumInputs, size_t VectorSize,
+             DataLayout Layout, ConcreteFn Concrete, SymbolicFn Symbolic)
+      : Name(std::move(Name)), NumInputs(NumInputs), VectorSize(VectorSize),
+        Layout(std::move(Layout)), Concrete(std::move(Concrete)),
+        Symbolic(std::move(Symbolic)) {}
+
+  const std::string &name() const { return Name; }
+  int numInputs() const { return NumInputs; }
+  size_t vectorSize() const { return VectorSize; }
+  const DataLayout &layout() const { return Layout; }
+
+  /// Evaluates the reference on concrete slot vectors (values mod \p T).
+  std::vector<uint64_t>
+  evalConcrete(const std::vector<std::vector<uint64_t>> &Inputs,
+               uint64_t T) const;
+
+  /// The lifted symbolic outputs: variable x_(i*VectorSize+j) stands for
+  /// input i, slot j; padding slots are the constant 0.
+  std::vector<SymPoly> symbolicOutputs(uint64_t T) const;
+
+  /// Symbolic input vectors with the layout's padding applied.
+  std::vector<std::vector<SymPoly>> symbolicInputs(uint64_t T) const;
+
+  /// Samples a random concrete input respecting input masks; \p Bound
+  /// limits slot magnitudes (0 = full range mod T).
+  std::vector<std::vector<uint64_t>> randomInputs(Rng &R, uint64_t T,
+                                                  uint64_t Bound = 0) const;
+
+  /// True if slot \p I of the output is constrained.
+  bool outputSlotMatters(size_t I) const {
+    return Layout.OutputMask.empty() || Layout.OutputMask[I];
+  }
+
+private:
+  std::string Name;
+  int NumInputs = 1;
+  size_t VectorSize = 0;
+  DataLayout Layout;
+  ConcreteFn Concrete;
+  SymbolicFn Symbolic;
+};
+
+/// Builds a KernelSpec from one generic reference functor. \p Fn must be
+/// callable as
+///   std::vector<E> Fn(const std::vector<std::vector<E>> &Inputs,
+///                     std::function<E(int64_t)> Konst)
+/// for E = ModInt and E = SymPoly, where Konst builds ring constants.
+template <typename Fn>
+KernelSpec makeKernelSpec(std::string Name, int NumInputs, size_t VectorSize,
+                          DataLayout Layout, Fn F) {
+  KernelSpec::ConcreteFn Concrete =
+      [F](const std::vector<std::vector<ModInt>> &Inputs) {
+        uint64_t T = Inputs.at(0).at(0).T;
+        return F(Inputs,
+                 [T](int64_t C) { return ModInt::constant(C, T); });
+      };
+  KernelSpec::SymbolicFn Symbolic =
+      [F](const std::vector<std::vector<SymPoly>> &Inputs, uint64_t T) {
+        return F(Inputs, [T](int64_t C) { return SymPoly::constant(C, T); });
+      };
+  return KernelSpec(std::move(Name), NumInputs, VectorSize, std::move(Layout),
+                    std::move(Concrete), std::move(Symbolic));
+}
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SPEC_KERNELSPEC_H

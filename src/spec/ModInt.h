@@ -1,0 +1,55 @@
+//===- spec/ModInt.h - Concrete ring element for references -----*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A value in Z_t with operator overloads. Reference kernels are written
+/// once as generic code over a ring element type and instantiated both with
+/// ModInt (concrete evaluation, example generation) and SymPoly (symbolic
+/// lifting for verification) - the same trick Rosette plays with symbolic
+/// execution of Racket references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SPEC_MODINT_H
+#define PORCUPINE_SPEC_MODINT_H
+
+#include "math/ModArith.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace porcupine {
+
+/// An element of Z_t with value semantics.
+struct ModInt {
+  uint64_t V = 0;
+  uint64_t T = 2;
+
+  ModInt() = default;
+  ModInt(uint64_t V, uint64_t T) : V(V % T), T(T) {}
+
+  static ModInt constant(int64_t C, uint64_t T) {
+    return ModInt(toResidue(C, T), T);
+  }
+
+  ModInt operator+(const ModInt &RHS) const {
+    assert(T == RHS.T && "modulus mismatch");
+    return ModInt(addMod(V, RHS.V, T), T);
+  }
+  ModInt operator-(const ModInt &RHS) const {
+    assert(T == RHS.T && "modulus mismatch");
+    return ModInt(subMod(V, RHS.V, T), T);
+  }
+  ModInt operator*(const ModInt &RHS) const {
+    assert(T == RHS.T && "modulus mismatch");
+    return ModInt(mulMod(V, RHS.V, T), T);
+  }
+  bool operator==(const ModInt &RHS) const { return V == RHS.V && T == RHS.T; }
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SPEC_MODINT_H

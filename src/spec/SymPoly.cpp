@@ -1,0 +1,131 @@
+//===- spec/SymPoly.cpp - Symbolic polynomials over Z_t --------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/SymPoly.h"
+
+#include "math/ModArith.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace porcupine;
+
+void SymPoly::addTerm(const Monomial &M, uint64_t Coef) {
+  Coef %= T;
+  if (Coef == 0)
+    return;
+  auto It = Terms.find(M);
+  if (It == Terms.end()) {
+    Terms.emplace(M, Coef);
+    return;
+  }
+  It->second = addMod(It->second, Coef, T);
+  if (It->second == 0)
+    Terms.erase(It);
+}
+
+SymPoly SymPoly::constant(int64_t C, uint64_t T) {
+  SymPoly P(T);
+  P.addTerm({}, toResidue(C, T));
+  return P;
+}
+
+SymPoly SymPoly::variable(uint32_t Var, uint64_t T) {
+  SymPoly P(T);
+  P.addTerm({Var}, 1);
+  return P;
+}
+
+unsigned SymPoly::degree() const {
+  unsigned D = 0;
+  for (const auto &[M, C] : Terms)
+    D = std::max<unsigned>(D, M.size());
+  return D;
+}
+
+SymPoly SymPoly::operator+(const SymPoly &RHS) const {
+  assert(T == RHS.T && "modulus mismatch");
+  SymPoly Out = *this;
+  for (const auto &[M, C] : RHS.Terms)
+    Out.addTerm(M, C);
+  return Out;
+}
+
+SymPoly SymPoly::operator-(const SymPoly &RHS) const {
+  assert(T == RHS.T && "modulus mismatch");
+  SymPoly Out = *this;
+  for (const auto &[M, C] : RHS.Terms)
+    Out.addTerm(M, negMod(C, T));
+  return Out;
+}
+
+SymPoly SymPoly::operator*(const SymPoly &RHS) const {
+  assert(T == RHS.T && "modulus mismatch");
+  SymPoly Out(T);
+  for (const auto &[MA, CA] : Terms) {
+    for (const auto &[MB, CB] : RHS.Terms) {
+      Monomial M;
+      M.reserve(MA.size() + MB.size());
+      std::merge(MA.begin(), MA.end(), MB.begin(), MB.end(),
+                 std::back_inserter(M));
+      Out.addTerm(M, mulMod(CA, CB, T));
+    }
+  }
+  return Out;
+}
+
+uint64_t SymPoly::evaluate(const std::vector<uint64_t> &Assignment) const {
+  uint64_t Sum = 0;
+  for (const auto &[M, C] : Terms) {
+    uint64_t Prod = C;
+    for (uint32_t Var : M) {
+      assert(Var < Assignment.size() && "assignment too short");
+      Prod = mulMod(Prod, Assignment[Var] % T, T);
+    }
+    Sum = addMod(Sum, Prod, T);
+  }
+  return Sum;
+}
+
+int SymPoly::maxVariable() const {
+  int Max = -1;
+  for (const auto &[M, C] : Terms)
+    for (uint32_t Var : M)
+      Max = std::max(Max, static_cast<int>(Var));
+  return Max;
+}
+
+std::string SymPoly::toString() const {
+  if (Terms.empty())
+    return "0";
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[M, C] : Terms) {
+    if (!First)
+      OS << " + ";
+    First = false;
+    bool NeedStar = false;
+    if (C != 1 || M.empty()) {
+      OS << C;
+      NeedStar = true;
+    }
+    // Group repeated variables into powers.
+    for (size_t I = 0; I < M.size();) {
+      size_t J = I;
+      while (J < M.size() && M[J] == M[I])
+        ++J;
+      if (NeedStar)
+        OS << "*";
+      OS << "x" << M[I];
+      if (J - I > 1)
+        OS << "^" << (J - I);
+      NeedStar = true;
+      I = J;
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,83 @@
+//===- spec/SymPoly.h - Symbolic polynomials over Z_t -----------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse multivariate polynomials over the plaintext field Z_t. These are
+/// the verification engine of the reproduction: a Quill program computes, in
+/// every slot, a polynomial function of the input slots, so two programs are
+/// equivalent iff their per-slot polynomials are identical. This replaces
+/// the paper's Rosette/SMT verification query with an exact, complete
+/// decision procedure for the arithmetic-only BFV instruction set (and
+/// Schwartz-Zippel sampling turns any inequivalence into a concrete
+/// counterexample for the CEGIS loop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SPEC_SYMPOLY_H
+#define PORCUPINE_SPEC_SYMPOLY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+
+/// A monomial: the sorted multiset of variable ids it multiplies
+/// (e.g. {0,0,3} = x0^2 * x3). The empty monomial is the constant term.
+using Monomial = std::vector<uint32_t>;
+
+/// A sparse polynomial over Z_t in canonical form (no zero coefficients,
+/// monomials sorted by the map order). Canonicality makes equality testing
+/// exact structural equality.
+class SymPoly {
+public:
+  SymPoly() : T(2) {}
+  explicit SymPoly(uint64_t T) : T(T) {}
+
+  /// The constant polynomial c (reduced mod t).
+  static SymPoly constant(int64_t C, uint64_t T);
+
+  /// The single variable x_Var.
+  static SymPoly variable(uint32_t Var, uint64_t T);
+
+  uint64_t modulus() const { return T; }
+  bool isZero() const { return Terms.empty(); }
+
+  /// Total degree (0 for constants and zero).
+  unsigned degree() const;
+
+  /// Number of monomials.
+  size_t termCount() const { return Terms.size(); }
+
+  SymPoly operator+(const SymPoly &RHS) const;
+  SymPoly operator-(const SymPoly &RHS) const;
+  SymPoly operator*(const SymPoly &RHS) const;
+
+  bool operator==(const SymPoly &RHS) const {
+    return T == RHS.T && Terms == RHS.Terms;
+  }
+  bool operator!=(const SymPoly &RHS) const { return !(*this == RHS); }
+
+  /// Evaluates under \p Assignment (indexed by variable id, values mod t).
+  uint64_t evaluate(const std::vector<uint64_t> &Assignment) const;
+
+  /// Largest variable id used; -1 if none.
+  int maxVariable() const;
+
+  /// Human-readable form, e.g. "3*x0^2*x3 + 5".
+  std::string toString() const;
+
+private:
+  uint64_t T;
+  std::map<Monomial, uint64_t> Terms;
+
+  void addTerm(const Monomial &M, uint64_t Coef);
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SPEC_SYMPOLY_H

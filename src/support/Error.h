@@ -1,0 +1,43 @@
+//===- support/Error.h - Fatal error handling -------------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal unrecoverable-error reporting. The library does not use C++
+/// exceptions (LLVM-style); conditions that indicate a programming error are
+/// asserted, and unrecoverable user-facing errors call porcupine::fatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SUPPORT_ERROR_H
+#define PORCUPINE_SUPPORT_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace porcupine {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable errors
+/// that can be triggered by user input (bad parameters, malformed programs).
+[[noreturn]] inline void fatalError(const std::string &Message) {
+  std::fprintf(stderr, "porcupine fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+/// Marks a point in code that must be unreachable.
+[[noreturn]] inline void unreachableInternal(const char *Message,
+                                             const char *File, unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}
+
+} // namespace porcupine
+
+#define PORC_UNREACHABLE(MSG)                                                  \
+  ::porcupine::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // PORCUPINE_SUPPORT_ERROR_H

@@ -1,0 +1,80 @@
+//===- support/Random.cpp - Deterministic PRNG ----------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace porcupine;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound != 0 && "below() requires a nonzero bound");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "range() requires Lo <= Hi");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(below(Span));
+}
+
+std::vector<uint64_t> Rng::vectorBelow(uint64_t Bound, size_t Count) {
+  std::vector<uint64_t> Out(Count);
+  for (auto &V : Out)
+    V = below(Bound);
+  return Out;
+}
+
+int64_t Rng::ternary() {
+  return static_cast<int64_t>(below(3)) - 1;
+}
+
+int64_t Rng::centeredError() {
+  // Sum of 42 fair bits minus 21: binomial approximation of a discrete
+  // Gaussian with sigma = sqrt(42)/2 ~= 3.24, matching the HE-standard
+  // error parameter sigma = 3.2.
+  uint64_t Bits = next();
+  int64_t Sum = 0;
+  for (int I = 0; I < 42; ++I)
+    Sum += (Bits >> I) & 1;
+  return Sum - 21;
+}

@@ -1,0 +1,18 @@
+//===- support/Timing.cpp - Wall-clock timers -----------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timing.h"
+
+using namespace porcupine;
+
+void Stopwatch::reset() { Start = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  auto Now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(Now - Start).count();
+}
+
+double Stopwatch::micros() const { return seconds() * 1e6; }

@@ -1,0 +1,41 @@
+//===- support/Timing.h - Wall-clock timers ---------------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small wall-clock timing helpers used by the latency profiler (which plays
+/// the role of the paper's SEAL instruction profiling) and by the synthesis
+/// engine's timeout logic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SUPPORT_TIMING_H
+#define PORCUPINE_SUPPORT_TIMING_H
+
+#include <chrono>
+
+namespace porcupine {
+
+/// A simple start/elapsed stopwatch.
+class Stopwatch {
+public:
+  Stopwatch() { reset(); }
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Returns seconds elapsed since construction or the last reset().
+  double seconds() const;
+
+  /// Returns microseconds elapsed since construction or the last reset().
+  double micros() const;
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SUPPORT_TIMING_H

@@ -1,0 +1,60 @@
+//===- synth/Compose.cpp - Multi-step synthesis composition -----------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Compose.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+int porcupine::synth::inlineProgram(Program &Dst, const Program &Src,
+                                    const std::vector<int> &InputMap) {
+  assert(static_cast<int>(InputMap.size()) == Src.NumInputs &&
+         "input map must cover every Src input");
+  assert(Dst.VectorSize == Src.VectorSize && "vector width mismatch");
+  for (int Id : InputMap)
+    assert(Id >= 0 && Id < Dst.numValues() && "input map id out of range");
+
+  // Remap Src's constant table into Dst.
+  std::vector<int> ConstMap(Src.Constants.size());
+  for (size_t I = 0; I < Src.Constants.size(); ++I)
+    ConstMap[I] = Dst.internConstant(Src.Constants[I]);
+
+  // Remap values: Src id -> Dst id.
+  std::vector<int> ValueMap(InputMap);
+  for (const Instr &I : Src.Instructions) {
+    Instr Copy = I;
+    Copy.Src0 = ValueMap[I.Src0];
+    if (isCtCt(I.Op))
+      Copy.Src1 = ValueMap[I.Src1];
+    if (isCtPt(I.Op))
+      Copy.PtIdx = ConstMap[I.PtIdx];
+    ValueMap.push_back(Dst.append(Copy));
+  }
+  return ValueMap[Src.outputId()];
+}
+
+Program porcupine::synth::chainPrograms(const std::vector<Program> &Stages) {
+  if (Stages.empty())
+    fatalError("chainPrograms requires at least one stage");
+  Program Out;
+  Out.NumInputs = Stages[0].NumInputs;
+  Out.VectorSize = Stages[0].VectorSize;
+  std::vector<int> InputMap;
+  for (int I = 0; I < Out.NumInputs; ++I)
+    InputMap.push_back(I);
+  int Result = inlineProgram(Out, Stages[0], InputMap);
+  for (size_t S = 1; S < Stages.size(); ++S) {
+    if (Stages[S].NumInputs != 1)
+      fatalError("chained stages after the first must take exactly one input");
+    Result = inlineProgram(Out, Stages[S], {Result});
+  }
+  Out.Output = Result;
+  return Out;
+}

@@ -1,0 +1,41 @@
+//===- synth/Compose.h - Multi-step synthesis composition -------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-step synthesis (paper section 6.3): large kernels are partitioned
+/// at natural break points, each segment synthesized independently, and the
+/// segments stitched back together. These helpers inline synthesized
+/// sub-programs into a combined Quill program (Sobel from Gx/Gy, Harris
+/// from Gx/Gy/box-blur).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SYNTH_COMPOSE_H
+#define PORCUPINE_SYNTH_COMPOSE_H
+
+#include "quill/Program.h"
+
+#include <vector>
+
+namespace porcupine {
+namespace synth {
+
+/// Inlines \p Src into \p Dst, wiring Src's input i to the existing Dst
+/// value \p InputMap[i]. Constants are interned (deduplicated) into Dst's
+/// table. Returns the Dst value id of Src's output.
+int inlineProgram(quill::Program &Dst, const quill::Program &Src,
+                  const std::vector<int> &InputMap);
+
+/// Convenience: chains \p Stages left to right. Stage 0 reads the
+/// program's original inputs; each later stage must take exactly one input,
+/// which is wired to the previous stage's output. Returns the composed
+/// program.
+quill::Program chainPrograms(const std::vector<quill::Program> &Stages);
+
+} // namespace synth
+} // namespace porcupine
+
+#endif // PORCUPINE_SYNTH_COMPOSE_H

@@ -1,0 +1,78 @@
+//===- synth/Sketch.cpp - HE kernel sketches --------------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Sketch.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace porcupine;
+using namespace porcupine::synth;
+
+/// Amounts stay *signed*: a left rotation by -5 (i.e. right by 5) is a
+/// different physical displacement from left by VectorSize-5 once the
+/// program runs on the full ciphertext row, even though they coincide at
+/// the kernel width. Preserving the sign keeps synthesized programs
+/// width-portable (the layouts' zero padding guarantees no data wraps).
+static std::vector<int> normalizeAmounts(size_t VectorSize,
+                                         std::vector<long> Raw) {
+  std::vector<int> Out;
+  for (long A : Raw) {
+    long Reduced = A % static_cast<long>(VectorSize);
+    if (Reduced == 0)
+      continue;
+    Out.push_back(static_cast<int>(Reduced));
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+RotationSet RotationSet::full(size_t VectorSize) {
+  RotationSet S;
+  for (size_t A = 1; A < VectorSize; ++A)
+    S.Amounts.push_back(static_cast<int>(A));
+  return S;
+}
+
+RotationSet RotationSet::powersOfTwo(size_t VectorSize) {
+  RotationSet S;
+  for (size_t A = 1; A < VectorSize; A <<= 1)
+    S.Amounts.push_back(static_cast<int>(A));
+  return S;
+}
+
+RotationSet RotationSet::slidingWindow(size_t VectorSize, int WinH, int WinW,
+                                       int RowStride) {
+  assert(WinH >= 1 && WinW >= 1 && RowStride >= 1);
+  std::vector<long> Raw;
+  for (int Dr = -(WinH / 2); Dr <= WinH / 2; ++Dr)
+    for (int Dc = -(WinW / 2); Dc <= WinW / 2; ++Dc)
+      Raw.push_back(Dr * RowStride + Dc);
+  RotationSet S;
+  S.Amounts = normalizeAmounts(VectorSize, Raw);
+  return S;
+}
+
+RotationSet RotationSet::slidingWindowForward(size_t VectorSize, int WinH,
+                                              int WinW, int RowStride) {
+  assert(WinH >= 1 && WinW >= 1 && RowStride >= 1);
+  std::vector<long> Raw;
+  for (int Dr = 0; Dr < WinH; ++Dr)
+    for (int Dc = 0; Dc < WinW; ++Dc)
+      Raw.push_back(Dr * RowStride + Dc);
+  RotationSet S;
+  S.Amounts = normalizeAmounts(VectorSize, Raw);
+  return S;
+}
+
+RotationSet RotationSet::explicitAmounts(size_t VectorSize,
+                                         const std::vector<int> &Amounts) {
+  RotationSet S;
+  std::vector<long> Raw(Amounts.begin(), Amounts.end());
+  S.Amounts = normalizeAmounts(VectorSize, Raw);
+  return S;
+}

@@ -1,0 +1,124 @@
+//===- synth/Sketch.h - HE kernel sketches ----------------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Porcupine sketches (paper section 4.4): templates of L arithmetic
+/// components with holes the synthesizer fills. The key domain-specific
+/// idea is the *local rotate* sketch: rotation is an operand modifier
+/// (??ct-r holes) rather than a standalone component, shrinking the search
+/// space without losing solutions (rotations only matter as operand
+/// alignment for arithmetic). The explicit-rotation mode (rotations as
+/// components) is retained for the section 7.4 ablation.
+///
+/// Rotation restrictions (section 6.1) narrow the allowed amounts: sliding
+/// windows for stencils, powers of two for reduction trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SYNTH_SKETCH_H
+#define PORCUPINE_SYNTH_SKETCH_H
+
+#include "quill/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace synth {
+
+/// The set of rotation amounts a ??r hole may take (left rotations,
+/// normalized to [1, N-1]).
+class RotationSet {
+public:
+  /// Every nonzero amount (the paper's fallback; large search space).
+  static RotationSet full(size_t VectorSize);
+
+  /// Powers of two: {1, 2, 4, ..., N/2}; the tree-reduction restriction.
+  static RotationSet powersOfTwo(size_t VectorSize);
+
+  /// Sliding-window restriction for WinH x WinW stencils over row-major
+  /// images with \p RowStride slots per row: all window-alignment offsets
+  /// dr*RowStride + dc, dr/dc in [-(WinH/2), WinH/2] x [-(WinW/2), WinW/2].
+  static RotationSet slidingWindow(size_t VectorSize, int WinH, int WinW,
+                                   int RowStride);
+
+  /// Forward-only variant for windows anchored at the output pixel (taps at
+  /// offsets dr, dc in [0, WinH) x [0, WinW)): only left rotations are
+  /// needed, halving the hole space - the paper's "forcing only left
+  /// rotations" symmetry break.
+  static RotationSet slidingWindowForward(size_t VectorSize, int WinH,
+                                          int WinW, int RowStride);
+
+  /// An explicit amount list (amounts may be negative; normalized).
+  static RotationSet explicitAmounts(size_t VectorSize,
+                                     const std::vector<int> &Amounts);
+
+  const std::vector<int> &amounts() const { return Amounts; }
+  size_t size() const { return Amounts.size(); }
+
+private:
+  std::vector<int> Amounts;
+};
+
+/// Which rotation holes an operand position carries.
+enum class OperandKind {
+  Ct,  ///< ??ct: any previously defined ciphertext.
+  CtR, ///< ??ct-r: any previously defined ciphertext, optionally rotated.
+};
+
+/// One arithmetic component template in the sketch menu.
+struct Component {
+  quill::Opcode Op = quill::Opcode::AddCtCt;
+  OperandKind Kind0 = OperandKind::CtR;
+  /// Only meaningful for ct-ct opcodes.
+  OperandKind Kind1 = OperandKind::CtR;
+  /// Constant-table index for ct-pt opcodes.
+  int PtIdx = -1;
+
+  static Component ctCt(quill::Opcode Op, OperandKind K0 = OperandKind::CtR,
+                        OperandKind K1 = OperandKind::CtR) {
+    Component C;
+    C.Op = Op;
+    C.Kind0 = K0;
+    C.Kind1 = K1;
+    return C;
+  }
+
+  static Component ctPt(quill::Opcode Op, int PtIdx,
+                        OperandKind K0 = OperandKind::Ct) {
+    Component C;
+    C.Op = Op;
+    C.Kind0 = K0;
+    C.PtIdx = PtIdx;
+    return C;
+  }
+};
+
+/// A Porcupine sketch: the component menu (treated as a multiset of
+/// multiplicity L - each of the L slots may pick any menu entry), the
+/// plaintext constant table, and the rotation restriction.
+struct Sketch {
+  int NumInputs = 1;
+  size_t VectorSize = 0;
+  std::vector<quill::PlainConstant> Constants;
+  std::vector<Component> Menu;
+  RotationSet Rotations = RotationSet::explicitAmounts(1, {});
+  /// Ablation mode (section 7.4): rotations become standalone components
+  /// and all arithmetic operands are plain ??ct holes.
+  bool ExplicitRotations = false;
+
+  /// Adds a constant, returning its index for Component::ctPt.
+  int addConstant(const quill::PlainConstant &C) {
+    Constants.push_back(C);
+    return static_cast<int>(Constants.size()) - 1;
+  }
+};
+
+} // namespace synth
+} // namespace porcupine
+
+#endif // PORCUPINE_SYNTH_SKETCH_H

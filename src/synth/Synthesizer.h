@@ -1,0 +1,91 @@
+//===- synth/Synthesizer.h - CEGIS synthesis engine -------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Porcupine's synthesis engine (paper section 5 / Algorithm 1):
+///
+///   1. Iterative deepening on the component count L: try sketches of
+///      1, 2, ... components, so the first solution minimizes L.
+///   2. CEGIS: synthesize a candidate agreeing with the current
+///      input-output examples, verify it symbolically against the lifted
+///      spec, and on failure add the counterexample and retry.
+///   3. Optimization: once an initial solution exists, repeatedly re-search
+///      the same sketch under the constraint cost(candidate) < cost(best)
+///      until the space is exhausted (optimality proof) or timeout; cost is
+///      latency * (1 + multiplicative depth).
+///
+/// Where the paper compiles these queries to SMT (Rosette/Boolector), this
+/// reproduction solves them with a pruned enumerative search: operand
+/// symmetry breaking, observational-equivalence deduplication on examples,
+/// dead-value bounds, and cheapest-first ordering. Verification is exact
+/// polynomial identity (spec/Equivalence.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SYNTH_SYNTHESIZER_H
+#define PORCUPINE_SYNTH_SYNTHESIZER_H
+
+#include "quill/CostModel.h"
+#include "quill/Program.h"
+#include "spec/KernelSpec.h"
+#include "synth/Sketch.h"
+
+#include <cstdint>
+
+namespace porcupine {
+namespace synth {
+
+/// Tunables for a synthesis run.
+struct SynthesisOptions {
+  /// Smallest and largest component counts to try.
+  int MinComponents = 1;
+  int MaxComponents = 8;
+  /// Wall-clock budget for the whole run (initial + optimization).
+  double TimeoutSeconds = 120.0;
+  /// Whether to run the cost-minimization phase after the first solution.
+  bool Optimize = true;
+  /// Instruction latencies for the cost function.
+  quill::LatencyTable Latency;
+  /// Plaintext modulus the kernel computes over.
+  uint64_t PlainModulus = 65537;
+  /// PRNG seed (examples, counterexample sampling).
+  uint64_t Seed = 1;
+};
+
+/// Measurements the paper reports in Table 3.
+struct SynthesisStats {
+  int ExamplesUsed = 0;
+  double InitialTimeSeconds = 0.0;
+  double TotalTimeSeconds = 0.0;
+  double InitialCost = 0.0;
+  double FinalCost = 0.0;
+  /// L of the solution sketch.
+  int ComponentsUsed = 0;
+  /// Instruction count of the lowered program (components + rotations).
+  int LoweredInstructions = 0;
+  bool TimedOut = false;
+  /// True when the optimizer exhausted the sketch (solution proven optimal
+  /// under the cost model within this sketch).
+  bool ProvenOptimal = false;
+  long NodesExplored = 0;
+};
+
+/// Outcome of a synthesis run.
+struct SynthesisResult {
+  bool Found = false;
+  quill::Program Prog;
+  SynthesisStats Stats;
+};
+
+/// Runs the full pipeline (deepening + CEGIS + optimization) for \p Spec
+/// against \p Sk.
+SynthesisResult synthesize(const KernelSpec &Spec, const Sketch &Sk,
+                           const SynthesisOptions &Opts);
+
+} // namespace synth
+} // namespace porcupine
+
+#endif // PORCUPINE_SYNTH_SYNTHESIZER_H

@@ -1,0 +1,268 @@
+//===- tests/kernels_test.cpp - The paper's kernels are correct -----------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Every hand-written baseline and every bundled synthesized program must
+/// be exactly equivalent to its kernel specification (symbolic polynomial
+/// identity), static properties must match the paper's Table 2, and the
+/// programs must be width-portable (the behavior at the synthesis width
+/// transfers to the full ciphertext row).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "quill/Analysis.h"
+#include "quill/Interpreter.h"
+#include "spec/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+using namespace porcupine;
+using namespace porcupine::kernels;
+using namespace porcupine::quill;
+
+namespace {
+
+constexpr uint64_t T = 65537;
+
+//===----------------------------------------------------------------------===//
+// Per-kernel equivalence (parameterized over all nine kernels)
+//===----------------------------------------------------------------------===//
+
+struct KernelCase {
+  const char *Name;
+  KernelBundle (*Make)();
+};
+
+const KernelCase Cases[] = {
+    {"BoxBlur", boxBlurKernel},
+    {"DotProduct", dotProductKernel},
+    {"HammingDistance", hammingDistanceKernel},
+    {"L2Distance", l2DistanceKernel},
+    {"LinearRegression", linearRegressionKernel},
+    {"PolyRegression", polyRegressionKernel},
+    {"Gx", gxKernel},
+    {"Gy", gyKernel},
+    {"RobertsCross", robertsCrossKernel},
+};
+
+class KernelParamTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelParamTest, BaselineMatchesSpecSymbolically) {
+  KernelBundle B = GetParam().Make();
+  EXPECT_EQ(B.Baseline.validate(), "");
+  Rng R(11);
+  EXPECT_TRUE(verifyProgram(B.Baseline, B.Spec, T, R).Equivalent);
+}
+
+TEST_P(KernelParamTest, SynthesizedMatchesSpecSymbolically) {
+  KernelBundle B = GetParam().Make();
+  EXPECT_EQ(B.Synthesized.validate(), "");
+  Rng R(12);
+  EXPECT_TRUE(verifyProgram(B.Synthesized, B.Spec, T, R).Equivalent);
+}
+
+TEST_P(KernelParamTest, ProgramsHaveNoDeadCode) {
+  KernelBundle B = GetParam().Make();
+  EXPECT_TRUE(deadValues(B.Baseline).empty());
+  EXPECT_TRUE(deadValues(B.Synthesized).empty());
+}
+
+TEST_P(KernelParamTest, WidthPortability) {
+  // Interpreting the same program over a 4x wider vector (data still in
+  // the low slots per the layout) must produce identical masked outputs:
+  // the guarantee that lets kernels synthesized at their natural width run
+  // on 2048-slot ciphertext rows.
+  KernelBundle B = GetParam().Make();
+  Rng R(13);
+  for (const Program *P : {&B.Baseline, &B.Synthesized}) {
+    Program Wide = *P;
+    Wide.VectorSize = 4 * B.Spec.vectorSize();
+    for (int Trial = 0; Trial < 10; ++Trial) {
+      auto Inputs = B.Spec.randomInputs(R, T);
+      std::vector<SlotVector> WideInputs;
+      for (auto &In : Inputs) {
+        SlotVector WideIn(Wide.VectorSize, 0);
+        std::copy(In.begin(), In.end(), WideIn.begin());
+        WideInputs.push_back(std::move(WideIn));
+      }
+      SlotVector Narrow = interpret(*P, Inputs, T);
+      SlotVector WideOut = interpret(Wide, WideInputs, T);
+      for (size_t J = 0; J < B.Spec.vectorSize(); ++J)
+        if (B.Spec.outputSlotMatters(J))
+          EXPECT_EQ(WideOut[J], Narrow[J])
+              << GetParam().Name << " slot " << J;
+    }
+  }
+}
+
+TEST_P(KernelParamTest, SketchIsConsistentWithSpec) {
+  KernelBundle B = GetParam().Make();
+  EXPECT_EQ(B.Sketch.NumInputs, B.Spec.numInputs());
+  EXPECT_EQ(B.Sketch.VectorSize, B.Spec.vectorSize());
+  EXPECT_FALSE(B.Sketch.Menu.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelParamTest,
+                         ::testing::ValuesIn(Cases),
+                         [](const auto &Info) { return Info.param.Name; });
+
+//===----------------------------------------------------------------------===//
+// Table 2 static properties
+//===----------------------------------------------------------------------===//
+
+TEST(Table2, BoxBlurCounts) {
+  KernelBundle B = boxBlurKernel();
+  EXPECT_EQ(B.Baseline.Instructions.size(), 6u); // Paper: 6, depth 3.
+  EXPECT_EQ(programDepth(B.Baseline), 3);
+  EXPECT_EQ(B.Synthesized.Instructions.size(), 4u); // Paper: 4, depth 4.
+  EXPECT_EQ(programDepth(B.Synthesized), 4);
+  // Despite deeper logic, noise (multiplicative depth) is identical -
+  // the paper's key observation for Figure 5.
+  EXPECT_EQ(programMultiplicativeDepth(B.Baseline),
+            programMultiplicativeDepth(B.Synthesized));
+}
+
+TEST(Table2, DotProductCounts) {
+  KernelBundle B = dotProductKernel();
+  EXPECT_EQ(B.Baseline.Instructions.size(), 7u); // Paper: 7, depth 7.
+  EXPECT_EQ(programDepth(B.Baseline), 7);
+  EXPECT_EQ(B.Synthesized.Instructions.size(), 7u);
+}
+
+TEST(Table2, HammingCounts) {
+  KernelBundle B = hammingDistanceKernel();
+  EXPECT_EQ(B.Baseline.Instructions.size(), 6u); // Paper: 6, depth 6.
+  EXPECT_EQ(programDepth(B.Baseline), 6);
+}
+
+TEST(Table2, LinearRegressionCounts) {
+  KernelBundle B = linearRegressionKernel();
+  EXPECT_EQ(B.Baseline.Instructions.size(), 4u); // Paper: 4, depth 4.
+  EXPECT_EQ(programDepth(B.Baseline), 4);
+}
+
+TEST(Table2, GradientCounts) {
+  for (KernelBundle B : {gxKernel(), gyKernel()}) {
+    EXPECT_EQ(B.Baseline.Instructions.size(), 12u); // Paper: 12, depth 4.
+    EXPECT_EQ(programDepth(B.Baseline), 4);
+    EXPECT_EQ(B.Synthesized.Instructions.size(), 7u); // Paper: 7, depth 6.
+    EXPECT_EQ(programDepth(B.Synthesized), 6);
+  }
+}
+
+TEST(Table2, PolyRegressionSavesAMultiply) {
+  KernelBundle B = polyRegressionKernel();
+  EXPECT_LT(B.Synthesized.Instructions.size(),
+            B.Baseline.Instructions.size());
+  EXPECT_LT(countInstructions(B.Synthesized).CtCtMuls,
+            countInstructions(B.Baseline).CtCtMuls);
+}
+
+TEST(Table2, SobelAndHarrisSavings) {
+  AppBundle Sobel = sobelApp();
+  // Paper: 31 -> 21, a 10-instruction saving.
+  EXPECT_EQ(Sobel.Baseline.Instructions.size() -
+                Sobel.Synthesized.Instructions.size(),
+            10u);
+  AppBundle Harris = harrisApp();
+  // Paper: 59 -> 43; our layout gives 52 -> 38 (14 fewer; paper saves 16).
+  EXPECT_GT(Harris.Baseline.Instructions.size(),
+            Harris.Synthesized.Instructions.size() + 10);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-step applications
+//===----------------------------------------------------------------------===//
+
+TEST(Apps, SobelMatchesSpecOnRandomInputs) {
+  AppBundle App = sobelApp();
+  EXPECT_EQ(App.Baseline.validate(), "");
+  EXPECT_EQ(App.Synthesized.validate(), "");
+  Rng R(21);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    auto Inputs = App.Spec.randomInputs(R, T);
+    auto Want = App.Spec.evalConcrete(Inputs, T);
+    auto Base = interpret(App.Baseline, Inputs, T);
+    auto Synth = interpret(App.Synthesized, Inputs, T);
+    for (size_t J = 0; J < App.Spec.vectorSize(); ++J) {
+      if (!App.Spec.outputSlotMatters(J))
+        continue;
+      EXPECT_EQ(Base[J], Want[J]) << "baseline slot " << J;
+      EXPECT_EQ(Synth[J], Want[J]) << "synthesized slot " << J;
+    }
+  }
+}
+
+TEST(Apps, SobelMatchesSpecSymbolically) {
+  AppBundle App = sobelApp();
+  Rng R(22);
+  EXPECT_TRUE(verifyProgram(App.Baseline, App.Spec, T, R).Equivalent);
+  EXPECT_TRUE(verifyProgram(App.Synthesized, App.Spec, T, R).Equivalent);
+}
+
+TEST(Apps, HarrisMatchesSpecOnRandomInputs) {
+  AppBundle App = harrisApp();
+  EXPECT_EQ(App.Baseline.validate(), "");
+  EXPECT_EQ(App.Synthesized.validate(), "");
+  Rng R(23);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    auto Inputs = App.Spec.randomInputs(R, T);
+    auto Want = App.Spec.evalConcrete(Inputs, T);
+    auto Base = interpret(App.Baseline, Inputs, T);
+    auto Synth = interpret(App.Synthesized, Inputs, T);
+    for (size_t J = 0; J < App.Spec.vectorSize(); ++J) {
+      if (!App.Spec.outputSlotMatters(J))
+        continue;
+      EXPECT_EQ(Base[J], Want[J]) << "baseline slot " << J;
+      EXPECT_EQ(Synth[J], Want[J]) << "synthesized slot " << J;
+    }
+  }
+}
+
+TEST(Apps, HarrisMultiplicativeDepthFitsStandardParameters) {
+  AppBundle App = harrisApp();
+  // 16*det - trace^2 over blurred gradient products: depth 3.
+  EXPECT_LE(programMultiplicativeDepth(App.Baseline), 3);
+  EXPECT_LE(programMultiplicativeDepth(App.Synthesized), 3);
+}
+
+TEST(Apps, AppsAreWidthPortable) {
+  for (const AppBundle &App : {sobelApp(), harrisApp()}) {
+    Rng R(24);
+    Program Wide = App.Synthesized;
+    Wide.VectorSize = 100;
+    for (int Trial = 0; Trial < 10; ++Trial) {
+      auto Inputs = App.Spec.randomInputs(R, T);
+      SlotVector WideIn(100, 0);
+      std::copy(Inputs[0].begin(), Inputs[0].end(), WideIn.begin());
+      auto Narrow = interpret(App.Synthesized, Inputs, T);
+      auto WideOut = interpret(Wide, {WideIn}, T);
+      for (size_t J = 0; J < App.Spec.vectorSize(); ++J)
+        if (App.Spec.outputSlotMatters(J))
+          EXPECT_EQ(WideOut[J], Narrow[J]) << App.Name << " slot " << J;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Image geometry helpers
+//===----------------------------------------------------------------------===//
+
+TEST(Geometry, Masks) {
+  auto Interior = ImageGeom::interiorMask();
+  EXPECT_EQ(std::count(Interior.begin(), Interior.end(), true), 9);
+  EXPECT_FALSE(Interior[ImageGeom::index(0, 2)]);
+  EXPECT_TRUE(Interior[ImageGeom::index(2, 2)]);
+
+  auto Win = ImageGeom::windowMask(2, 2);
+  EXPECT_EQ(std::count(Win.begin(), Win.end(), true), 16);
+  EXPECT_TRUE(Win[ImageGeom::index(3, 3)]);
+  EXPECT_FALSE(Win[ImageGeom::index(4, 0)]);
+  EXPECT_FALSE(Win[ImageGeom::index(0, 4)]);
+}
+
+} // namespace

@@ -1,0 +1,537 @@
+//===- tests/math_test.cpp - Unit tests for the math library --------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/BigInt.h"
+#include "math/Crt.h"
+#include "math/ModArith.h"
+#include "math/Ntt.h"
+#include "math/Primes.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace porcupine;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Modular arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST(ModArith, AddSubNegAgainstInt128Oracle) {
+  Rng R(1);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    uint64_t Q = R.below(~0ull - 2) + 2;
+    uint64_t A = R.below(Q), B = R.below(Q);
+    EXPECT_EQ(addMod(A, B, Q),
+              static_cast<uint64_t>((static_cast<unsigned __int128>(A) + B) % Q));
+    EXPECT_EQ(subMod(A, B, Q),
+              static_cast<uint64_t>(
+                  (static_cast<unsigned __int128>(A) + Q - B) % Q));
+    EXPECT_EQ(addMod(A, negMod(A, Q), Q), 0u);
+  }
+}
+
+TEST(ModArith, MulModMatchesInt128) {
+  Rng R(2);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    uint64_t Q = R.below(~0ull - 2) + 2;
+    uint64_t A = R.below(Q), B = R.below(Q);
+    unsigned __int128 Wide = static_cast<unsigned __int128>(A) * B;
+    EXPECT_EQ(mulMod(A, B, Q), static_cast<uint64_t>(Wide % Q));
+  }
+}
+
+TEST(ModArith, PowModSmallCases) {
+  EXPECT_EQ(powMod(2, 10, 1000000007ull), 1024u);
+  EXPECT_EQ(powMod(3, 0, 97), 1u);
+  EXPECT_EQ(powMod(0, 5, 97), 0u);
+  EXPECT_EQ(powMod(5, 1, 1), 0u); // Everything is 0 mod 1.
+}
+
+TEST(ModArith, PowModFermat) {
+  // a^(p-1) = 1 mod p for prime p and a not divisible by p.
+  uint64_t P = 0xffffffff00000001ull; // Goldilocks prime.
+  Rng R(3);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    uint64_t A = R.below(P - 1) + 1;
+    EXPECT_EQ(powMod(A, P - 1, P), 1u);
+  }
+}
+
+TEST(ModArith, InvModRoundTrip) {
+  Rng R(4);
+  uint64_t P = 0xffffffff00000001ull;
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    uint64_t A = R.below(P - 1) + 1;
+    uint64_t Inv = invMod(A, P);
+    EXPECT_EQ(mulMod(A, Inv, P), 1u);
+  }
+}
+
+TEST(ModArith, InvModCompositeModulus) {
+  // Inverses exist for units modulo a composite too.
+  EXPECT_EQ(mulMod(7, invMod(7, 40), 40), 1u);
+  EXPECT_EQ(mulMod(3, invMod(3, 1024), 1024), 1u);
+}
+
+TEST(ModArith, CenteredRepresentativeRoundTrip) {
+  uint64_t Q = 97;
+  for (uint64_t R = 0; R < Q; ++R) {
+    int64_t C = toCentered(R, Q);
+    EXPECT_GT(C, -static_cast<int64_t>(Q) / 2 - 1);
+    EXPECT_LE(C, static_cast<int64_t>(Q) / 2);
+    EXPECT_EQ(toResidue(C, Q), R);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Primes
+//===----------------------------------------------------------------------===//
+
+TEST(Primes, SmallKnownValues) {
+  EXPECT_FALSE(isPrime(0));
+  EXPECT_FALSE(isPrime(1));
+  EXPECT_TRUE(isPrime(2));
+  EXPECT_TRUE(isPrime(3));
+  EXPECT_FALSE(isPrime(4));
+  EXPECT_TRUE(isPrime(65537));
+  EXPECT_FALSE(isPrime(65536));
+  EXPECT_TRUE(isPrime(0xffffffff00000001ull));
+  // Carmichael numbers must be rejected.
+  EXPECT_FALSE(isPrime(561));
+  EXPECT_FALSE(isPrime(41041));
+  EXPECT_FALSE(isPrime(825265));
+}
+
+TEST(Primes, GeneratedNttPrimesHaveRequiredForm) {
+  for (unsigned Bits : {20u, 30u, 45u, 50u, 55u}) {
+    uint64_t Factor = 2 * 8192;
+    uint64_t P = generateNttPrime(Bits, Factor);
+    EXPECT_TRUE(isPrime(P));
+    EXPECT_EQ((P - 1) % Factor, 0u);
+    EXPECT_LT(P, 1ull << Bits);
+  }
+}
+
+TEST(Primes, GenerateDistinctPrimes) {
+  auto Primes = generateNttPrimes(50, 2 * 4096, 4);
+  ASSERT_EQ(Primes.size(), 4u);
+  for (size_t I = 0; I < Primes.size(); ++I) {
+    EXPECT_TRUE(isPrime(Primes[I]));
+    for (size_t J = I + 1; J < Primes.size(); ++J)
+      EXPECT_NE(Primes[I], Primes[J]);
+  }
+}
+
+TEST(Primes, PrimitiveRootHasExactOrder) {
+  uint64_t TwoN = 2 * 1024;
+  uint64_t P = generateNttPrime(40, TwoN);
+  uint64_t Psi = findPrimitiveRoot(TwoN, P);
+  EXPECT_EQ(powMod(Psi, TwoN / 2, P), P - 1); // Psi^N = -1.
+  EXPECT_EQ(powMod(Psi, TwoN, P), 1u);
+}
+
+TEST(Primes, MinimalRootIsDeterministicAndPrimitive) {
+  uint64_t TwoN = 2 * 256;
+  uint64_t P = generateNttPrime(30, TwoN);
+  uint64_t A = findMinimalPrimitiveRoot(TwoN, P);
+  uint64_t B = findMinimalPrimitiveRoot(TwoN, P);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(powMod(A, TwoN / 2, P), P - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// NTT
+//===----------------------------------------------------------------------===//
+
+class NttParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NttParamTest, ForwardInverseRoundTrip) {
+  size_t N = GetParam();
+  uint64_t P = generateNttPrime(50, 2 * N);
+  NttTables Tables(N, P);
+  Rng R(5 + N);
+  std::vector<uint64_t> Original = R.vectorBelow(P, N);
+  std::vector<uint64_t> Values = Original;
+  Tables.forwardTransform(Values);
+  Tables.inverseTransform(Values);
+  EXPECT_EQ(Values, Original);
+}
+
+TEST_P(NttParamTest, MultiplyMatchesNaiveNegacyclicConvolution) {
+  size_t N = GetParam();
+  if (N > 512)
+    GTEST_SKIP() << "naive oracle too slow beyond 512";
+  uint64_t P = generateNttPrime(50, 2 * N);
+  NttTables Tables(N, P);
+  Rng R(6 + N);
+  std::vector<uint64_t> A = R.vectorBelow(P, N);
+  std::vector<uint64_t> B = R.vectorBelow(P, N);
+  EXPECT_EQ(Tables.multiply(A, B), naiveNegacyclicMultiply(A, B, P));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttParamTest,
+                         ::testing::Values(4, 8, 16, 64, 256, 512, 4096,
+                                           8192));
+
+TEST(Ntt, MultiplyByOneIsIdentity) {
+  size_t N = 64;
+  uint64_t P = generateNttPrime(45, 2 * N);
+  NttTables Tables(N, P);
+  Rng R(7);
+  std::vector<uint64_t> A = R.vectorBelow(P, N);
+  std::vector<uint64_t> One(N, 0);
+  One[0] = 1;
+  EXPECT_EQ(Tables.multiply(A, One), A);
+}
+
+TEST(Ntt, MultiplyByXRotatesWithSignFlip) {
+  // A(x) * x in Z_P[x]/(x^N+1) shifts coefficients up and negates the
+  // wrapped one.
+  size_t N = 16;
+  uint64_t P = generateNttPrime(45, 2 * N);
+  NttTables Tables(N, P);
+  Rng R(8);
+  std::vector<uint64_t> A = R.vectorBelow(P, N);
+  std::vector<uint64_t> X(N, 0);
+  X[1] = 1;
+  auto Product = Tables.multiply(A, X);
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_EQ(Product[I], A[I - 1]);
+  EXPECT_EQ(Product[0], negMod(A[N - 1], P));
+}
+
+TEST(Ntt, BatchingPlainModulusWorks) {
+  // t = 65537 must support NTT up to N = 32768; exercise a modest size.
+  NttTables Tables(1024, 65537);
+  Rng R(9);
+  std::vector<uint64_t> A = R.vectorBelow(65537, 1024);
+  std::vector<uint64_t> Values = A;
+  Tables.forwardTransform(Values);
+  Tables.inverseTransform(Values);
+  EXPECT_EQ(Values, A);
+}
+
+//===----------------------------------------------------------------------===//
+// BigInt
+//===----------------------------------------------------------------------===//
+
+BigInt fromI128(__int128 V) {
+  bool Neg = V < 0;
+  unsigned __int128 Mag =
+      Neg ? -static_cast<unsigned __int128>(V) : static_cast<unsigned __int128>(V);
+  BigInt Lo = BigInt::fromU64(static_cast<uint64_t>(Mag));
+  BigInt Hi = BigInt::fromU64(static_cast<uint64_t>(Mag >> 64));
+  BigInt R = Hi.shiftLeft(64) + Lo;
+  return Neg ? -R : R;
+}
+
+__int128 randI128(Rng &R) {
+  unsigned __int128 Mag =
+      (static_cast<unsigned __int128>(R.next()) << 64) | R.next();
+  // Keep within +-2^126 so sums/differences stay in range.
+  Mag >>= 2;
+  return R.next() & 1 ? -static_cast<__int128>(Mag) : static_cast<__int128>(Mag);
+}
+
+TEST(BigInt, AddSubMulAgainstInt128Oracle) {
+  Rng R(10);
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    __int128 A = randI128(R) >> 2, B = randI128(R) >> 2;
+    EXPECT_EQ(fromI128(A) + fromI128(B), fromI128(A + B));
+    EXPECT_EQ(fromI128(A) - fromI128(B), fromI128(A - B));
+    __int128 SmallA = A >> 70, SmallB = B >> 70;
+    EXPECT_EQ(fromI128(SmallA) * fromI128(SmallB), fromI128(SmallA * SmallB));
+  }
+}
+
+TEST(BigInt, CompareOrdering) {
+  BigInt MinusTwo = BigInt::fromI64(-2);
+  BigInt Zero;
+  BigInt Three = BigInt::fromU64(3);
+  BigInt Big = BigInt::fromU64(1).shiftLeft(300);
+  EXPECT_LT(MinusTwo, Zero);
+  EXPECT_LT(Zero, Three);
+  EXPECT_LT(Three, Big);
+  EXPECT_LT(-Big, MinusTwo);
+  EXPECT_EQ(Zero, BigInt::fromI64(0));
+}
+
+TEST(BigInt, ZeroHandling) {
+  BigInt Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_TRUE((-Zero).isZero());
+  EXPECT_FALSE((-Zero).isNegative());
+  EXPECT_EQ(Zero + Zero, Zero);
+  EXPECT_EQ(Zero * BigInt::fromU64(123), Zero);
+  EXPECT_EQ(Zero.bitLength(), 0u);
+}
+
+TEST(BigInt, ShiftRoundTrip) {
+  Rng R(11);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    BigInt V = fromI128(randI128(R));
+    unsigned Shift = static_cast<unsigned>(R.below(180));
+    EXPECT_EQ(V.shiftLeft(Shift).shiftRight(Shift), V);
+  }
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt::fromU64(1).bitLength(), 1u);
+  EXPECT_EQ(BigInt::fromU64(255).bitLength(), 8u);
+  EXPECT_EQ(BigInt::fromU64(256).bitLength(), 9u);
+  EXPECT_EQ(BigInt::fromU64(1).shiftLeft(200).bitLength(), 201u);
+}
+
+TEST(BigInt, Log2Magnitude) {
+  EXPECT_NEAR(BigInt::fromU64(1024).log2Magnitude(), 10.0, 1e-9);
+  EXPECT_NEAR(BigInt::fromU64(1).shiftLeft(300).log2Magnitude(), 300.0, 1e-6);
+  EXPECT_NEAR(BigInt::fromU64(3).log2Magnitude(), 1.58496, 1e-4);
+}
+
+TEST(BigInt, DivModReconstructionProperty) {
+  Rng R(12);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    // Random wide dividend and narrower divisor.
+    BigInt U = fromI128(randI128(R)).shiftLeft(static_cast<unsigned>(R.below(128)));
+    BigInt V = fromI128(randI128(R) >> (R.below(100)));
+    if (V.isZero())
+      continue;
+    BigInt Q, Rem;
+    U.divMod(V, Q, Rem);
+    EXPECT_EQ(Q * V + Rem, U);
+    BigInt AbsRem = Rem.isNegative() ? -Rem : Rem;
+    BigInt AbsV = V.isNegative() ? -V : V;
+    EXPECT_LT(AbsRem, AbsV);
+    // Truncated division: remainder sign matches dividend (or is zero).
+    if (!Rem.isZero())
+      EXPECT_EQ(Rem.isNegative(), U.isNegative());
+  }
+}
+
+TEST(BigInt, DivModSmallOracle) {
+  Rng R(13);
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    __int128 A = randI128(R);
+    __int128 B = randI128(R) >> (R.below(120));
+    if (B == 0)
+      continue;
+    BigInt Q, Rem;
+    fromI128(A).divMod(fromI128(B), Q, Rem);
+    EXPECT_EQ(Q, fromI128(A / B));
+    EXPECT_EQ(Rem, fromI128(A % B));
+  }
+}
+
+TEST(BigInt, DivRoundNearest) {
+  // round(7/2) = 4 (ties away from zero), round(-7/2) = -4.
+  auto Div = [](int64_t A, int64_t B) {
+    return BigInt::fromI64(A).divRoundNearest(BigInt::fromI64(B)).toI64();
+  };
+  EXPECT_EQ(Div(7, 2), 4);
+  EXPECT_EQ(Div(-7, 2), -4);
+  EXPECT_EQ(Div(7, -2), -4);
+  EXPECT_EQ(Div(6, 2), 3);
+  EXPECT_EQ(Div(1, 3), 0);
+  EXPECT_EQ(Div(2, 3), 1);
+  EXPECT_EQ(Div(-2, 3), -1);
+  EXPECT_EQ(Div(0, 5), 0);
+}
+
+TEST(BigInt, DivRoundNearestWide) {
+  Rng R(14);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    __int128 A = randI128(R);
+    int64_t B = R.range(1, int64_t(1) << 40);
+    __int128 Twice = 2 * A;
+    __int128 Expect = (Twice >= 0 ? Twice + B : Twice - B) / (2 * static_cast<__int128>(B));
+    EXPECT_EQ(fromI128(A).divRoundNearest(BigInt::fromI64(B)), fromI128(Expect));
+  }
+}
+
+TEST(BigInt, ModWord) {
+  Rng R(15);
+  for (int Trial = 0; Trial < 1000; ++Trial) {
+    __int128 A = randI128(R);
+    uint64_t M = R.below((1ull << 50) - 2) + 2;
+    __int128 Expect = A % static_cast<__int128>(M);
+    if (Expect < 0)
+      Expect += M;
+    EXPECT_EQ(fromI128(A).modWord(M), static_cast<uint64_t>(Expect));
+  }
+}
+
+TEST(BigInt, DigitDecompositionRecomposes) {
+  Rng R(16);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    BigInt V = fromI128(randI128(R));
+    if (V.isNegative())
+      V = -V;
+    unsigned Width = static_cast<unsigned>(R.below(30)) + 4;
+    unsigned NumDigits = (V.bitLength() + Width - 1) / Width;
+    BigInt Recomposed;
+    for (unsigned D = 0; D < NumDigits; ++D)
+      Recomposed += BigInt::fromU64(V.digit(D, Width)).shiftLeft(D * Width);
+    EXPECT_EQ(Recomposed, V);
+  }
+}
+
+TEST(BigInt, ToI64Bounds) {
+  EXPECT_EQ(BigInt::fromI64(INT64_MIN).toI64(), INT64_MIN);
+  EXPECT_EQ(BigInt::fromI64(INT64_MAX).toI64(), INT64_MAX);
+  EXPECT_EQ(BigInt::fromI64(-1).toI64(), -1);
+}
+
+TEST(BigInt, HexString) {
+  EXPECT_EQ(BigInt().toHexString(), "0x0");
+  EXPECT_EQ(BigInt::fromU64(0x1f).toHexString(), "0x1f");
+  EXPECT_EQ(BigInt::fromI64(-31).toHexString(), "-0x1f");
+  EXPECT_EQ(BigInt::fromU64(1).shiftLeft(64).toHexString(),
+            "0x10000000000000000");
+}
+
+//===----------------------------------------------------------------------===//
+// CRT
+//===----------------------------------------------------------------------===//
+
+TEST(Crt, RoundTripCanonical) {
+  auto Primes = generateNttPrimes(50, 2 * 4096, 3);
+  CrtBasis Basis(Primes);
+  Rng R(17);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    // Random value below Q via random residues.
+    std::vector<uint64_t> Residues;
+    for (uint64_t P : Primes)
+      Residues.push_back(R.below(P));
+    BigInt X = Basis.reconstruct(Residues);
+    EXPECT_LT(X, Basis.modulus());
+    EXPECT_FALSE(X.isNegative());
+    EXPECT_EQ(Basis.decompose(X), Residues);
+  }
+}
+
+TEST(Crt, CenteredRange) {
+  auto Primes = generateNttPrimes(30, 2 * 64, 2);
+  CrtBasis Basis(Primes);
+  Rng R(18);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    std::vector<uint64_t> Residues;
+    for (uint64_t P : Primes)
+      Residues.push_back(R.below(P));
+    BigInt X = Basis.reconstructCentered(Residues);
+    EXPECT_LE(X, Basis.halfModulus());
+    EXPECT_LE(-Basis.halfModulus() - BigInt::fromU64(1), X);
+    // Centered and canonical agree modulo each prime.
+    for (size_t I = 0; I < Primes.size(); ++I)
+      EXPECT_EQ(X.modWord(Primes[I]), Residues[I]);
+  }
+}
+
+TEST(Crt, SmallNegativeValues) {
+  CrtBasis Basis({97, 101});
+  BigInt MinusOne = BigInt::fromI64(-1);
+  auto Residues = Basis.decompose(MinusOne);
+  EXPECT_EQ(Residues[0], 96u);
+  EXPECT_EQ(Residues[1], 100u);
+  EXPECT_EQ(Basis.reconstructCentered(Residues), MinusOne);
+}
+
+TEST(Crt, Single63BitPrimeBasis) {
+  uint64_t P = generateNttPrime(55, 2 * 8192);
+  CrtBasis Basis({P});
+  BigInt X = BigInt::fromU64(12345678901234ull);
+  EXPECT_EQ(Basis.reconstruct(Basis.decompose(X)), X);
+}
+
+} // namespace
+
+namespace {
+
+/// Division validated by construction: build U = Q*V + R from random parts
+/// (R < V), then require divMod to recover Q and R exactly. Covers widths
+/// far beyond the __int128 oracle, including the Knuth D add-back path
+/// (equal leading digits arise regularly among these patterns).
+TEST(BigInt, DivModConstructionStressWide) {
+  Rng Rand(41);
+  for (int Trial = 0; Trial < 1500; ++Trial) {
+    // Random divisor of 1-5 words, top word sometimes forced to the
+    // pattern 0x8000.. / 0xffff.. that stresses quotient estimation.
+    unsigned VWords = 1 + static_cast<unsigned>(Rand.below(5));
+    BigInt V;
+    for (unsigned I = 0; I < VWords; ++I)
+      V = V.shiftLeft(64) + BigInt::fromU64(Rand.next());
+    switch (Rand.below(4)) {
+    case 0:
+      V = V.shiftRight(V.bitLength() % 64); // Aligned top word.
+      break;
+    case 1:
+      V = V + BigInt::fromU64(1).shiftLeft(VWords * 64 - 1); // Top bit set.
+      break;
+    default:
+      break;
+    }
+    if (V.isZero())
+      continue;
+
+    unsigned QWords = 1 + static_cast<unsigned>(Rand.below(4));
+    BigInt Q;
+    for (unsigned I = 0; I < QWords; ++I)
+      Q = Q.shiftLeft(64) + BigInt::fromU64(Rand.next());
+
+    // Remainder strictly below |V|.
+    BigInt R;
+    BigInt Quot;
+    BigInt VAbs = V;
+    BigInt Raw;
+    for (unsigned I = 0; I < VWords; ++I)
+      Raw = Raw.shiftLeft(64) + BigInt::fromU64(Rand.next());
+    Raw.divMod(VAbs, Quot, R);
+
+    BigInt U = Q * V + R;
+    BigInt GotQ, GotR;
+    U.divMod(V, GotQ, GotR);
+    ASSERT_EQ(GotQ, Q) << "trial " << Trial;
+    ASSERT_EQ(GotR, R) << "trial " << Trial;
+  }
+}
+
+/// Explicit add-back trigger (Knuth's classic worst case shape): dividend
+/// with a long run of ones against a divisor just above a power of two.
+TEST(BigInt, DivModAddBackShapes) {
+  // U = 2^192 - 1, V = 2^64 + 3: quotient estimation overshoots without
+  // the correction step.
+  BigInt U = BigInt::fromU64(1).shiftLeft(192) - BigInt::fromU64(1);
+  BigInt V = BigInt::fromU64(1).shiftLeft(64) + BigInt::fromU64(3);
+  BigInt Q, R;
+  U.divMod(V, Q, R);
+  EXPECT_EQ(Q * V + R, U);
+  EXPECT_LT(R, V);
+
+  // Equal leading words.
+  BigInt U2 = BigInt::fromU64(0x8000000000000000ull).shiftLeft(128);
+  BigInt V2 = BigInt::fromU64(0x8000000000000000ull).shiftLeft(64) +
+              BigInt::fromU64(1);
+  U2.divMod(V2, Q, R);
+  EXPECT_EQ(Q * V2 + R, U2);
+  EXPECT_LT(R, V2);
+}
+
+/// mulWord against repeated addition on random values.
+TEST(BigInt, MulWordAgainstRepeatedAddition) {
+  Rng Rand(43);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    BigInt V = BigInt::fromU64(Rand.next()).shiftLeft(
+        static_cast<unsigned>(Rand.below(128)));
+    uint64_t W = Rand.below(50);
+    BigInt Sum;
+    for (uint64_t I = 0; I < W; ++I)
+      Sum += V;
+    EXPECT_EQ(V.mulWord(W), Sum);
+  }
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/spec_test.cpp - Unit tests for specs and verification --------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Equivalence.h"
+#include "spec/KernelSpec.h"
+#include "spec/ModInt.h"
+#include "spec/SymPoly.h"
+#include "quill/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+
+namespace {
+
+constexpr uint64_t T = 65537;
+
+//===----------------------------------------------------------------------===//
+// SymPoly algebra
+//===----------------------------------------------------------------------===//
+
+TEST(SymPoly, ConstantsAndVariables) {
+  SymPoly C = SymPoly::constant(5, T);
+  SymPoly X = SymPoly::variable(0, T);
+  EXPECT_FALSE(C.isZero());
+  EXPECT_EQ(C.degree(), 0u);
+  EXPECT_EQ(X.degree(), 1u);
+  EXPECT_TRUE(SymPoly::constant(0, T).isZero());
+  EXPECT_TRUE(SymPoly::constant(T, T).isZero()); // Reduces mod t.
+}
+
+TEST(SymPoly, RingLaws) {
+  SymPoly X = SymPoly::variable(0, T), Y = SymPoly::variable(1, T),
+          Z = SymPoly::variable(2, T);
+  EXPECT_EQ(X + Y, Y + X);
+  EXPECT_EQ(X * Y, Y * X);
+  EXPECT_EQ((X + Y) + Z, X + (Y + Z));
+  EXPECT_EQ((X * Y) * Z, X * (Y * Z));
+  EXPECT_EQ(X * (Y + Z), X * Y + X * Z);
+  EXPECT_TRUE((X - X).isZero());
+  EXPECT_EQ(X * SymPoly::constant(1, T), X);
+  EXPECT_TRUE((X * SymPoly::constant(0, T)).isZero());
+}
+
+TEST(SymPoly, CanonicalFormDetectsEquality) {
+  SymPoly X = SymPoly::variable(0, T), Y = SymPoly::variable(1, T);
+  // (x+y)^2 == x^2 + 2xy + y^2 must hold structurally.
+  SymPoly Lhs = (X + Y) * (X + Y);
+  SymPoly Rhs = X * X + SymPoly::constant(2, T) * X * Y + Y * Y;
+  EXPECT_EQ(Lhs, Rhs);
+  // And differ from x^2 + y^2.
+  EXPECT_NE(Lhs, X * X + Y * Y);
+}
+
+TEST(SymPoly, FactoredFormsAreEqual) {
+  // The polynomial-regression optimization the paper highlights:
+  // a*x^2 + b*x == (a*x + b)*x. Verification must see through it.
+  SymPoly A = SymPoly::variable(0, T), B = SymPoly::variable(1, T),
+          X = SymPoly::variable(2, T);
+  EXPECT_EQ(A * X * X + B * X, (A * X + B) * X);
+}
+
+TEST(SymPoly, EvaluateMatchesStructure) {
+  SymPoly X = SymPoly::variable(0, T), Y = SymPoly::variable(1, T);
+  SymPoly P = X * X * SymPoly::constant(3, T) + Y + SymPoly::constant(7, T);
+  EXPECT_EQ(P.evaluate({2, 10}), (3 * 4 + 10 + 7) % T);
+  EXPECT_EQ(P.evaluate({0, 0}), 7u);
+}
+
+TEST(SymPoly, DegreeAndTermCount) {
+  SymPoly X = SymPoly::variable(0, T), Y = SymPoly::variable(1, T);
+  SymPoly P = X * X * Y + X + SymPoly::constant(1, T);
+  EXPECT_EQ(P.degree(), 3u);
+  EXPECT_EQ(P.termCount(), 3u);
+  EXPECT_EQ(P.maxVariable(), 1);
+}
+
+TEST(SymPoly, ToStringReadable) {
+  SymPoly X = SymPoly::variable(0, T);
+  SymPoly P = X * X + SymPoly::constant(2, T);
+  EXPECT_EQ(P.toString(), "2 + x0^2");
+}
+
+//===----------------------------------------------------------------------===//
+// KernelSpec
+//===----------------------------------------------------------------------===//
+
+/// width-4 dot product spec: out[0] = sum_i a[i]*b[i]; other slots
+/// unconstrained.
+KernelSpec dotSpec() {
+  DataLayout Layout;
+  Layout.Description = "two packed 4-vectors; result in slot 0";
+  Layout.OutputMask = {true, false, false, false};
+  return makeKernelSpec(
+      "dot4", 2, 4, Layout, [](const auto &In, auto Konst) {
+        auto Acc = Konst(0);
+        for (size_t I = 0; I < 4; ++I)
+          Acc = Acc + In[0][I] * In[1][I];
+        std::vector<std::decay_t<decltype(Acc)>> Out(4, Konst(0));
+        Out[0] = Acc;
+        return Out;
+      });
+}
+
+TEST(KernelSpecTest, ConcreteEvaluation) {
+  KernelSpec Spec = dotSpec();
+  auto Out = Spec.evalConcrete({{1, 2, 3, 4}, {5, 6, 7, 8}}, T);
+  EXPECT_EQ(Out[0], 70u);
+}
+
+TEST(KernelSpecTest, SymbolicOutputsAreLifted) {
+  KernelSpec Spec = dotSpec();
+  auto Out = Spec.symbolicOutputs(T);
+  // Slot 0 = x0*x4 + x1*x5 + x2*x6 + x3*x7 (input 1 vars start at 4).
+  SymPoly Want(T);
+  for (uint32_t I = 0; I < 4; ++I)
+    Want = Want + SymPoly::variable(I, T) * SymPoly::variable(4 + I, T);
+  EXPECT_EQ(Out[0], Want);
+  EXPECT_EQ(Out[0].degree(), 2u);
+}
+
+TEST(KernelSpecTest, InputMasksForceZeroPadding) {
+  DataLayout Layout;
+  Layout.OutputMask = {true, true, true};
+  Layout.InputMasks = {{true, false, true}};
+  KernelSpec Spec = makeKernelSpec(
+      "masked", 1, 3, Layout,
+      [](const auto &In, auto Konst) { (void)Konst; return In[0]; });
+  auto Sym = Spec.symbolicInputs(T);
+  EXPECT_FALSE(Sym[0][0].isZero());
+  EXPECT_TRUE(Sym[0][1].isZero());
+  Rng R(3);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    auto In = Spec.randomInputs(R, T);
+    EXPECT_EQ(In[0][1], 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic program evaluation + verification
+//===----------------------------------------------------------------------===//
+
+Program dotProgram() {
+  Program P;
+  P.NumInputs = 2;
+  P.VectorSize = 4;
+  int Prod = P.append(Instr::ctCt(Opcode::MulCtCt, 0, 1));
+  int R2 = P.append(Instr::rot(Prod, 2));
+  int S1 = P.append(Instr::ctCt(Opcode::AddCtCt, Prod, R2));
+  int R1 = P.append(Instr::rot(S1, 1));
+  P.append(Instr::ctCt(Opcode::AddCtCt, S1, R1));
+  return P;
+}
+
+TEST(Verify, CorrectDotProgramVerifies) {
+  Rng R(1);
+  auto Result = verifyProgram(dotProgram(), dotSpec(), T, R);
+  EXPECT_TRUE(Result.Equivalent);
+}
+
+TEST(Verify, SymbolicAndConcreteInterpretationsAgree) {
+  // Property: evaluating the symbolic outputs at a concrete point equals
+  // interpreting the program on that point.
+  Program P = dotProgram();
+  KernelSpec Spec = dotSpec();
+  Rng R(2);
+  auto Sym = evalProgramSymbolic(P, Spec.symbolicInputs(T), T);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    auto In = Spec.randomInputs(R, T);
+    auto Concrete = interpret(P, {In[0], In[1]}, T);
+    std::vector<uint64_t> Assignment;
+    for (const auto &Vec : In)
+      Assignment.insert(Assignment.end(), Vec.begin(), Vec.end());
+    for (size_t J = 0; J < 4; ++J)
+      EXPECT_EQ(Sym[J].evaluate(Assignment), Concrete[J]);
+  }
+}
+
+TEST(Verify, WrongProgramYieldsCounterexample) {
+  // Reduction missing the final add: only a partial sum in slot 0.
+  Program P;
+  P.NumInputs = 2;
+  P.VectorSize = 4;
+  int Prod = P.append(Instr::ctCt(Opcode::MulCtCt, 0, 1));
+  int R2 = P.append(Instr::rot(Prod, 2));
+  P.append(Instr::ctCt(Opcode::AddCtCt, Prod, R2));
+  KernelSpec Spec = dotSpec();
+  Rng R(3);
+  auto Result = verifyProgram(P, Spec, T, R);
+  ASSERT_FALSE(Result.Equivalent);
+  ASSERT_EQ(Result.Counterexample.size(), 2u);
+  // The counterexample must actually distinguish program from spec.
+  auto Got = interpret(P, Result.Counterexample, T);
+  auto Want = Spec.evalConcrete(Result.Counterexample, T);
+  EXPECT_NE(Got[0], Want[0]);
+}
+
+TEST(Verify, UnconstrainedSlotsIgnored) {
+  // A program that leaves garbage in slots 1-3 still verifies, because the
+  // output mask only constrains slot 0.
+  Program P = dotProgram();
+  KernelSpec Spec = dotSpec();
+  Rng R(4);
+  auto Result = verifyProgram(P, Spec, T, R);
+  EXPECT_TRUE(Result.Equivalent);
+  // Sanity: slot 1 of the program is NOT the spec's zero.
+  auto Sym = evalProgramSymbolic(P, Spec.symbolicInputs(T), T);
+  EXPECT_FALSE(Sym[1].isZero());
+}
+
+} // namespace

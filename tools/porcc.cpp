@@ -1,0 +1,309 @@
+//===- tools/porcc.cpp - Porcupine compiler driver ------------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver for the Porcupine toolchain.
+///
+///   porcc list
+///       List the bundled kernel specifications.
+///   porcc synth <kernel> [--timeout S] [--no-optimize] [--explicit-rot]
+///       Synthesize a kernel from its bundled spec/sketch; print the Quill
+///       program, statistics, and generated SEAL code.
+///   porcc emit <kernel> [--baseline] [--function NAME]
+///       Emit SEAL-style C++ for a bundled program.
+///   porcc show <kernel> [--baseline]
+///       Print a bundled Quill program and its static analyses.
+///   porcc run <file.quill> --inputs "1 2 3;4 5 6" [--encrypted]
+///       Parse a Quill program and execute it on the given inputs
+///       (plaintext interpreter, or end-to-end encrypted with --encrypted).
+///   porcc check <file.quill> <kernel>
+///       Verify a Quill program against a bundled kernel specification.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/BfvExecutor.h"
+#include "backend/SealCodeGen.h"
+#include "kernels/Kernels.h"
+#include "quill/Analysis.h"
+#include "quill/Interpreter.h"
+#include "spec/Equivalence.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace porcupine;
+using namespace porcupine::kernels;
+
+namespace {
+
+std::vector<KernelBundle> bundles() { return allKernels(); }
+
+std::optional<KernelBundle> findKernel(const std::string &Name) {
+  for (KernelBundle &B : bundles()) {
+    std::string Lower = B.Spec.name();
+    for (char &C : Lower)
+      C = static_cast<char>(tolower(C));
+    std::string Want = Name;
+    for (char &C : Want)
+      C = static_cast<char>(tolower(C));
+    if (Lower == Want || Lower.find(Want) != std::string::npos)
+      return std::move(B);
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: porcc <list|synth|emit|show|run|check> [args]\n"
+               "  porcc list\n"
+               "  porcc synth <kernel> [--timeout S] [--no-optimize] "
+               "[--explicit-rot]\n"
+               "  porcc emit <kernel> [--baseline] [--function NAME]\n"
+               "  porcc show <kernel> [--baseline]\n"
+               "  porcc run <file.quill> --inputs \"1 2 3;4 5 6\" "
+               "[--encrypted]\n"
+               "  porcc check <file.quill> <kernel>\n");
+  return 2;
+}
+
+bool hasFlag(int Argc, char **Argv, const char *Flag) {
+  for (int I = 0; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return true;
+  return false;
+}
+
+const char *argValue(int Argc, char **Argv, const char *Flag,
+                     const char *Default) {
+  for (int I = 0; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return Argv[I + 1];
+  return Default;
+}
+
+void printAnalyses(const quill::Program &P) {
+  auto Mix = quill::countInstructions(P);
+  std::printf("; %d instructions (%d rotations, %d ct-ct muls, %d ct-pt "
+              "muls, %d adds/subs), depth %d, mult-depth %d\n",
+              Mix.Total, Mix.Rotations, Mix.CtCtMuls, Mix.CtPtMuls,
+              Mix.AddsSubs, quill::programDepth(P),
+              quill::programMultiplicativeDepth(P));
+}
+
+int cmdList() {
+  std::printf("%-24s %6s %7s %-s\n", "kernel", "inputs", "width", "layout");
+  for (const KernelBundle &B : bundles())
+    std::printf("%-24s %6d %7zu %s\n", B.Spec.name().c_str(),
+                B.Spec.numInputs(), B.Spec.vectorSize(),
+                B.Spec.layout().Description.c_str());
+  std::printf("%-24s %6d %7zu %s\n", "Sobel (multi-step)", 1,
+              ImageGeom::Slots, sobelApp().Spec.layout().Description.c_str());
+  std::printf("%-24s %6d %7zu %s\n", "Harris (multi-step)", 1,
+              ImageGeom::Slots,
+              harrisApp().Spec.layout().Description.c_str());
+  return 0;
+}
+
+int cmdSynth(int Argc, char **Argv) {
+  if (Argc < 1)
+    return usage();
+  auto B = findKernel(Argv[0]);
+  if (!B) {
+    std::fprintf(stderr, "error: unknown kernel '%s' (try 'porcc list')\n",
+                 Argv[0]);
+    return 1;
+  }
+  synth::SynthesisOptions Opts;
+  Opts.TimeoutSeconds = std::atof(argValue(Argc, Argv, "--timeout", "120"));
+  Opts.Optimize = !hasFlag(Argc, Argv, "--no-optimize");
+  synth::Sketch Sk = B->Sketch;
+  Sk.ExplicitRotations = hasFlag(Argc, Argv, "--explicit-rot");
+  if (Sk.ExplicitRotations)
+    Opts.MaxComponents = 12;
+
+  std::printf("synthesizing %s (timeout %.0fs)...\n", B->Spec.name().c_str(),
+              Opts.TimeoutSeconds);
+  auto Result = synth::synthesize(B->Spec, Sk, Opts);
+  if (!Result.Found) {
+    std::fprintf(stderr, "synthesis failed%s\n",
+                 Result.Stats.TimedOut ? " (timeout)" : "");
+    return 1;
+  }
+  std::printf("\n");
+  printAnalyses(Result.Prog);
+  std::printf("%s\n", quill::printProgram(Result.Prog).c_str());
+  std::printf("stats: %d example(s), initial %.2fs, total %.2fs, cost %.0f "
+              "-> %.0f%s%s\n\n",
+              Result.Stats.ExamplesUsed, Result.Stats.InitialTimeSeconds,
+              Result.Stats.TotalTimeSeconds, Result.Stats.InitialCost,
+              Result.Stats.FinalCost,
+              Result.Stats.ProvenOptimal ? ", proven optimal in sketch" : "",
+              Result.Stats.TimedOut ? ", timed out" : "");
+  std::printf("%s", emitSealCode(Result.Prog, {"kernel", true}).c_str());
+  return 0;
+}
+
+int cmdEmitOrShow(int Argc, char **Argv, bool Emit) {
+  if (Argc < 1)
+    return usage();
+  auto B = findKernel(Argv[0]);
+  if (!B) {
+    std::fprintf(stderr, "error: unknown kernel '%s'\n", Argv[0]);
+    return 1;
+  }
+  const quill::Program &P =
+      hasFlag(Argc, Argv, "--baseline") ? B->Baseline : B->Synthesized;
+  if (Emit) {
+    SealCodeGenOptions Opts;
+    Opts.FunctionName = argValue(Argc, Argv, "--function", "kernel");
+    std::printf("%s", emitSealCode(P, Opts).c_str());
+  } else {
+    printAnalyses(P);
+    std::printf("%s", quill::printProgram(P).c_str());
+  }
+  return 0;
+}
+
+std::optional<std::vector<quill::SlotVector>>
+parseInputs(const std::string &Text, size_t Width) {
+  std::vector<quill::SlotVector> Inputs;
+  std::stringstream Stream(Text);
+  std::string Part;
+  while (std::getline(Stream, Part, ';')) {
+    quill::SlotVector V;
+    std::istringstream Vals(Part);
+    long long X;
+    while (Vals >> X)
+      V.push_back(toResidue(X, 65537));
+    if (V.size() > Width)
+      return std::nullopt;
+    V.resize(Width, 0);
+    Inputs.push_back(std::move(V));
+  }
+  return Inputs;
+}
+
+int cmdRun(int Argc, char **Argv) {
+  if (Argc < 1)
+    return usage();
+  std::ifstream In(Argv[0]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Argv[0]);
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  quill::Program P;
+  std::string Error;
+  if (!quill::parseProgram(Buf.str(), P, Error)) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+  auto Inputs =
+      parseInputs(argValue(Argc, Argv, "--inputs", ""), P.VectorSize);
+  if (!Inputs || static_cast<int>(Inputs->size()) != P.NumInputs) {
+    std::fprintf(stderr,
+                 "error: program needs %d input vector(s) of width <= %zu "
+                 "(separate vectors with ';')\n",
+                 P.NumInputs, P.VectorSize);
+    return 1;
+  }
+
+  quill::SlotVector Out;
+  if (hasFlag(Argc, Argv, "--encrypted")) {
+    BfvContext Ctx = BfvContext::forMultDepth(
+        static_cast<unsigned>(quill::programMultiplicativeDepth(P)));
+    Rng R(1);
+    BfvExecutor Exec(Ctx, R, {&P});
+    std::vector<Ciphertext> Enc;
+    for (const auto &V : *Inputs)
+      Enc.push_back(Exec.encryptInput(V));
+    Ciphertext Ct = Exec.run(P, Enc);
+    Out = Exec.decryptOutput(Ct, P.VectorSize);
+    std::printf("; executed under BFV (N=%zu), noise budget left %.1f "
+                "bits\n",
+                Ctx.polyDegree(), Exec.noiseBudget(Ct));
+  } else {
+    Out = quill::interpret(P, *Inputs, 65537);
+    std::printf("; executed by the plaintext interpreter (mod 65537)\n");
+  }
+  for (uint64_t V : Out)
+    std::printf("%llu ", static_cast<unsigned long long>(V));
+  std::printf("\n");
+  return 0;
+}
+
+int cmdCheck(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::ifstream In(Argv[0]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Argv[0]);
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  quill::Program P;
+  std::string Error;
+  if (!quill::parseProgram(Buf.str(), P, Error)) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+  auto B = findKernel(Argv[1]);
+  if (!B) {
+    std::fprintf(stderr, "error: unknown kernel '%s'\n", Argv[1]);
+    return 1;
+  }
+  if (P.VectorSize != B->Spec.vectorSize() ||
+      P.NumInputs != B->Spec.numInputs()) {
+    std::fprintf(stderr, "error: program shape (%d inputs, width %zu) does "
+                         "not match spec (%d inputs, width %zu)\n",
+                 P.NumInputs, P.VectorSize, B->Spec.numInputs(),
+                 B->Spec.vectorSize());
+    return 1;
+  }
+  Rng R(1);
+  auto V = verifyProgram(P, B->Spec, 65537, R);
+  if (V.Equivalent) {
+    std::printf("OK: program is equivalent to '%s' on all inputs\n",
+                B->Spec.name().c_str());
+    return 0;
+  }
+  std::printf("FAIL: not equivalent; counterexample input(s):\n");
+  for (const auto &Vec : V.Counterexample) {
+    for (uint64_t X : Vec)
+      std::printf("%llu ", static_cast<unsigned long long>(X));
+    std::printf("\n");
+  }
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "list")
+    return cmdList();
+  if (Cmd == "synth")
+    return cmdSynth(Argc - 2, Argv + 2);
+  if (Cmd == "emit")
+    return cmdEmitOrShow(Argc - 2, Argv + 2, /*Emit=*/true);
+  if (Cmd == "show")
+    return cmdEmitOrShow(Argc - 2, Argv + 2, /*Emit=*/false);
+  if (Cmd == "run")
+    return cmdRun(Argc - 2, Argv + 2);
+  if (Cmd == "check")
+    return cmdCheck(Argc - 2, Argv + 2);
+  return usage();
+}
