@@ -6,7 +6,12 @@
 
 #include "support/Random.h"
 
+#include "support/Error.h"
+
 #include <cassert>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
 
 using namespace porcupine;
 
@@ -67,6 +72,32 @@ std::vector<uint64_t> Rng::vectorBelow(uint64_t Bound, size_t Count) {
 int64_t Rng::ternary() {
   return static_cast<int64_t>(below(3)) - 1;
 }
+
+uint64_t porcupine::testSeedBase() {
+  static const uint64_t Base = [] {
+    const char *Env = std::getenv("PORCUPINE_TEST_SEED");
+    if (!Env || !*Env)
+      return uint64_t{0};
+    // A malformed seed that silently fell back to 0 (or saturated) would make
+    // a seed sweep re-run a stream it did not claim to, so accept only plain
+    // digits within uint64 range. strtoull alone is too lenient: it skips
+    // whitespace, accepts +/-, and saturates on overflow.
+    for (const char *P = Env; *P; ++P)
+      if (*P < '0' || *P > '9')
+        fatalError(
+            std::string("PORCUPINE_TEST_SEED is not a plain decimal number: '") +
+            Env + "'");
+    errno = 0;
+    uint64_t Value = std::strtoull(Env, nullptr, 10);
+    if (errno == ERANGE)
+      fatalError(std::string("PORCUPINE_TEST_SEED overflows uint64: '") + Env +
+                 "'");
+    return Value;
+  }();
+  return Base;
+}
+
+uint64_t porcupine::testSeed(uint64_t Offset) { return testSeedBase() + Offset; }
 
 int64_t Rng::centeredError() {
   // Sum of 42 fair bits minus 21: binomial approximation of a discrete

@@ -53,6 +53,16 @@ private:
   uint64_t State[4];
 };
 
+/// Base seed shared by all randomized tests: the value of the
+/// PORCUPINE_TEST_SEED environment variable when set (decimal), otherwise 0.
+/// Parsed once and cached.
+uint64_t testSeedBase();
+
+/// Seed for one randomized test stream: testSeedBase() + \p Offset. With the
+/// default base of 0 this equals the historical fixed per-test seed, so runs
+/// stay deterministic unless the environment deliberately overrides them.
+uint64_t testSeed(uint64_t Offset);
+
 } // namespace porcupine
 
 #endif // PORCUPINE_SUPPORT_RANDOM_H

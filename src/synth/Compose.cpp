@@ -18,7 +18,7 @@ int porcupine::synth::inlineProgram(Program &Dst, const Program &Src,
   assert(static_cast<int>(InputMap.size()) == Src.NumInputs &&
          "input map must cover every Src input");
   assert(Dst.VectorSize == Src.VectorSize && "vector width mismatch");
-  for (int Id : InputMap)
+  for ([[maybe_unused]] int Id : InputMap)
     assert(Id >= 0 && Id < Dst.numValues() && "input map id out of range");
 
   // Remap Src's constant table into Dst.

@@ -1,0 +1,51 @@
+//===- tests/TestSeed.h - Reproducible seeds for randomized tests -*- C++ -*-=//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between support/Random.h's PORCUPINE_TEST_SEED plumbing and the test
+/// harness: property tests seed their Rng via porcupine::testSeed(Offset) and
+/// declare a SeedReporter so a failure prints the exact seed to replay with
+///
+///   PORCUPINE_TEST_SEED=<base> ctest -R <suite> --output-on-failure
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_TESTS_TESTSEED_H
+#define PORCUPINE_TESTS_TESTSEED_H
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+
+namespace porcupine {
+
+/// Declared at the top of a randomized test body; if the test has failed by
+/// the time the body exits, logs the seed that produced the failure.
+class SeedReporter {
+public:
+  explicit SeedReporter(uint64_t Seed) : Seed(Seed) {}
+  SeedReporter(const SeedReporter &) = delete;
+  SeedReporter &operator=(const SeedReporter &) = delete;
+  ~SeedReporter() {
+    if (::testing::Test::HasFailure())
+      std::fprintf(stderr,
+                   "note: failing RNG seed was %llu (PORCUPINE_TEST_SEED base "
+                   "%llu); rerun with PORCUPINE_TEST_SEED set to reproduce or "
+                   "perturb\n",
+                   static_cast<unsigned long long>(Seed),
+                   static_cast<unsigned long long>(testSeedBase()));
+  }
+
+private:
+  uint64_t Seed;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_TESTS_TESTSEED_H

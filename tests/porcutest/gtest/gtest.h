@@ -1,0 +1,809 @@
+//===- porcutest/gtest/gtest.h - Minimal gtest-compatible harness -*- C++ -*-=//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, self-contained, single-header test harness exposing the subset of
+/// the GoogleTest API that this repository's suites actually use:
+///
+///   * TEST / TEST_F / TEST_P with fixtures (SetUp/TearDown)
+///   * INSTANTIATE_TEST_SUITE_P with testing::Values / ValuesIn / Range and
+///     an optional name-generator functor taking testing::TestParamInfo
+///   * EXPECT_/ASSERT_ EQ NE LT LE GT GE TRUE FALSE, EXPECT_NEAR,
+///     EXPECT_DOUBLE_EQ, all with `<< message` streaming
+///   * GTEST_SKIP()
+///   * --gtest_filter=GLOB[:GLOB...][-GLOB:...] and --gtest_list_tests
+///   * gtest-style console output and a non-zero exit code on failure
+///
+/// It exists so the build needs no network fetch and no system GoogleTest.
+/// It is NOT a general replacement: death tests, matchers, typed tests,
+/// sharding and threads are out of scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_PORCUTEST_GTEST_H
+#define PORCUPINE_PORCUTEST_GTEST_H
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+class Test;
+} // namespace testing
+
+namespace porcutest {
+
+//===----------------------------------------------------------------------===//
+// Value printing
+//===----------------------------------------------------------------------===//
+
+template <typename T, typename = void> struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream &>()
+                                            << std::declval<const T &>())>>
+    : std::true_type {};
+
+template <typename T, typename = void> struct IsIterable : std::false_type {};
+template <typename T>
+struct IsIterable<T, std::void_t<decltype(std::begin(std::declval<const T &>())),
+                                 decltype(std::end(std::declval<const T &>()))>>
+    : std::true_type {};
+
+/// Prints a value for a failure message: directly when streamable, element by
+/// element for containers, and as an opaque byte count otherwise.
+template <typename T> void printValue(std::ostream &OS, const T &V) {
+  if constexpr (std::is_same_v<T, bool>) {
+    OS << (V ? "true" : "false");
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    OS << '"' << V << '"';
+  } else if constexpr (std::is_convertible_v<T, const char *>) {
+    const char *S = V;
+    OS << '"' << (S ? S : "(null)") << '"';
+  } else if constexpr (IsStreamable<T>::value) {
+    OS << V;
+  } else if constexpr (IsIterable<T>::value) {
+    const size_t Total =
+        static_cast<size_t>(std::distance(std::begin(V), std::end(V)));
+    OS << "{ ";
+    size_t Count = 0;
+    for (const auto &Elem : V) {
+      if (Count != 0)
+        OS << ", ";
+      if (Count >= 32) {
+        OS << "... (" << (Total - Count) << " more elements)";
+        break;
+      }
+      printValue(OS, Elem);
+      ++Count;
+    }
+    OS << " }";
+  } else {
+    OS << "<" << sizeof(T) << "-byte object>";
+  }
+}
+
+template <typename T> std::string printToString(const T &V) {
+  std::ostringstream SS;
+  printValue(SS, V);
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-test state and failure recording
+//===----------------------------------------------------------------------===//
+
+struct TestState {
+  bool Failed = false;
+  bool FatalFailure = false;
+  bool Skipped = false;
+};
+
+inline TestState &currentTest() {
+  static TestState State;
+  return State;
+}
+
+inline void recordFailure(const char *File, int Line, const std::string &What,
+                          bool Fatal) {
+  TestState &S = currentTest();
+  S.Failed = true;
+  if (Fatal)
+    S.FatalFailure = true;
+  std::fprintf(stderr, "%s:%d: Failure\n%s\n", File, Line, What.c_str());
+}
+
+/// Accumulates the user's `<< extra` message after a failed assertion.
+class Message {
+public:
+  Message() = default;
+  template <typename T> Message &operator<<(const T &V) {
+    // Streamed user messages print raw (no quoting), like GoogleTest;
+    // printValue's quoting is only for comparison operands.
+    if constexpr (IsStreamable<T>::value)
+      Stream << V;
+    else
+      printValue(Stream, V);
+    return *this;
+  }
+  // std::endl and friends.
+  Message &operator<<(std::ostream &(*Manip)(std::ostream &)) {
+    Stream << Manip;
+    return *this;
+  }
+  std::string str() const { return Stream.str(); }
+
+private:
+  std::ostringstream Stream;
+};
+
+/// The target of `Helper = Message() << ...`; its operator= fires the failure
+/// record so the streamed user message can be included.
+class AssertHelper {
+public:
+  AssertHelper(const char *File, int Line, std::string Summary, bool Fatal)
+      : File(File), Line(Line), Summary(std::move(Summary)), Fatal(Fatal) {}
+  void operator=(const Message &M) const {
+    std::string What = Summary;
+    std::string Extra = M.str();
+    if (!Extra.empty()) {
+      What += "\n";
+      What += Extra;
+    }
+    recordFailure(File, Line, What, Fatal);
+  }
+
+private:
+  const char *File;
+  int Line;
+  std::string Summary;
+  bool Fatal;
+};
+
+/// The target of `GTEST_SKIP() << ...`.
+class SkipHelper {
+public:
+  SkipHelper(const char *File, int Line) : File(File), Line(Line) {}
+  void operator=(const Message &M) const {
+    currentTest().Skipped = true;
+    std::string Extra = M.str();
+    std::fprintf(stderr, "%s:%d: Skipped%s%s\n", File, Line,
+                 Extra.empty() ? "" : ": ", Extra.c_str());
+  }
+
+private:
+  const char *File;
+  int Line;
+};
+
+//===----------------------------------------------------------------------===//
+// Comparison predicates
+//===----------------------------------------------------------------------===//
+
+class AssertionResult {
+public:
+  explicit AssertionResult(bool Ok) : Ok(Ok) {}
+  AssertionResult(bool Ok, std::string Msg) : Ok(Ok), Msg(std::move(Msg)) {}
+  explicit operator bool() const { return Ok; }
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Ok;
+  std::string Msg;
+};
+
+// Warning-tolerant comparators: the suites freely mix signedness
+// (e.g. EXPECT_EQ(vec.size(), 7)), exactly as GoogleTest tolerates.
+#define PORCUTEST_DEFINE_CMP_(Name, Op)                                        \
+  struct Name {                                                                \
+    static const char *text() { return #Op; }                                  \
+    template <typename A, typename B>                                          \
+    bool operator()(const A &V1, const B &V2) const {                          \
+      return V1 Op V2;                                                         \
+    }                                                                          \
+  }
+PORCUTEST_DEFINE_CMP_(CmpEq, ==);
+PORCUTEST_DEFINE_CMP_(CmpNe, !=);
+PORCUTEST_DEFINE_CMP_(CmpLt, <);
+PORCUTEST_DEFINE_CMP_(CmpLe, <=);
+PORCUTEST_DEFINE_CMP_(CmpGt, >);
+PORCUTEST_DEFINE_CMP_(CmpGe, >=);
+#undef PORCUTEST_DEFINE_CMP_
+
+template <typename Cmp, typename A, typename B>
+AssertionResult comparePred(const char *Macro, const char *Expr1,
+                            const char *Expr2, const A &V1, const B &V2) {
+  if (Cmp()(V1, V2))
+    return AssertionResult(true);
+  std::ostringstream SS;
+  SS << Macro << "(" << Expr1 << ", " << Expr2 << ") failed\n"
+     << "  " << Expr1 << "\n    which is: " << printToString(V1) << "\n"
+     << "  " << Expr2 << "\n    which is: " << printToString(V2) << "\n"
+     << "  expected: " << Expr1 << " " << Cmp::text() << " " << Expr2;
+  return AssertionResult(false, SS.str());
+}
+
+inline AssertionResult compareNear(const char *Expr1, const char *Expr2,
+                                   const char *ExprTol, double V1, double V2,
+                                   double Tol) {
+  double Diff = std::fabs(V1 - V2);
+  if (Diff <= Tol)
+    return AssertionResult(true);
+  std::ostringstream SS;
+  SS << "EXPECT_NEAR(" << Expr1 << ", " << Expr2 << ", " << ExprTol
+     << ") failed\n  " << Expr1 << " evaluates to " << V1 << ",\n  " << Expr2
+     << " evaluates to " << V2 << ",\n  |difference| " << Diff
+     << " exceeds tolerance " << Tol;
+  return AssertionResult(false, SS.str());
+}
+
+inline AssertionResult compareDoubleEq(const char *Expr1, const char *Expr2,
+                                       double V1, double V2) {
+  // Four-ULP-ish tolerance via a scaled epsilon, close enough to GoogleTest's
+  // AlmostEquals for the handful of uses in this repository.
+  double Scale = std::fmax(std::fmax(std::fabs(V1), std::fabs(V2)), 1.0);
+  if (V1 == V2 || std::fabs(V1 - V2) <= 4 * Scale *
+                                            std::numeric_limits<double>::epsilon())
+    return AssertionResult(true);
+  std::ostringstream SS;
+  SS << "EXPECT_DOUBLE_EQ(" << Expr1 << ", " << Expr2 << ") failed\n  "
+     << Expr1 << " evaluates to " << V1 << ",\n  " << Expr2 << " evaluates to "
+     << V2;
+  return AssertionResult(false, SS.str());
+}
+
+template <typename T>
+AssertionResult compareBool(const char *Macro, const char *Expr, const T &V,
+                            bool Expected) {
+  if (static_cast<bool>(V) == Expected)
+    return AssertionResult(true);
+  std::ostringstream SS;
+  SS << Macro << "(" << Expr << ") failed\n  " << Expr << " evaluates to "
+     << (Expected ? "false" : "true");
+  return AssertionResult(false, SS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+struct TestInfo {
+  std::string Suite;
+  std::string Name;
+  std::function<testing::Test *()> Factory;
+  std::function<void()> BindParam; // Null for non-parameterized tests.
+};
+
+struct ParamTestPattern {
+  std::string Name;
+  std::function<testing::Test *()> Factory;
+};
+
+struct Registry {
+  std::vector<TestInfo> Tests;
+  // Suite name -> TEST_P patterns, in declaration order.
+  std::vector<std::pair<std::string, std::vector<ParamTestPattern>>> Patterns;
+  // Deferred INSTANTIATE_TEST_SUITE_P expansions (run once, at start-up).
+  std::vector<std::function<void(Registry &)>> Instantiations;
+
+  std::vector<ParamTestPattern> &patternsFor(const std::string &Suite) {
+    for (auto &Entry : Patterns)
+      if (Entry.first == Suite)
+        return Entry.second;
+    Patterns.emplace_back(Suite, std::vector<ParamTestPattern>());
+    return Patterns.back().second;
+  }
+
+  static Registry &get() {
+    static Registry Instance;
+    return Instance;
+  }
+};
+
+inline int registerTest(const char *Suite, const char *Name,
+                        std::function<testing::Test *()> Factory) {
+  Registry::get().Tests.push_back({Suite, Name, std::move(Factory), nullptr});
+  return 0;
+}
+
+inline int registerParamTest(const char *Suite, const char *Name,
+                             std::function<testing::Test *()> Factory) {
+  Registry::get().patternsFor(Suite).push_back({Name, std::move(Factory)});
+  return 0;
+}
+
+} // namespace porcutest
+
+//===----------------------------------------------------------------------===//
+// Public testing:: API
+//===----------------------------------------------------------------------===//
+
+namespace testing {
+
+/// Base class for all tests and fixtures.
+class Test {
+public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+  /// True if the currently running test has recorded any failure.
+  static bool HasFailure() { return ::porcutest::currentTest().Failed; }
+
+protected:
+  Test() = default;
+};
+
+/// Base class for parameterized fixtures. The current parameter is bound by
+/// the runner immediately before each materialized test case runs, so a
+/// static slot per parameter type is sufficient (tests never run concurrently
+/// inside one binary).
+template <typename T> class TestWithParam : public Test {
+public:
+  using ParamType = T;
+  static const T &GetParam() { return *CurrentParam; }
+  static void bindParam(const T *P) { CurrentParam = P; }
+
+private:
+  static inline const T *CurrentParam = nullptr;
+};
+
+/// Passed to INSTANTIATE_TEST_SUITE_P name generators.
+template <typename T> struct TestParamInfo {
+  T param;
+  size_t index;
+};
+
+//===----------------------------------------------------------------------===//
+// Parameter generators
+//===----------------------------------------------------------------------===//
+
+template <typename... Ts> struct ValuesGenerator {
+  std::tuple<Ts...> Items;
+  template <typename T> std::vector<T> materialize() const {
+    std::vector<T> Out;
+    Out.reserve(sizeof...(Ts));
+    std::apply(
+        [&Out](const auto &...Vs) { (Out.push_back(static_cast<T>(Vs)), ...); },
+        Items);
+    return Out;
+  }
+};
+
+template <typename Elem> struct ValuesInGenerator {
+  std::vector<Elem> Items;
+  template <typename T> std::vector<T> materialize() const {
+    std::vector<T> Out;
+    Out.reserve(Items.size());
+    for (const Elem &E : Items)
+      Out.push_back(static_cast<T>(E));
+    return Out;
+  }
+};
+
+template <typename Int> struct RangeGenerator {
+  Int Begin, End, Step;
+  template <typename T> std::vector<T> materialize() const {
+    std::vector<T> Out;
+    for (Int V = Begin; V < End; V = static_cast<Int>(V + Step))
+      Out.push_back(static_cast<T>(V));
+    return Out;
+  }
+};
+
+template <typename... Ts>
+ValuesGenerator<std::decay_t<Ts>...> Values(Ts &&...Vs) {
+  return {std::make_tuple(std::forward<Ts>(Vs)...)};
+}
+
+template <typename Container>
+auto ValuesIn(const Container &C)
+    -> ValuesInGenerator<std::decay_t<decltype(*std::begin(C))>> {
+  using Elem = std::decay_t<decltype(*std::begin(C))>;
+  return {std::vector<Elem>(std::begin(C), std::end(C))};
+}
+
+template <typename Elem, size_t N>
+ValuesInGenerator<Elem> ValuesIn(const Elem (&Array)[N]) {
+  return {std::vector<Elem>(Array, Array + N)};
+}
+
+template <typename Int> RangeGenerator<Int> Range(Int Begin, Int End) {
+  return {Begin, End, static_cast<Int>(1)};
+}
+template <typename Int>
+RangeGenerator<Int> Range(Int Begin, Int End, Int Step) {
+  return {Begin, End, Step};
+}
+
+} // namespace testing
+
+namespace porcutest {
+
+/// Default parameterized-case namer: the index, as GoogleTest does.
+struct IndexNamer {
+  template <typename T>
+  std::string operator()(const testing::TestParamInfo<T> &Info) const {
+    return std::to_string(Info.index);
+  }
+};
+
+template <typename Suite, typename Gen, typename Namer>
+int registerInstantiation(const char *Prefix, const char *SuiteName, Gen G,
+                          Namer N) {
+  using T = typename Suite::ParamType;
+  Registry::get().Instantiations.push_back([Prefix, SuiteName, G,
+                                            N](Registry &R) {
+    auto Params = std::make_shared<std::vector<T>>(G.template materialize<T>());
+    std::string FullSuite = std::string(Prefix) + "/" + SuiteName;
+    for (size_t I = 0; I < Params->size(); ++I) {
+      std::string CaseName =
+          static_cast<std::string>(N(testing::TestParamInfo<T>{(*Params)[I], I}));
+      for (const ParamTestPattern &P : R.patternsFor(SuiteName)) {
+        const T *Ptr = &(*Params)[I];
+        R.Tests.push_back({FullSuite, P.Name + "/" + CaseName, P.Factory,
+                           [Params, Ptr]() {
+                             (void)Params; // Keeps the storage alive.
+                             testing::TestWithParam<T>::bindParam(Ptr);
+                           }});
+      }
+    }
+  });
+  return 0;
+}
+
+template <typename Suite, typename Gen>
+int registerInstantiation(const char *Prefix, const char *SuiteName, Gen G) {
+  return registerInstantiation<Suite>(Prefix, SuiteName, std::move(G),
+                                      IndexNamer());
+}
+
+//===----------------------------------------------------------------------===//
+// Filtering (--gtest_filter globs with '*' and '?')
+//===----------------------------------------------------------------------===//
+
+inline bool globMatch(const char *Pattern, const char *Str) {
+  if (*Pattern == '\0')
+    return *Str == '\0';
+  if (*Pattern == '*')
+    return globMatch(Pattern + 1, Str) ||
+           (*Str != '\0' && globMatch(Pattern, Str + 1));
+  if (*Str == '\0')
+    return false;
+  if (*Pattern == '?' || *Pattern == *Str)
+    return globMatch(Pattern + 1, Str + 1);
+  return false;
+}
+
+inline std::vector<std::string> splitPatterns(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ':') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+struct Filter {
+  std::vector<std::string> Positive;
+  std::vector<std::string> Negative;
+
+  static Filter parse(const std::string &Spec) {
+    Filter F;
+    std::string Pos = Spec, Neg;
+    size_t Dash = Spec.find('-');
+    if (Dash != std::string::npos) {
+      Pos = Spec.substr(0, Dash);
+      Neg = Spec.substr(Dash + 1);
+    }
+    F.Positive = splitPatterns(Pos);
+    F.Negative = splitPatterns(Neg);
+    return F;
+  }
+
+  bool accepts(const std::string &FullName) const {
+    auto MatchesAny = [&](const std::vector<std::string> &Pats) {
+      for (const std::string &P : Pats)
+        if (globMatch(P.c_str(), FullName.c_str()))
+          return true;
+      return false;
+    };
+    if (!Positive.empty() && !MatchesAny(Positive))
+      return false;
+    return !MatchesAny(Negative);
+  }
+};
+
+struct Options {
+  Filter TestFilter{{}, {}};
+  bool ListOnly = false;
+};
+
+inline Options &options() {
+  static Options Opts;
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Runner
+//===----------------------------------------------------------------------===//
+
+inline void initFromArgs(int *Argc, char **Argv) {
+  Options &Opts = options();
+  if (const char *Env = std::getenv("GTEST_FILTER"))
+    Opts.TestFilter = Filter::parse(Env);
+  int Kept = 1;
+  for (int I = 1; I < *Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--gtest_filter=", 0) == 0) {
+      Opts.TestFilter = Filter::parse(Arg.substr(std::strlen("--gtest_filter=")));
+    } else if (Arg == "--gtest_list_tests") {
+      Opts.ListOnly = true;
+    } else if (Arg.rfind("--gtest_", 0) == 0) {
+      // Unsupported gtest flag (color, shuffle, repeat, ...): ignore so that
+      // wrappers passing standard flags keep working.
+    } else {
+      Argv[Kept++] = Argv[I];
+    }
+  }
+  *Argc = Kept;
+}
+
+inline int runAllTests() {
+  Registry &R = Registry::get();
+  // Materialize parameterized suites exactly once.
+  for (auto &Inst : R.Instantiations)
+    Inst(R);
+  R.Instantiations.clear();
+
+  const Options &Opts = options();
+  std::vector<const TestInfo *> Selected;
+  for (const TestInfo &T : R.Tests)
+    if (Opts.TestFilter.accepts(T.Suite + "." + T.Name))
+      Selected.push_back(&T);
+
+  if (Opts.ListOnly) {
+    std::string LastSuite;
+    for (const TestInfo *T : Selected) {
+      if (T->Suite != LastSuite) {
+        std::printf("%s.\n", T->Suite.c_str());
+        LastSuite = T->Suite;
+      }
+      std::printf("  %s\n", T->Name.c_str());
+    }
+    return 0;
+  }
+
+  std::printf("[==========] Running %zu tests.\n", Selected.size());
+  std::vector<std::string> Failed;
+  size_t Skipped = 0;
+  auto SuiteStart = std::chrono::steady_clock::now();
+  for (const TestInfo *T : Selected) {
+    std::string FullName = T->Suite + "." + T->Name;
+    std::printf("[ RUN      ] %s\n", FullName.c_str());
+    std::fflush(stdout);
+    currentTest() = TestState();
+    auto Start = std::chrono::steady_clock::now();
+    if (T->BindParam)
+      T->BindParam();
+    testing::Test *Instance = T->Factory();
+    Instance->SetUp();
+    // As in GoogleTest, a fatal failure (or skip) in SetUp suppresses the
+    // test body; TearDown always runs.
+    if (!currentTest().FatalFailure && !currentTest().Skipped)
+      Instance->TestBody();
+    Instance->TearDown();
+    delete Instance;
+    auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    if (currentTest().Failed) {
+      Failed.push_back(FullName);
+      std::printf("[  FAILED  ] %s (%lld ms)\n", FullName.c_str(),
+                  static_cast<long long>(Ms));
+    } else if (currentTest().Skipped) {
+      ++Skipped;
+      std::printf("[  SKIPPED ] %s (%lld ms)\n", FullName.c_str(),
+                  static_cast<long long>(Ms));
+    } else {
+      std::printf("[       OK ] %s (%lld ms)\n", FullName.c_str(),
+                  static_cast<long long>(Ms));
+    }
+    std::fflush(stdout);
+  }
+  auto TotalMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - SuiteStart)
+                     .count();
+  std::printf("[==========] %zu tests ran. (%lld ms total)\n", Selected.size(),
+              static_cast<long long>(TotalMs));
+  std::printf("[  PASSED  ] %zu tests.\n",
+              Selected.size() - Failed.size() - Skipped);
+  if (Skipped != 0)
+    std::printf("[  SKIPPED ] %zu tests.\n", Skipped);
+  if (!Failed.empty()) {
+    std::printf("[  FAILED  ] %zu tests, listed below:\n", Failed.size());
+    for (const std::string &Name : Failed)
+      std::printf("[  FAILED  ] %s\n", Name.c_str());
+  }
+  std::fflush(stdout);
+  return Failed.empty() ? 0 : 1;
+}
+
+} // namespace porcutest
+
+namespace testing {
+inline void InitGoogleTest(int *Argc, char **Argv) {
+  ::porcutest::initFromArgs(Argc, Argv);
+}
+inline void InitGoogleTest() {}
+} // namespace testing
+
+//===----------------------------------------------------------------------===//
+// Macros
+//===----------------------------------------------------------------------===//
+
+#define PORCUTEST_CONCAT_IMPL_(A, B) A##B
+#define PORCUTEST_CONCAT_(A, B) PORCUTEST_CONCAT_IMPL_(A, B)
+#define PORCUTEST_CLASS_NAME_(Suite, Name) Suite##_##Name##_PorcuTest
+
+// Keeps a dangling `else` in user code attached to the right `if`.
+#define PORCUTEST_BLOCKER_                                                     \
+  switch (0)                                                                   \
+  case 0:                                                                      \
+  default:
+
+#define PORCUTEST_NONFATAL_(Result)                                            \
+  PORCUTEST_BLOCKER_                                                           \
+  if (::porcutest::AssertionResult PorcuAR = (Result))                         \
+    ;                                                                          \
+  else                                                                         \
+    ::porcutest::AssertHelper(__FILE__, __LINE__, PorcuAR.message(), false) =  \
+        ::porcutest::Message()
+
+#define PORCUTEST_FATAL_(Result)                                               \
+  PORCUTEST_BLOCKER_                                                           \
+  if (::porcutest::AssertionResult PorcuAR = (Result))                         \
+    ;                                                                          \
+  else                                                                         \
+    return ::porcutest::AssertHelper(__FILE__, __LINE__, PorcuAR.message(),    \
+                                     true) = ::porcutest::Message()
+
+#define EXPECT_EQ(V1, V2)                                                      \
+  PORCUTEST_NONFATAL_(::porcutest::comparePred<::porcutest::CmpEq>(            \
+      "EXPECT_EQ", #V1, #V2, (V1), (V2)))
+#define EXPECT_NE(V1, V2)                                                      \
+  PORCUTEST_NONFATAL_(::porcutest::comparePred<::porcutest::CmpNe>(            \
+      "EXPECT_NE", #V1, #V2, (V1), (V2)))
+#define EXPECT_LT(V1, V2)                                                      \
+  PORCUTEST_NONFATAL_(::porcutest::comparePred<::porcutest::CmpLt>(            \
+      "EXPECT_LT", #V1, #V2, (V1), (V2)))
+#define EXPECT_LE(V1, V2)                                                      \
+  PORCUTEST_NONFATAL_(::porcutest::comparePred<::porcutest::CmpLe>(            \
+      "EXPECT_LE", #V1, #V2, (V1), (V2)))
+#define EXPECT_GT(V1, V2)                                                      \
+  PORCUTEST_NONFATAL_(::porcutest::comparePred<::porcutest::CmpGt>(            \
+      "EXPECT_GT", #V1, #V2, (V1), (V2)))
+#define EXPECT_GE(V1, V2)                                                      \
+  PORCUTEST_NONFATAL_(::porcutest::comparePred<::porcutest::CmpGe>(            \
+      "EXPECT_GE", #V1, #V2, (V1), (V2)))
+#define EXPECT_TRUE(Cond)                                                      \
+  PORCUTEST_NONFATAL_(                                                         \
+      ::porcutest::compareBool("EXPECT_TRUE", #Cond, (Cond), true))
+#define EXPECT_FALSE(Cond)                                                     \
+  PORCUTEST_NONFATAL_(                                                         \
+      ::porcutest::compareBool("EXPECT_FALSE", #Cond, (Cond), false))
+#define EXPECT_NEAR(V1, V2, Tol)                                               \
+  PORCUTEST_NONFATAL_(                                                         \
+      ::porcutest::compareNear(#V1, #V2, #Tol, (V1), (V2), (Tol)))
+#define EXPECT_DOUBLE_EQ(V1, V2)                                               \
+  PORCUTEST_NONFATAL_(::porcutest::compareDoubleEq(#V1, #V2, (V1), (V2)))
+
+#define ASSERT_EQ(V1, V2)                                                      \
+  PORCUTEST_FATAL_(::porcutest::comparePred<::porcutest::CmpEq>(               \
+      "ASSERT_EQ", #V1, #V2, (V1), (V2)))
+#define ASSERT_NE(V1, V2)                                                      \
+  PORCUTEST_FATAL_(::porcutest::comparePred<::porcutest::CmpNe>(               \
+      "ASSERT_NE", #V1, #V2, (V1), (V2)))
+#define ASSERT_LT(V1, V2)                                                      \
+  PORCUTEST_FATAL_(::porcutest::comparePred<::porcutest::CmpLt>(               \
+      "ASSERT_LT", #V1, #V2, (V1), (V2)))
+#define ASSERT_LE(V1, V2)                                                      \
+  PORCUTEST_FATAL_(::porcutest::comparePred<::porcutest::CmpLe>(               \
+      "ASSERT_LE", #V1, #V2, (V1), (V2)))
+#define ASSERT_GT(V1, V2)                                                      \
+  PORCUTEST_FATAL_(::porcutest::comparePred<::porcutest::CmpGt>(               \
+      "ASSERT_GT", #V1, #V2, (V1), (V2)))
+#define ASSERT_GE(V1, V2)                                                      \
+  PORCUTEST_FATAL_(::porcutest::comparePred<::porcutest::CmpGe>(               \
+      "ASSERT_GE", #V1, #V2, (V1), (V2)))
+#define ASSERT_TRUE(Cond)                                                      \
+  PORCUTEST_FATAL_(                                                            \
+      ::porcutest::compareBool("ASSERT_TRUE", #Cond, (Cond), true))
+#define ASSERT_FALSE(Cond)                                                     \
+  PORCUTEST_FATAL_(                                                            \
+      ::porcutest::compareBool("ASSERT_FALSE", #Cond, (Cond), false))
+
+#define GTEST_SKIP()                                                           \
+  return ::porcutest::SkipHelper(__FILE__, __LINE__) = ::porcutest::Message()
+
+#define ADD_FAILURE()                                                          \
+  PORCUTEST_BLOCKER_                                                           \
+  if (false)                                                                   \
+    ;                                                                          \
+  else                                                                         \
+    ::porcutest::AssertHelper(__FILE__, __LINE__, "Failure", false) =          \
+        ::porcutest::Message()
+
+#define TEST(Suite, Name)                                                      \
+  class PORCUTEST_CLASS_NAME_(Suite, Name) : public ::testing::Test {          \
+  public:                                                                      \
+    void TestBody() override;                                                  \
+  };                                                                           \
+  static int PORCUTEST_CONCAT_(PorcuReg_, __COUNTER__) =                       \
+      ::porcutest::registerTest(#Suite, #Name, []() -> ::testing::Test * {     \
+        return new PORCUTEST_CLASS_NAME_(Suite, Name)();                       \
+      });                                                                      \
+  void PORCUTEST_CLASS_NAME_(Suite, Name)::TestBody()
+
+#define TEST_F(Fixture, Name)                                                  \
+  class PORCUTEST_CLASS_NAME_(Fixture, Name) : public Fixture {                \
+  public:                                                                      \
+    void TestBody() override;                                                  \
+  };                                                                           \
+  static int PORCUTEST_CONCAT_(PorcuReg_, __COUNTER__) =                       \
+      ::porcutest::registerTest(#Fixture, #Name, []() -> ::testing::Test * {   \
+        return new PORCUTEST_CLASS_NAME_(Fixture, Name)();                     \
+      });                                                                      \
+  void PORCUTEST_CLASS_NAME_(Fixture, Name)::TestBody()
+
+#define TEST_P(Suite, Name)                                                    \
+  class PORCUTEST_CLASS_NAME_(Suite, Name) : public Suite {                    \
+  public:                                                                      \
+    void TestBody() override;                                                  \
+  };                                                                           \
+  static int PORCUTEST_CONCAT_(PorcuReg_, __COUNTER__) =                       \
+      ::porcutest::registerParamTest(#Suite, #Name,                            \
+                                     []() -> ::testing::Test * {               \
+                                       return new PORCUTEST_CLASS_NAME_(       \
+                                           Suite, Name)();                     \
+                                     });                                       \
+  void PORCUTEST_CLASS_NAME_(Suite, Name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(Prefix, Suite, ...)                           \
+  static int PORCUTEST_CONCAT_(PorcuInst_, __COUNTER__) =                      \
+      ::porcutest::registerInstantiation<Suite>(#Prefix, #Suite, __VA_ARGS__)
+
+// Pre-1.10 spelling, kept as an alias.
+#define INSTANTIATE_TEST_CASE_P(Prefix, Suite, ...)                            \
+  INSTANTIATE_TEST_SUITE_P(Prefix, Suite, __VA_ARGS__)
+
+#define RUN_ALL_TESTS() ::porcutest::runAllTests()
+
+#endif // PORCUPINE_PORCUTEST_GTEST_H

@@ -19,6 +19,8 @@
 #include "spec/Equivalence.h"
 #include "support/Random.h"
 
+#include "TestSeed.h"
+
 #include <gtest/gtest.h>
 
 using namespace porcupine;
@@ -87,7 +89,9 @@ std::vector<SlotVector> randomInputs(Rng &R, const Program &P) {
 class RandomProgramTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomProgramTest, PrintParseRoundTrip) {
-  Rng R(1000 + GetParam());
+  const uint64_t Seed = testSeed(1000 + GetParam());
+  SeedReporter Report(Seed);
+  Rng R(Seed);
   Program P = randomProgram(R, 8, 10);
   ASSERT_EQ(P.validate(), "");
   Program Q;
@@ -104,7 +108,9 @@ TEST_P(RandomProgramTest, PrintParseRoundTrip) {
 }
 
 TEST_P(RandomProgramTest, SymbolicEvaluationMatchesInterpreter) {
-  Rng R(2000 + GetParam());
+  const uint64_t Seed = testSeed(2000 + GetParam());
+  SeedReporter Report(Seed);
+  Rng R(Seed);
   Program P = randomProgram(R, 6, 8);
   // Symbolic inputs: one variable per input slot.
   std::vector<std::vector<SymPoly>> Sym(P.NumInputs);
@@ -127,7 +133,9 @@ TEST_P(RandomProgramTest, SymbolicEvaluationMatchesInterpreter) {
 }
 
 TEST_P(RandomProgramTest, AnalysisInvariants) {
-  Rng R(3000 + GetParam());
+  const uint64_t Seed = testSeed(3000 + GetParam());
+  SeedReporter Report(Seed);
+  Rng R(Seed);
   Program P = randomProgram(R, 8, 12);
   auto Depths = computeDepths(P);
   auto MDepths = computeMultiplicativeDepths(P);
@@ -155,7 +163,9 @@ TEST_P(RandomProgramTest, AnalysisInvariants) {
 }
 
 TEST_P(RandomProgramTest, RotationComposition) {
-  Rng R(4000 + GetParam());
+  const uint64_t Seed = testSeed(4000 + GetParam());
+  SeedReporter Report(Seed);
+  Rng R(Seed);
   SlotVector V = R.vectorBelow(T, 16);
   int A = static_cast<int>(R.below(31)) - 15;
   int B = static_cast<int>(R.below(31)) - 15;

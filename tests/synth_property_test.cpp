@@ -17,6 +17,7 @@
 #include "quill/CostModel.h"
 #include "spec/Equivalence.h"
 #include "support/Timing.h"
+#include "TestSeed.h"
 
 #include <gtest/gtest.h>
 
@@ -185,7 +186,9 @@ TEST(SynthProperties, ConstantsFlowIntoSolutions) {
   auto Result = synthesize(Spec, Sk, {});
   ASSERT_TRUE(Result.Found);
   EXPECT_EQ(Result.Stats.ComponentsUsed, 2);
-  Rng R(5);
+  const uint64_t Seed = testSeed(5);
+  SeedReporter Report(Seed);
+  Rng R(Seed);
   EXPECT_TRUE(verifyProgram(Result.Prog, Spec, T, R).Equivalent);
 }
 

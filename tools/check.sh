@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# tools/check.sh — the tier-1 verify, exactly as CI should run it:
+#   1. configure with warnings-as-errors for the src/ library targets
+#   2. build everything
+#   3. run the full CTest suite
+#
+# Usage: tools/check.sh [build-dir]   (default: build-check)
+#
+# Any warning from -Wall -Wextra in src/ fails the build (PORCUPINE_WERROR),
+# and any failing or timing-out test fails the script.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build-check"}
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+echo "== configure ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S "$ROOT" -DPORCUPINE_WERROR=ON
+
+echo "== build (-j$JOBS)"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== check.sh: all green"
