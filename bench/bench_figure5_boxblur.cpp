@@ -9,12 +9,13 @@
 /// instructions at greater logical depth - and consumes the same noise,
 /// which is why it wins despite the depth heuristic preferring the
 /// baseline. Prints both programs, their static properties, measured
-/// encrypted latency, and measured noise budgets.
+/// encrypted latency, and measured noise budgets. Runs on the
+/// porcupine::driver API end to end.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "backend/SealCodeGen.h"
+#include "driver/Driver.h"
 #include "kernels/Kernels.h"
 #include "support/Random.h"
 
@@ -29,32 +30,52 @@ int main(int Argc, char **Argv) {
   int Repeats = argInt(Argc, Argv, "--repeats", 50);
   KernelBundle B = boxBlurKernel();
 
+  driver::CompileOptions Opts;
+  Opts.RunSynthesis = false; // Bench the paper's program, not a fresh run.
+  Opts.Codegen.FunctionName = "box_blur";
+  driver::Compiler Compiler(Opts);
+  auto Compiled = Compiler.compile(B);
+  if (!Compiled) {
+    std::fprintf(stderr, "%s\n", Compiled.status().toString().c_str());
+    return 1;
+  }
+
   std::printf("Figure 5: box blur - synthesized (a) vs hand-optimized "
               "minimal-depth baseline (b)\n\n");
-  std::printf("--- (a) synthesized: %zu instructions, depth %d, mult-depth "
+  std::printf("--- (a) synthesized: %d instructions, depth %d, mult-depth "
               "%d ---\n%s\n",
-              B.Synthesized.Instructions.size(),
-              programDepth(B.Synthesized),
-              programMultiplicativeDepth(B.Synthesized),
-              printProgram(B.Synthesized).c_str());
+              Compiled->Mix.Total, Compiled->Depth, Compiled->MultDepth,
+              printProgram(Compiled->Program).c_str());
   std::printf("--- (b) baseline: %zu instructions, depth %d, mult-depth %d "
               "---\n%s\n",
               B.Baseline.Instructions.size(), programDepth(B.Baseline),
               programMultiplicativeDepth(B.Baseline),
               printProgram(B.Baseline).c_str());
 
+  auto RT = Compiler.instantiate({&B.Baseline, &Compiled->Program});
+  if (!RT) {
+    std::fprintf(stderr, "%s\n", RT.status().toString().c_str());
+    return 1;
+  }
   Rng R(11);
-  BfvContext Ctx = contextFor(B.Baseline, B.Synthesized);
-  BfvExecutor Exec(Ctx, R, {&B.Baseline, &B.Synthesized});
-  auto Inputs = B.Spec.randomInputs(R, Ctx.plainModulus(), 64);
-  std::vector<Ciphertext> Encrypted = {Exec.encryptInput(Inputs[0])};
+  auto Inputs = B.Spec.randomInputs(R, RT->context().plainModulus(), 64);
+  auto Enc = RT->encrypt(Inputs[0]);
+  if (!Enc) {
+    std::fprintf(stderr, "%s\n", Enc.status().toString().c_str());
+    return 1;
+  }
+  std::vector<Ciphertext> Encrypted = {*Enc};
+  const BfvExecutor &Exec = RT->executor();
 
   double BaseUs = timeEncryptedRuns(Exec, B.Baseline, Encrypted, Repeats);
-  double SynthUs = timeEncryptedRuns(Exec, B.Synthesized, Encrypted, Repeats);
+  double SynthUs =
+      timeEncryptedRuns(Exec, Compiled->Program, Encrypted, Repeats);
   double BaseNoise = Exec.noiseBudget(Exec.run(B.Baseline, Encrypted));
-  double SynthNoise = Exec.noiseBudget(Exec.run(B.Synthesized, Encrypted));
+  double SynthNoise =
+      Exec.noiseBudget(Exec.run(Compiled->Program, Encrypted));
 
-  std::printf("measured over %d runs at N=%zu:\n", Repeats, Ctx.polyDegree());
+  std::printf("measured over %d runs at N=%zu:\n", Repeats,
+              RT->context().polyDegree());
   std::printf("  baseline    : %8.2f ms, remaining noise budget %.1f bits\n",
               BaseUs / 1000.0, BaseNoise);
   std::printf("  synthesized : %8.2f ms, remaining noise budget %.1f bits\n",
@@ -66,6 +87,6 @@ int main(int Argc, char **Argv) {
               SynthNoise - BaseNoise);
 
   std::printf("--- generated SEAL code for the synthesized kernel ---\n%s",
-              emitSealCode(B.Synthesized, {"box_blur", true}).c_str());
+              Compiled->SealCode.c_str());
   return 0;
 }

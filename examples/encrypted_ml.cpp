@@ -6,10 +6,10 @@
 ///
 /// Private ML inference with a synthesized kernel: a server evaluates a
 /// degree-2 polynomial regression model on a client's encrypted features.
-/// Porcupine synthesizes the evaluation kernel from the plaintext
-/// specification and discovers the (a*x + b)*x + c factorization the paper
-/// highlights - one fewer ciphertext multiply than the schoolbook form,
-/// which is the difference between the two dominant-cost instructions.
+/// The driver API compiles the bundled specification — rediscovering the
+/// (a*x + b)*x + c factorization the paper highlights, one fewer ciphertext
+/// multiply than the schoolbook form — and falls back to the bundled
+/// program if synthesis does not finish in budget.
 ///
 /// Four samples are processed per ciphertext through batching; the model
 /// coefficients are also encrypted, so the server learns neither the
@@ -17,11 +17,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "backend/BfvExecutor.h"
+#include "driver/Driver.h"
 #include "kernels/Kernels.h"
-#include "quill/Analysis.h"
 #include "support/Timing.h"
-#include "synth/Synthesizer.h"
 
 #include <cstdio>
 
@@ -33,17 +31,22 @@ int main() {
 
   std::printf("Synthesizing the polynomial-regression kernel "
               "a*x^2 + b*x + c ...\n");
-  synth::SynthesisOptions Opts;
-  Opts.TimeoutSeconds = 60.0;
-  auto Result = synth::synthesize(Poly.Spec, Poly.Sketch, Opts);
-  const quill::Program &Prog = Result.Found ? Result.Prog : Poly.Synthesized;
+  driver::CompileOptions Opts;
+  Opts.Synthesis.TimeoutSeconds = 60.0;
+  Opts.FallbackToBundled = true; // Take the bundled program on timeout.
+  driver::Compiler Compiler(Opts);
+  auto Result = Compiler.compile(Poly);
+  if (!Result) {
+    std::fprintf(stderr, "%s\n", Result.status().toString().c_str());
+    return 1;
+  }
 
-  auto Mix = quill::countInstructions(Prog);
   auto BaseMix = quill::countInstructions(Poly.Baseline);
   std::printf("  synthesized: %d instructions, %d ct-ct multiplies "
               "(schoolbook baseline: %d instructions, %d multiplies)\n",
-              Mix.Total, Mix.CtCtMuls, BaseMix.Total, BaseMix.CtCtMuls);
-  if (Mix.CtCtMuls < BaseMix.CtCtMuls)
+              Result->Mix.Total, Result->Mix.CtCtMuls, BaseMix.Total,
+              BaseMix.CtCtMuls);
+  if (Result->Mix.CtCtMuls < BaseMix.CtCtMuls)
     std::printf("  -> Porcupine rediscovered the (a*x + b)*x + c "
                 "factorization\n\n");
 
@@ -51,23 +54,35 @@ int main() {
   std::vector<uint64_t> X = {1, 2, 3, 4};
   std::vector<uint64_t> A(4, 3), B(4, 5), C(4, 7);
 
-  BfvContext Ctx = BfvContext::forMultDepth(2);
-  Rng R(9);
-  BfvExecutor Exec(Ctx, R, {&Prog});
+  auto RT = Compiler.instantiate({&Result->Program});
+  if (!RT) {
+    std::fprintf(stderr, "%s\n", RT.status().toString().c_str());
+    return 1;
+  }
 
   std::printf("client encrypts features and model coefficients...\n");
-  std::vector<Ciphertext> Enc = {
-      Exec.encryptInput(X), Exec.encryptInput(A), Exec.encryptInput(B),
-      Exec.encryptInput(C)};
+  std::vector<Ciphertext> Enc;
+  for (const auto &V : {X, A, B, C}) {
+    auto Ct = RT->encrypt(V);
+    if (!Ct) {
+      std::fprintf(stderr, "%s\n", Ct.status().toString().c_str());
+      return 1;
+    }
+    Enc.push_back(Ct.take());
+  }
 
   Stopwatch W;
-  Ciphertext Out = Exec.run(Prog, Enc);
+  auto Out = RT->run(Result->Program, Enc);
+  if (!Out) {
+    std::fprintf(stderr, "%s\n", Out.status().toString().c_str());
+    return 1;
+  }
   double Ms = W.micros() / 1000.0;
 
-  auto Y = Exec.decryptOutput(Out, 4);
+  auto Y = RT->decrypt(*Out, 4);
   std::printf("server evaluated the model homomorphically in %.1f ms "
               "(noise budget left: %.1f bits)\n\n",
-              Ms, Exec.noiseBudget(Out));
+              Ms, RT->noiseBudget(*Out));
   bool Ok = true;
   for (size_t I = 0; I < 4; ++I) {
     uint64_t Expect = 3 * X[I] * X[I] + 5 * X[I] + 7;

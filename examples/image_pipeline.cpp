@@ -7,19 +7,18 @@
 /// Multi-step synthesis (paper section 6.3) on a real image-processing
 /// pipeline: the Sobel operator over an encrypted image. The pipeline's
 /// stages - Gx, Gy, and the gradient-magnitude combination - are natural
-/// break points; we synthesize the box-blur stage live (it is fast), take
-/// the gradient kernels from the bundled synthesized programs (Figure 6),
-/// stitch everything into one Quill program, and run it under BFV.
+/// break points; we compile the box-blur stage live through the driver (it
+/// is fast), take the gradient kernels from the bundled synthesized
+/// programs (Figure 6), stitch everything into one Quill program, and run
+/// it under BFV via a driver Runtime.
 ///
 /// The cloud never sees the image: it receives one ciphertext and returns
 /// one ciphertext of edge responses.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "backend/BfvExecutor.h"
+#include "driver/Driver.h"
 #include "kernels/Kernels.h"
-#include "quill/Analysis.h"
-#include "synth/Synthesizer.h"
 
 #include <cstdio>
 
@@ -46,18 +45,21 @@ void printImage(const char *Label, const std::vector<uint64_t> &Slots,
 } // namespace
 
 int main() {
-  // Stage kernels: synthesize box blur live to demonstrate the loop; the
-  // gradient kernels are the paper's synthesized programs (bundled).
+  // Stage kernels: compile box blur live to demonstrate the loop (with the
+  // bundled program as fallback); the gradient kernels are the paper's
+  // synthesized programs (bundled).
   std::printf("Synthesizing the box-blur stage...\n");
-  KernelBundle Blur = boxBlurKernel();
-  synth::SynthesisOptions Opts;
-  Opts.TimeoutSeconds = 60.0;
-  auto BlurResult = synth::synthesize(Blur.Spec, Blur.Sketch, Opts);
-  const quill::Program &BlurProg =
-      BlurResult.Found ? BlurResult.Prog : Blur.Synthesized;
-  std::printf("  box blur: %zu instructions (%s)\n\n",
-              BlurProg.Instructions.size(),
-              BlurResult.Found ? "synthesized just now" : "bundled");
+  driver::CompileOptions Opts;
+  Opts.Synthesis.TimeoutSeconds = 60.0;
+  Opts.FallbackToBundled = true;
+  driver::Compiler Compiler(Opts);
+  auto Blur = Compiler.compile(boxBlurKernel());
+  if (!Blur) {
+    std::fprintf(stderr, "%s\n", Blur.status().toString().c_str());
+    return 1;
+  }
+  std::printf("  box blur: %d instructions (%s)\n\n", Blur->Mix.Total,
+              Blur->FromSynthesis ? "synthesized just now" : "bundled");
 
   AppBundle Sobel = sobelApp();
   std::printf("Sobel pipeline: %zu instructions, multiplicative depth %d "
@@ -76,20 +78,30 @@ int main() {
     Img[ImageGeom::index(R, 3)] = 10;
   }
 
-  BfvContext Ctx = BfvContext::forMultDepth(2);
-  Rng R(7);
-  BfvExecutor Exec(Ctx, R, {&Sobel.Synthesized});
-  uint64_t T = Ctx.plainModulus();
+  auto RT = Compiler.instantiate({&Sobel.Synthesized});
+  if (!RT) {
+    std::fprintf(stderr, "%s\n", RT.status().toString().c_str());
+    return 1;
+  }
+  uint64_t T = RT->context().plainModulus();
 
   printImage("client image (plaintext, 3x3 data in a zero border):", Img, T);
   std::printf("\nencrypting and offloading to the 'cloud'...\n");
-  Ciphertext EncImg = Exec.encryptInput(Img);
-  Ciphertext EncOut = Exec.run(Sobel.Synthesized, {EncImg});
+  auto EncImg = RT->encrypt(Img);
+  if (!EncImg) {
+    std::fprintf(stderr, "%s\n", EncImg.status().toString().c_str());
+    return 1;
+  }
+  auto EncOut = RT->run(Sobel.Synthesized, {*EncImg});
+  if (!EncOut) {
+    std::fprintf(stderr, "%s\n", EncOut.status().toString().c_str());
+    return 1;
+  }
   std::printf("cloud returned one ciphertext; noise budget left: %.1f "
               "bits\n\n",
-              Exec.noiseBudget(EncOut));
+              RT->noiseBudget(*EncOut));
 
-  auto Out = Exec.decryptOutput(EncOut, ImageGeom::Slots);
+  auto Out = RT->decrypt(*EncOut, ImageGeom::Slots);
   printImage("decrypted Sobel response (gx^2 + gy^2, interior):", Out, T);
 
   // Cross-check against the plaintext reference.

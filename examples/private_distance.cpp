@@ -10,17 +10,17 @@
 /// decrypting anything. Uses both bundled distance kernels:
 ///
 ///   * Hamming distance (sum of squared differences == XOR-popcount on
-///     binary data) - synthesized live, it is small;
+///     binary data) - compiled live through the driver, it is small;
 ///   * squared L2 distance over 8-wide vectors - bundled program.
 ///
-/// Demonstrates noise-budget tracking across the two kernels and the
-/// decrypt-compare round trip of paper Figure 1.
+/// Demonstrates one driver Runtime hosting two kernels (shared context and
+/// keys), noise-budget tracking across them, and the decrypt-compare round
+/// trip of paper Figure 1.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "backend/BfvExecutor.h"
+#include "driver/Driver.h"
 #include "kernels/Kernels.h"
-#include "synth/Synthesizer.h"
 
 #include <cstdio>
 
@@ -32,39 +32,68 @@ int main() {
   KernelBundle L2 = l2DistanceKernel();
 
   std::printf("Synthesizing the Hamming-distance kernel...\n");
-  synth::SynthesisOptions Opts;
-  Opts.TimeoutSeconds = 60.0;
-  auto Result = synth::synthesize(Hamming.Spec, Hamming.Sketch, Opts);
-  const quill::Program &HammingProg =
-      Result.Found ? Result.Prog : Hamming.Synthesized;
-  std::printf("  found %zu-instruction kernel with %d example(s) in "
-              "%.2fs\n\n",
-              HammingProg.Instructions.size(), Result.Stats.ExamplesUsed,
-              Result.Stats.TotalTimeSeconds);
+  driver::CompileOptions Opts;
+  Opts.Synthesis.TimeoutSeconds = 60.0;
+  Opts.FallbackToBundled = true;
+  driver::Compiler Compiler(Opts);
+  auto Result = Compiler.compile(Hamming);
+  if (!Result) {
+    std::fprintf(stderr, "%s\n", Result.status().toString().c_str());
+    return 1;
+  }
+  if (Result->FromSynthesis)
+    std::printf("  found %d-instruction kernel with %d example(s) in "
+                "%.2fs\n\n",
+                Result->Mix.Total, Result->Stats.ExamplesUsed,
+                Result->Stats.TotalTimeSeconds);
+  else
+    std::printf("  synthesis did not finish in budget; using the bundled "
+                "%d-instruction program\n\n",
+                Result->Mix.Total);
 
-  BfvContext Ctx = BfvContext::forMultDepth(1);
-  Rng R(17);
+  const quill::Program &HammingProg = Result->Program;
   const quill::Program &L2Prog = L2.Synthesized;
-  BfvExecutor Exec(Ctx, R, {&HammingProg, &L2Prog});
+  auto RT = Compiler.instantiate({&HammingProg, &L2Prog});
+  if (!RT) {
+    std::fprintf(stderr, "%s\n", RT.status().toString().c_str());
+    return 1;
+  }
 
   // Binary iris-code-style template vs probe (Hamming).
   std::vector<uint64_t> Template = {1, 0, 1, 1};
   std::vector<uint64_t> Probe = {1, 1, 1, 0};
-  Ciphertext EncTemplate = Exec.encryptInput(Template);
-  Ciphertext EncProbe = Exec.encryptInput(Probe);
-  Ciphertext HamOut = Exec.run(HammingProg, {EncProbe, EncTemplate});
-  auto Ham = Exec.decryptOutput(HamOut, 1);
+  auto EncTemplate = RT->encrypt(Template);
+  auto EncProbe = RT->encrypt(Probe);
+  if (!EncTemplate || !EncProbe) {
+    std::fprintf(stderr, "encryption failed\n");
+    return 1;
+  }
+  auto HamOut = RT->run(HammingProg, {*EncProbe, *EncTemplate});
+  if (!HamOut) {
+    std::fprintf(stderr, "%s\n", HamOut.status().toString().c_str());
+    return 1;
+  }
+  auto Ham = RT->decrypt(*HamOut, 1);
   std::printf("encrypted Hamming distance([1 0 1 1], [1 1 1 0]) = %llu "
               "(expect 2), noise budget %.1f bits\n",
               static_cast<unsigned long long>(Ham[0]),
-              Exec.noiseBudget(HamOut));
+              RT->noiseBudget(*HamOut));
 
   // 8-dimensional feature vectors (squared L2).
   std::vector<uint64_t> FeatA = {10, 20, 30, 40, 50, 60, 70, 80};
   std::vector<uint64_t> FeatB = {12, 18, 33, 44, 50, 55, 70, 90};
-  Ciphertext L2Out =
-      Exec.run(L2Prog, {Exec.encryptInput(FeatA), Exec.encryptInput(FeatB)});
-  auto Dist = Exec.decryptOutput(L2Out, 1);
+  auto EncA = RT->encrypt(FeatA);
+  auto EncB = RT->encrypt(FeatB);
+  if (!EncA || !EncB) {
+    std::fprintf(stderr, "encryption failed\n");
+    return 1;
+  }
+  auto L2Out = RT->run(L2Prog, {*EncA, *EncB});
+  if (!L2Out) {
+    std::fprintf(stderr, "%s\n", L2Out.status().toString().c_str());
+    return 1;
+  }
+  auto Dist = RT->decrypt(*L2Out, 1);
   uint64_t Expect = 0;
   for (size_t I = 0; I < 8; ++I) {
     int64_t D = static_cast<int64_t>(FeatA[I]) - static_cast<int64_t>(FeatB[I]);
@@ -74,7 +103,7 @@ int main() {
               "budget %.1f bits\n",
               static_cast<unsigned long long>(Dist[0]),
               static_cast<unsigned long long>(Expect),
-              Exec.noiseBudget(L2Out));
+              RT->noiseBudget(*L2Out));
 
   return (Ham[0] == 2 && Dist[0] == Expect) ? 0 : 1;
 }

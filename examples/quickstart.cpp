@@ -5,22 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// The full Porcupine pipeline on the paper's running example (Figure 2),
-/// a packed dot product:
+/// a packed dot product, driven through the public compiler API
+/// (porcupine::driver):
 ///
 ///   1. Write a plaintext reference implementation (the specification).
 ///   2. Give Porcupine a sketch: which arithmetic components to use and
 ///      which rotations are allowed (powers of two = reduction tree).
-///   3. Synthesize: CEGIS finds a minimal, verified HE kernel.
+///   3. Compile: one Compiler::compile() call runs CEGIS synthesis, static
+///      analyses, BFV parameter selection, and SEAL codegen, returning a
+///      CompileResult. Errors come back as diagnostics, not aborts.
 ///   4. Inspect the Quill program and the generated SEAL-style code.
-///   5. Run it for real: encrypt with BFV, evaluate, decrypt, check.
+///   5. Run it for real with Compiler::execute(): encrypt with BFV,
+///      evaluate, decrypt, check.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "backend/BfvExecutor.h"
-#include "backend/SealCodeGen.h"
-#include "kernels/Kernels.h"
+#include "driver/Driver.h"
 #include "spec/KernelSpec.h"
-#include "synth/Synthesizer.h"
 
 #include <cstdio>
 
@@ -55,44 +56,45 @@ int main() {
              synth::Component::ctCt(quill::Opcode::AddCtCt)};
   Sk.Rotations = synth::RotationSet::powersOfTwo(Width);
 
-  // Step 3: synthesize.
-  synth::SynthesisOptions Opts;
-  Opts.TimeoutSeconds = 60.0;
+  // Step 3: compile. One options object configures the whole pipeline.
+  driver::CompileOptions Opts;
+  Opts.Synthesis.TimeoutSeconds = 60.0;
+  Opts.Codegen.FunctionName = "dot_product";
+  driver::Compiler Compiler(Opts);
+
   std::printf("Synthesizing a 4-wide dot product kernel...\n");
-  auto Result = synth::synthesize(Spec, Sk, Opts);
-  if (!Result.Found) {
-    std::printf("synthesis failed\n");
+  auto Result = Compiler.compile(Spec, Sk);
+  if (!Result) {
+    std::fprintf(stderr, "%s\n", Result.status().toString().c_str());
     return 1;
   }
   std::printf("Found a verified kernel: %d components, %d instructions, "
               "%d example(s), %.2fs total.\n\n",
-              Result.Stats.ComponentsUsed, Result.Stats.LoweredInstructions,
-              Result.Stats.ExamplesUsed, Result.Stats.TotalTimeSeconds);
+              Result->Stats.ComponentsUsed, Result->Stats.LoweredInstructions,
+              Result->Stats.ExamplesUsed, Result->Stats.TotalTimeSeconds);
 
-  // Step 4: inspect it.
+  // Step 4: inspect it - the program, the generated code, and the BFV
+  // parameters the driver selected for its multiplicative depth.
   std::printf("--- Quill program ---\n%s\n",
-              quill::printProgram(Result.Prog).c_str());
-  std::printf("--- generated SEAL code ---\n%s\n",
-              emitSealCode(Result.Prog, {"dot_product", true}).c_str());
+              quill::printProgram(Result->Program).c_str());
+  std::printf("--- generated SEAL code ---\n%s\n", Result->SealCode.c_str());
 
   // Step 5: run it encrypted. The client encrypts its vector; the server
   // computes on ciphertexts; the client decrypts the single result slot.
-  BfvContext Ctx = BfvContext::forMultDepth(1);
-  Rng R(42);
-  BfvExecutor Exec(Ctx, R, {&Result.Prog});
-
   std::vector<uint64_t> A = {1, 2, 3, 4};
   std::vector<uint64_t> B = {50, 60, 70, 80};
-  std::vector<Ciphertext> Enc = {Exec.encryptInput(A), Exec.encryptInput(B)};
-  Ciphertext Out = Exec.run(Result.Prog, Enc);
+  auto Run = Compiler.execute(Result->Program, {A, B});
+  if (!Run) {
+    std::fprintf(stderr, "%s\n", Run.status().toString().c_str());
+    return 1;
+  }
 
-  auto Slots = Exec.decryptOutput(Out, Width);
   uint64_t Expect = 1 * 50 + 2 * 60 + 3 * 70 + 4 * 80;
   std::printf("encrypted dot([1 2 3 4], [50 60 70 80]) = %llu (expect %llu)"
               "\nremaining noise budget: %.1f bits (N=%zu, 128-bit "
               "security)\n",
-              static_cast<unsigned long long>(Slots[0]),
-              static_cast<unsigned long long>(Expect), Exec.noiseBudget(Out),
-              Ctx.polyDegree());
-  return Slots[0] == Expect ? 0 : 1;
+              static_cast<unsigned long long>(Run->Outputs[0]),
+              static_cast<unsigned long long>(Expect), Run->NoiseBudgetBits,
+              Run->PolyDegree);
+  return Run->Outputs[0] == Expect ? 0 : 1;
 }

@@ -1,0 +1,528 @@
+//===- driver/Driver.cpp - The Porcupine compiler API ---------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "backend/LatencyProfiler.h"
+#include "quill/Interpreter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace porcupine;
+using namespace porcupine::driver;
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+Status Compiler::validateOptions() const {
+  Status S;
+  const synth::SynthesisOptions &Syn = Opts.Synthesis;
+  if (Syn.TimeoutSeconds <= 0.0)
+    S.addError("options", "synthesis timeout must be positive");
+  if (Syn.MinComponents < 1)
+    S.addError("options", "MinComponents must be at least 1");
+  if (Syn.MaxComponents < Syn.MinComponents)
+    S.addError("options", "MaxComponents must be >= MinComponents");
+  if (Syn.PlainModulus < 2)
+    S.addError("options", "plaintext modulus must be at least 2");
+  if (Opts.ExplicitRotations && Opts.ExplicitRotationMaxComponents < 1)
+    S.addError("options",
+               "ExplicitRotationMaxComponents must be at least 1");
+  if (Opts.Latency == LatencySource::Profiled && Opts.ProfileRepeats < 1)
+    S.addError("options", "ProfileRepeats must be at least 1");
+  return S;
+}
+
+Status Compiler::validateProgram(const quill::Program &P,
+                                 const char *Stage) const {
+  if (P.VectorSize == 0)
+    return Status::error(Stage, "program has vector size 0");
+  if (P.NumInputs < 1)
+    return Status::error(Stage, "program must take at least one input");
+  std::string Err = P.validate();
+  if (!Err.empty())
+    return Status::error(Stage, "malformed program: " + Err);
+  return Status::success();
+}
+
+/// Shape agreement between a sketch and the spec it is meant to satisfy.
+static Status validateSketch(const KernelSpec &Spec, const synth::Sketch &Sk) {
+  Status S;
+  if (Spec.vectorSize() == 0)
+    S.addError("synthesis", "spec vector size must be nonzero");
+  if (Sk.NumInputs != Spec.numInputs())
+    S.addError("synthesis",
+               "sketch takes " + std::to_string(Sk.NumInputs) +
+                   " input(s) but the spec takes " +
+                   std::to_string(Spec.numInputs()));
+  if (Sk.VectorSize != Spec.vectorSize())
+    S.addError("synthesis",
+               "sketch vector size " + std::to_string(Sk.VectorSize) +
+                   " does not match the spec's " +
+                   std::to_string(Spec.vectorSize()));
+  if (Sk.Menu.empty())
+    S.addError("synthesis", "sketch component menu is empty");
+  for (const synth::Component &C : Sk.Menu) {
+    bool IsCtPt = C.PtIdx >= 0;
+    if (IsCtPt && C.PtIdx >= static_cast<int>(Sk.Constants.size()))
+      S.addError("synthesis",
+                 "sketch component references constant index " +
+                     std::to_string(C.PtIdx) + " but the table holds " +
+                     std::to_string(Sk.Constants.size()) + " constant(s)");
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Latency source
+//===----------------------------------------------------------------------===//
+
+quill::LatencyTable
+Compiler::effectiveLatency(std::vector<Diagnostic> *Notes) const {
+  if (Opts.Latency == LatencySource::Defaults)
+    return Opts.Synthesis.Latency;
+  // Profile at a mid-range depth-2 context: representative of the
+  // evaluation kernels without re-profiling per program.
+  BfvContext Ctx = BfvContext::forMultDepth(2);
+  Rng R(Opts.ExecutionSeed);
+  quill::LatencyTable Table = profileLatencies(Ctx, R, Opts.ProfileRepeats);
+  if (Notes)
+    Notes->push_back({Severity::Note, "cost",
+                      "latencies profiled on the bundled evaluator at N=" +
+                          std::to_string(Ctx.polyDegree())});
+  return Table;
+}
+
+//===----------------------------------------------------------------------===//
+// Stages
+//===----------------------------------------------------------------------===//
+
+Expected<SynthesisOutcome>
+Compiler::synthesize(const KernelSpec &Spec, const synth::Sketch &Sk) const {
+  Status S = validateOptions();
+  if (!S)
+    return S;
+  return synthesizeWith(Spec, Sk, effectiveLatency(nullptr));
+}
+
+Expected<SynthesisOutcome>
+Compiler::synthesizeWith(const KernelSpec &Spec, const synth::Sketch &Sk,
+                         const quill::LatencyTable &Latency,
+                         synth::SynthesisStats *FailStats) const {
+  Status S = validateSketch(Spec, Sk);
+  if (!S)
+    return S;
+
+  synth::SynthesisOptions Syn = Opts.Synthesis;
+  Syn.Latency = Latency;
+  synth::Sketch Actual = Sk;
+  Actual.ExplicitRotations = Opts.ExplicitRotations;
+  if (Opts.ExplicitRotations)
+    Syn.MaxComponents =
+        std::max(Syn.MaxComponents, Opts.ExplicitRotationMaxComponents);
+
+  synth::SynthesisResult R = synth::synthesize(Spec, Actual, Syn);
+  if (!R.Found) {
+    if (FailStats)
+      *FailStats = R.Stats;
+    std::string Why = R.Stats.TimedOut
+                          ? "synthesis timed out after " +
+                                std::to_string(Syn.TimeoutSeconds) + "s"
+                          : "sketch space exhausted without a solution";
+    return Status::error("synthesis", "kernel '" + Spec.name() + "': " + Why);
+  }
+  return SynthesisOutcome{std::move(R.Prog), R.Stats};
+}
+
+Expected<OptimizeOutcome> Compiler::optimize(const quill::Program &P) const {
+  Status S = validateProgram(P, "optimize");
+  if (!S)
+    return S;
+  OptimizeOutcome Out;
+  Out.Program = quill::peepholeOptimize(P, Opts.Synthesis.Latency, &Out.Stats);
+  return Out;
+}
+
+Expected<std::string> Compiler::emit(const quill::Program &P) const {
+  Status S = validateProgram(P, "codegen");
+  if (!S)
+    return S;
+  if (Opts.Codegen.FunctionName.empty())
+    return Status::error("codegen", "codegen function name must not be empty");
+  return emitSealCode(P, Opts.Codegen);
+}
+
+Expected<ParameterChoice>
+Compiler::selectParameters(const quill::Program &P) const {
+  Status S = validateProgram(P, "parameters");
+  if (!S)
+    return S;
+  return porcupine::selectParameters(P);
+}
+
+Expected<Runtime> Compiler::instantiate(
+    const std::vector<const quill::Program *> &Programs) const {
+  if (Programs.empty())
+    return Status::error("execute", "instantiate() needs at least one program");
+  int Depth = 0;
+  for (const quill::Program *P : Programs) {
+    if (!P)
+      return Status::error("execute", "instantiate() got a null program");
+    Status S = validateProgram(*P, "execute");
+    if (!S)
+      return S;
+    Depth = std::max(Depth, quill::programMultiplicativeDepth(*P));
+  }
+
+  Runtime RT;
+  RT.Ctx = std::make_unique<BfvContext>(
+      BfvContext::forMultDepth(static_cast<unsigned>(Depth)));
+  // The standard-parameter contexts fix the plaintext modulus; a program
+  // compiled/verified under a different modulus would silently compute
+  // different values encrypted, so refuse rather than mislead.
+  if (Opts.Synthesis.PlainModulus != RT.Ctx->plainModulus())
+    return Status::error(
+        "execute",
+        "encrypted execution uses plaintext modulus " +
+            std::to_string(RT.Ctx->plainModulus()) +
+            " but the options request " +
+            std::to_string(Opts.Synthesis.PlainModulus) +
+            "; run with the default modulus or interpret in plaintext");
+  for (const quill::Program *P : Programs)
+    if (P->VectorSize > RT.Ctx->slotCount())
+      return Status::error(
+          "execute", "program is " + std::to_string(P->VectorSize) +
+                         " slots wide but the context batches only " +
+                         std::to_string(RT.Ctx->slotCount()));
+  RT.R = std::make_unique<Rng>(Opts.ExecutionSeed);
+  RT.Exec = std::make_unique<BfvExecutor>(*RT.Ctx, *RT.R, Programs);
+  for (const quill::Program *P : Programs) {
+    std::vector<int> Steps = requiredRotations(*P);
+    RT.KeyedRotations.insert(RT.KeyedRotations.end(), Steps.begin(),
+                             Steps.end());
+  }
+  std::sort(RT.KeyedRotations.begin(), RT.KeyedRotations.end());
+  RT.KeyedRotations.erase(
+      std::unique(RT.KeyedRotations.begin(), RT.KeyedRotations.end()),
+      RT.KeyedRotations.end());
+  return RT;
+}
+
+Expected<ExecuteOutcome>
+Compiler::execute(const quill::Program &P,
+                  const std::vector<std::vector<uint64_t>> &Inputs,
+                  bool Encrypted) const {
+  Status S = validateProgram(P, "execute");
+  if (!S)
+    return S;
+  if (static_cast<int>(Inputs.size()) != P.NumInputs)
+    return Status::error("execute",
+                         "program takes " + std::to_string(P.NumInputs) +
+                             " input vector(s) but got " +
+                             std::to_string(Inputs.size()));
+  std::vector<std::vector<uint64_t>> Padded = Inputs;
+  for (std::vector<uint64_t> &V : Padded) {
+    if (V.size() > P.VectorSize)
+      return Status::error("execute",
+                           "input vector of width " +
+                               std::to_string(V.size()) +
+                               " exceeds the program's vector size " +
+                               std::to_string(P.VectorSize));
+    V.resize(P.VectorSize, 0);
+  }
+
+  ExecuteOutcome Out;
+  if (!Encrypted) {
+    for (std::vector<uint64_t> &V : Padded)
+      for (uint64_t &X : V)
+        X %= Opts.Synthesis.PlainModulus;
+    Out.Outputs = quill::interpret(P, Padded, Opts.Synthesis.PlainModulus);
+    return Out;
+  }
+
+  auto RT = instantiate({&P});
+  if (!RT)
+    return RT.status();
+  std::vector<Ciphertext> Enc;
+  for (const std::vector<uint64_t> &V : Padded) {
+    auto Ct = RT->encrypt(V);
+    if (!Ct)
+      return Ct.status();
+    Enc.push_back(Ct.take());
+  }
+  auto Ct = RT->run(P, Enc);
+  if (!Ct)
+    return Ct.status();
+  Out.Outputs = RT->decrypt(*Ct, P.VectorSize);
+  Out.Encrypted = true;
+  Out.NoiseBudgetBits = RT->noiseBudget(*Ct);
+  Out.PolyDegree = RT->context().polyDegree();
+  return Out;
+}
+
+Expected<VerifyOutcome> Compiler::verify(const quill::Program &P,
+                                         const KernelSpec &Spec) const {
+  Status S = validateProgram(P, "verify");
+  if (!S)
+    return S;
+  if (P.VectorSize != Spec.vectorSize() || P.NumInputs != Spec.numInputs())
+    return Status::error(
+        "verify", "program shape (" + std::to_string(P.NumInputs) +
+                      " inputs, width " + std::to_string(P.VectorSize) +
+                      ") does not match spec '" + Spec.name() + "' (" +
+                      std::to_string(Spec.numInputs()) + " inputs, width " +
+                      std::to_string(Spec.vectorSize()) + ")");
+  Rng R(Opts.Synthesis.Seed);
+  VerifyResult V = verifyProgram(P, Spec, Opts.Synthesis.PlainModulus, R);
+  return VerifyOutcome{V.Equivalent, std::move(V.Counterexample)};
+}
+
+//===----------------------------------------------------------------------===//
+// Whole pipeline
+//===----------------------------------------------------------------------===//
+
+Expected<CompileResult>
+Compiler::compileFrom(const KernelSpec &Spec, const synth::Sketch &Sk,
+                      const quill::Program *Bundled,
+                      const std::string &BundledNotes) const {
+  Status S = validateOptions();
+  if (!S)
+    return S;
+
+  CompileResult Res;
+  Res.KernelName = Spec.name();
+
+  // Resolve the latency table once: it both drives CEGIS cost
+  // minimization and prices the final cost estimate, and profiling it is
+  // expensive (a context build plus timed evaluator runs).
+  quill::LatencyTable Latency = effectiveLatency(&Res.Notes);
+
+  // Stage 1: pick the program — synthesis, or the bundled anchor.
+  if (Opts.RunSynthesis) {
+    synth::SynthesisStats AttemptStats;
+    auto Syn = synthesizeWith(Spec, Sk, Latency, &AttemptStats);
+    if (Syn) {
+      Res.Program = std::move(Syn->Program);
+      Res.Stats = Syn->Stats;
+      Res.FromSynthesis = true;
+    } else if (Opts.FallbackToBundled && Bundled &&
+               !Bundled->Instructions.empty()) {
+      Res.Program = *Bundled;
+      // Keep the failed attempt's measurements (TimedOut, time spent) so
+      // the result and the --json record tell the truth about the run.
+      Res.Stats = AttemptStats;
+      Res.Notes.push_back({Severity::Warning, "synthesis",
+                           Syn.status().message() +
+                               "; falling back to the bundled program"});
+    } else {
+      return Syn.status();
+    }
+  } else {
+    if (!Bundled || Bundled->Instructions.empty())
+      return Status::error("synthesis",
+                           "kernel '" + Spec.name() +
+                               "' has no bundled program and synthesis is "
+                               "disabled");
+    Res.Program = *Bundled;
+    Res.Notes.push_back({Severity::Note, "synthesis",
+                         "synthesis skipped; using the bundled program"});
+  }
+  if (!Res.FromSynthesis && !BundledNotes.empty())
+    Res.Notes.push_back({Severity::Note, "synthesis", BundledNotes});
+
+  // Stage 2: optional peephole optimization.
+  if (Opts.RunPeephole) {
+    auto Opt = optimize(Res.Program);
+    if (!Opt)
+      return Opt.status();
+    Res.Program = std::move(Opt->Program);
+    Res.Peephole = Opt->Stats;
+  }
+
+  // Stage 3: static analyses and the cost estimate, priced under the same
+  // table synthesis minimized against.
+  Res.Mix = quill::countInstructions(Res.Program);
+  Res.Depth = quill::programDepth(Res.Program);
+  Res.MultDepth = quill::programMultiplicativeDepth(Res.Program);
+  quill::CostModel Cost(Latency);
+  Res.LatencyEstimateUs = Cost.latency(Res.Program);
+  Res.Cost = Cost.cost(Res.Program);
+
+  // Stage 4: parameter selection.
+  if (Opts.SelectParameters) {
+    auto Params = selectParameters(Res.Program);
+    if (!Params)
+      return Params.status();
+    Res.Params = *Params;
+  }
+
+  // Stage 5: codegen.
+  if (Opts.EmitSealCode) {
+    auto Code = emit(Res.Program);
+    if (!Code)
+      return Code.status();
+    Res.SealCode = Code.take();
+  }
+  return Res;
+}
+
+Expected<CompileResult>
+Compiler::compile(const kernels::KernelBundle &B) const {
+  return compileFrom(B.Spec, B.Sketch, &B.Synthesized, B.Notes);
+}
+
+Expected<CompileResult> Compiler::compile(const KernelSpec &Spec,
+                                          const synth::Sketch &Sk) const {
+  return compileFrom(Spec, Sk, nullptr, "");
+}
+
+Expected<CompileResult>
+Compiler::compile(const std::string &KernelName) const {
+  auto B = registry().find(KernelName);
+  if (!B)
+    return B.status();
+  return compile(**B);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime
+//===----------------------------------------------------------------------===//
+
+Expected<Ciphertext>
+Runtime::encrypt(const std::vector<uint64_t> &Values) const {
+  if (Values.size() > Ctx->slotCount())
+    return Status::error("execute",
+                         "input vector of width " +
+                             std::to_string(Values.size()) +
+                             " exceeds the batching row of " +
+                             std::to_string(Ctx->slotCount()) + " slots");
+  return Exec->encryptInput(Values);
+}
+
+Expected<Ciphertext> Runtime::run(const quill::Program &P,
+                                  const std::vector<Ciphertext> &Inputs) const {
+  std::string Err = P.validate();
+  if (!Err.empty())
+    return Status::error("execute", "malformed program: " + Err);
+  if (static_cast<int>(Inputs.size()) != P.NumInputs)
+    return Status::error("execute",
+                         "program takes " + std::to_string(P.NumInputs) +
+                             " encrypted input(s) but got " +
+                             std::to_string(Inputs.size()));
+  if (P.VectorSize > Ctx->slotCount())
+    return Status::error("execute",
+                         "program is wider than the instantiated context");
+  for (int Step : requiredRotations(P))
+    if (!std::binary_search(KeyedRotations.begin(), KeyedRotations.end(),
+                            Step))
+      return Status::error(
+          "execute",
+          "program rotates by " + std::to_string(Step) +
+              " but the runtime was not instantiated with that program; no "
+              "Galois key for that step");
+  return Exec->run(P, Inputs);
+}
+
+std::vector<uint64_t> Runtime::decrypt(const Ciphertext &Ct,
+                                       size_t Width) const {
+  return Exec->decryptOutput(Ct, Width);
+}
+
+double Runtime::noiseBudget(const Ciphertext &Ct) const {
+  return Exec->noiseBudget(Ct);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string num(double V, const char *Fmt = "%.2f") {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Fmt, V);
+  return Buf;
+}
+
+} // namespace
+
+std::string porcupine::driver::toJson(const CompileResult &R) {
+  std::string J = "{\n";
+  J += "  \"kernel\": \"" + jsonEscape(R.KernelName) + "\",\n";
+  J += "  \"from_synthesis\": " + std::string(R.FromSynthesis ? "true" : "false") + ",\n";
+  J += "  \"program\": \"" + jsonEscape(quill::printProgram(R.Program)) + "\",\n";
+  J += "  \"instructions\": {\"total\": " + std::to_string(R.Mix.Total) +
+       ", \"rotations\": " + std::to_string(R.Mix.Rotations) +
+       ", \"ct_ct_muls\": " + std::to_string(R.Mix.CtCtMuls) +
+       ", \"ct_pt_muls\": " + std::to_string(R.Mix.CtPtMuls) +
+       ", \"adds_subs\": " + std::to_string(R.Mix.AddsSubs) + "},\n";
+  J += "  \"depth\": " + std::to_string(R.Depth) + ",\n";
+  J += "  \"mult_depth\": " + std::to_string(R.MultDepth) + ",\n";
+  J += "  \"latency_us\": " + num(R.LatencyEstimateUs) + ",\n";
+  J += "  \"cost\": " + num(R.Cost) + ",\n";
+  J += "  \"synthesis\": {\"examples\": " + std::to_string(R.Stats.ExamplesUsed) +
+       ", \"components\": " + std::to_string(R.Stats.ComponentsUsed) +
+       ", \"lowered_instructions\": " +
+       std::to_string(R.Stats.LoweredInstructions) +
+       ", \"initial_seconds\": " + num(R.Stats.InitialTimeSeconds) +
+       ", \"total_seconds\": " + num(R.Stats.TotalTimeSeconds) +
+       ", \"initial_cost\": " + num(R.Stats.InitialCost, "%.0f") +
+       ", \"final_cost\": " + num(R.Stats.FinalCost, "%.0f") +
+       ", \"timed_out\": " + (R.Stats.TimedOut ? "true" : "false") +
+       ", \"proven_optimal\": " + (R.Stats.ProvenOptimal ? "true" : "false") +
+       "},\n";
+  J += "  \"peephole_rewrites\": " + std::to_string(R.Peephole.total()) + ",\n";
+  J += "  \"parameters\": {\"poly_degree\": " +
+       std::to_string(R.Params.PolyDegree) +
+       ", \"coeff_modulus_bits\": " +
+       std::to_string(R.Params.CoeffModulusBits) +
+       ", \"mult_depth\": " + std::to_string(R.Params.MultiplicativeDepth) +
+       "},\n";
+  J += "  \"seal_code\": \"" + jsonEscape(R.SealCode) + "\",\n";
+  J += "  \"notes\": [";
+  for (size_t I = 0; I < R.Notes.size(); ++I) {
+    if (I)
+      J += ", ";
+    J += "\"" + jsonEscape(R.Notes[I].toString()) + "\"";
+  }
+  J += "]\n}\n";
+  return J;
+}

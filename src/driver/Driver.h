@@ -1,0 +1,299 @@
+//===- driver/Driver.h - The Porcupine compiler API -------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the whole toolchain — spec + sketch in,
+/// verified vectorized HE kernel out — in the shape production HE compilers
+/// expose (EVA's CKKSCompiler, HECO's pass-pipeline driver): one Compiler
+/// facade configured by a single CompileOptions, returning a CompileResult
+/// that carries the Quill program, synthesis statistics, static analyses,
+/// the chosen BFV parameters, and the emitted SEAL code.
+///
+/// Every pipeline stage is also an individual entry point, so callers can
+/// stop anywhere:
+///
+///   Compiler C;                         // or Compiler(options, &registry)
+///   auto R  = C.compile("dot product"); // whole pipeline, by kernel name
+///   auto S  = C.synthesize(Spec, Sk);   // ...or stage by stage
+///   auto O  = C.optimize(S->Program);
+///   auto CG = C.emit(O->Program);
+///   auto X  = C.execute(O->Program, Inputs);
+///   auto V  = C.verify(O->Program, Spec);
+///
+/// Error contract: anything a caller can get wrong (unknown kernel names,
+/// inconsistent options, malformed programs, wrong-shaped inputs) returns a
+/// failed Expected<> carrying Diagnostics — never fatalError/abort. The
+/// driver validates at the boundary so the layers underneath may keep their
+/// assert-based invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_DRIVER_DRIVER_H
+#define PORCUPINE_DRIVER_DRIVER_H
+
+#include "backend/BfvExecutor.h"
+#include "backend/ParameterSelector.h"
+#include "backend/SealCodeGen.h"
+#include "kernels/KernelRegistry.h"
+#include "quill/Analysis.h"
+#include "quill/Peephole.h"
+#include "spec/Equivalence.h"
+#include "support/Status.h"
+#include "synth/Synthesizer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace driver {
+
+/// Where the instruction latencies driving the cost model come from.
+enum class LatencySource {
+  Defaults, ///< The calibrated constants in quill::LatencyTable.
+  Profiled, ///< Measure the bundled BFV evaluator (backend/LatencyProfiler).
+};
+
+/// Everything that configures a compilation, in one object.
+struct CompileOptions {
+  /// Synthesis tunables: component bounds, timeout, cost-minimization
+  /// phase, plaintext modulus, PRNG seed, and the latency table (which the
+  /// driver overwrites when Latency == Profiled).
+  synth::SynthesisOptions Synthesis;
+
+  /// Run CEGIS synthesis. When false, compile() takes the bundled
+  /// synthesized program (kernel-name/bundle overloads only).
+  bool RunSynthesis = true;
+
+  /// When synthesis fails (timeout/exhaustion) and a bundled program
+  /// exists, fall back to it with a warning instead of failing.
+  bool FallbackToBundled = true;
+
+  /// Rotation policy: ablation mode where rotations are standalone sketch
+  /// components instead of operand holes (paper section 7.4).
+  bool ExplicitRotations = false;
+  /// Component budget used when ExplicitRotations is on (rotations consume
+  /// components, so the sketch needs more of them).
+  int ExplicitRotationMaxComponents = 12;
+
+  /// Run the rewrite-rule peephole pass over the chosen program. Off by
+  /// default: synthesized programs are already cost-minimized; the pass
+  /// exists for baselines and externally supplied programs.
+  bool RunPeephole = false;
+
+  /// Cost/latency source for synthesis and the reported cost estimate.
+  LatencySource Latency = LatencySource::Defaults;
+  /// Median window for Profiled latency measurement.
+  int ProfileRepeats = 3;
+
+  /// Select BFV parameters (N, coeff modulus) for the compiled program.
+  bool SelectParameters = true;
+
+  /// Emit SEAL-style C++ for the compiled program.
+  bool EmitSealCode = true;
+  /// Codegen options (function name, comments).
+  SealCodeGenOptions Codegen;
+
+  /// Seed for execution-side randomness (keys, encryption noise).
+  uint64_t ExecutionSeed = 1;
+};
+
+/// What one full compile() produces.
+struct CompileResult {
+  std::string KernelName;
+  /// The compiled (and, when enabled, peephole-optimized) Quill program.
+  quill::Program Program;
+  /// True when Program came out of synthesis this run; false when it is the
+  /// bundled program (RunSynthesis off, or fallback after a failure).
+  bool FromSynthesis = false;
+  /// Synthesis measurements. On a fallback these are the *failed*
+  /// attempt's stats (TimedOut etc.); zeroed when synthesis never ran.
+  synth::SynthesisStats Stats;
+  /// Peephole rewrite counts (zeroed when the pass did not run).
+  quill::PeepholeStats Peephole;
+
+  // Static analyses of Program.
+  quill::InstrMix Mix;
+  int Depth = 0;
+  int MultDepth = 0;
+  /// Estimated latency (microseconds) and paper cost under the latency
+  /// table the compile used.
+  double LatencyEstimateUs = 0.0;
+  double Cost = 0.0;
+
+  /// Chosen BFV parameters (zeroed unless SelectParameters).
+  ParameterChoice Params;
+  /// Generated SEAL-style C++ (empty unless EmitSealCode).
+  std::string SealCode;
+
+  /// Non-fatal notes and warnings accumulated along the pipeline.
+  std::vector<Diagnostic> Notes;
+};
+
+/// synthesize() stage output.
+struct SynthesisOutcome {
+  quill::Program Program;
+  synth::SynthesisStats Stats;
+};
+
+/// optimize() stage output.
+struct OptimizeOutcome {
+  quill::Program Program;
+  quill::PeepholeStats Stats;
+};
+
+/// execute() stage output.
+struct ExecuteOutcome {
+  /// Decrypted (or interpreted) output slots, width = program VectorSize.
+  std::vector<uint64_t> Outputs;
+  bool Encrypted = false;
+  /// Remaining invariant noise budget in bits (encrypted runs only).
+  double NoiseBudgetBits = 0.0;
+  /// Ring dimension of the context the run used (encrypted runs only).
+  size_t PolyDegree = 0;
+};
+
+/// verify() stage output.
+struct VerifyOutcome {
+  bool Equivalent = false;
+  /// On inequivalence: concrete inputs on which program and spec differ.
+  std::vector<std::vector<uint64_t>> Counterexample;
+};
+
+/// A ready-to-run encrypted execution environment for a fixed set of
+/// programs: owns the BFV context, keys, and executor (sized for the
+/// deepest program, with Galois keys for exactly the rotations the set
+/// needs). Produced by Compiler::instantiate(); movable, not copyable.
+class Runtime {
+public:
+  Runtime(Runtime &&) = default;
+  Runtime &operator=(Runtime &&) = default;
+
+  /// Encrypts one input vector (at most one batching row wide).
+  Expected<Ciphertext> encrypt(const std::vector<uint64_t> &Values) const;
+
+  /// Runs \p P over encrypted inputs. \p P must have been part of the
+  /// instantiate() set (or need no rotations beyond that set's keys) and
+  /// \p Inputs must match its input count.
+  Expected<Ciphertext> run(const quill::Program &P,
+                           const std::vector<Ciphertext> &Inputs) const;
+
+  /// Decrypts the first \p Width slots of a result.
+  std::vector<uint64_t> decrypt(const Ciphertext &Ct, size_t Width) const;
+
+  /// Remaining invariant noise budget of a ciphertext, in bits.
+  double noiseBudget(const Ciphertext &Ct) const;
+
+  const BfvContext &context() const { return *Ctx; }
+  const BfvExecutor &executor() const { return *Exec; }
+
+private:
+  friend class Compiler;
+  Runtime() = default;
+
+  std::unique_ptr<BfvContext> Ctx;
+  std::unique_ptr<Rng> R; // Keys/encryptor hold a reference into this.
+  std::unique_ptr<BfvExecutor> Exec;
+  std::vector<int> KeyedRotations; // Sorted; for run()-time validation.
+};
+
+/// The compiler facade. Holds the options and the kernel registry the
+/// name-based overloads resolve against (defaults to the builtin catalog).
+class Compiler {
+public:
+  Compiler() = default;
+  explicit Compiler(CompileOptions Opts,
+                    const kernels::KernelRegistry *Registry = nullptr)
+      : Opts(std::move(Opts)), Registry(Registry) {}
+
+  CompileOptions &options() { return Opts; }
+  const CompileOptions &options() const { return Opts; }
+  const kernels::KernelRegistry &registry() const {
+    return Registry ? *Registry : kernels::KernelRegistry::builtin();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Whole pipeline
+  //===--------------------------------------------------------------------===
+
+  /// Looks \p KernelName up in the registry (exact-then-prefix) and
+  /// compiles the bundle.
+  Expected<CompileResult> compile(const std::string &KernelName) const;
+
+  /// Compiles a bundle: synthesize (or take the bundled program), optional
+  /// peephole, analyses, parameter selection, codegen.
+  Expected<CompileResult> compile(const kernels::KernelBundle &B) const;
+
+  /// Compiles a bare spec + sketch (no bundled program to fall back to).
+  Expected<CompileResult> compile(const KernelSpec &Spec,
+                                  const synth::Sketch &Sk) const;
+
+  //===--------------------------------------------------------------------===
+  // Individual stages
+  //===--------------------------------------------------------------------===
+
+  /// CEGIS synthesis of \p Spec against \p Sk under the options' tunables
+  /// (rotation policy applied). Fails with a diagnostic on timeout or
+  /// sketch exhaustion.
+  Expected<SynthesisOutcome> synthesize(const KernelSpec &Spec,
+                                        const synth::Sketch &Sk) const;
+
+  /// Rewrite-rule peephole optimization of \p P.
+  Expected<OptimizeOutcome> optimize(const quill::Program &P) const;
+
+  /// SEAL-style C++ for \p P under the options' codegen settings.
+  Expected<std::string> emit(const quill::Program &P) const;
+
+  /// Smallest standard 128-bit-security BFV parameters covering \p P.
+  Expected<ParameterChoice> selectParameters(const quill::Program &P) const;
+
+  /// Builds an encrypted execution environment for \p Programs.
+  Expected<Runtime> instantiate(
+      const std::vector<const quill::Program *> &Programs) const;
+
+  /// One-shot end-to-end run of \p P on \p Inputs (one vector per program
+  /// input, each at most VectorSize wide; values taken mod the plaintext
+  /// modulus). Encrypted by default; plaintext interpretation otherwise.
+  Expected<ExecuteOutcome> execute(const quill::Program &P,
+                                   const std::vector<std::vector<uint64_t>> &Inputs,
+                                   bool Encrypted = true) const;
+
+  /// Exact symbolic verification of \p P against \p Spec; inequivalence is
+  /// a *successful* call with Equivalent == false and a counterexample.
+  Expected<VerifyOutcome> verify(const quill::Program &P,
+                                 const KernelSpec &Spec) const;
+
+private:
+  Status validateOptions() const;
+  Status validateProgram(const quill::Program &P, const char *Stage) const;
+  /// The latency table compiles use; profiles the evaluator on demand.
+  quill::LatencyTable effectiveLatency(std::vector<Diagnostic> *Notes) const;
+  /// synthesize() with the latency table already resolved, so compile()
+  /// profiles at most once and costs under the same table CEGIS minimized.
+  /// On failure, \p FailStats (when given) receives the attempt's
+  /// measurements so fallback results can still report them.
+  Expected<SynthesisOutcome>
+  synthesizeWith(const KernelSpec &Spec, const synth::Sketch &Sk,
+                 const quill::LatencyTable &Latency,
+                 synth::SynthesisStats *FailStats = nullptr) const;
+  Expected<CompileResult> compileFrom(const KernelSpec &Spec,
+                                      const synth::Sketch &Sk,
+                                      const quill::Program *Bundled,
+                                      const std::string &BundledNotes) const;
+
+  CompileOptions Opts;
+  const kernels::KernelRegistry *Registry = nullptr;
+};
+
+/// Renders a CompileResult as one machine-readable JSON record (the
+/// `porcc compile --json` payload): kernel, program text, instruction mix,
+/// depths, cost, synthesis stats, parameters, SEAL code, and notes.
+std::string toJson(const CompileResult &R);
+
+} // namespace driver
+} // namespace porcupine
+
+#endif // PORCUPINE_DRIVER_DRIVER_H

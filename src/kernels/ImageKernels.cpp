@@ -244,17 +244,3 @@ KernelBundle kernels::robertsCrossKernel() {
             "synthesized coincide, matching the paper's parity result";
   return B;
 }
-
-std::vector<KernelBundle> kernels::allKernels() {
-  std::vector<KernelBundle> All;
-  All.push_back(boxBlurKernel());
-  All.push_back(dotProductKernel());
-  All.push_back(hammingDistanceKernel());
-  All.push_back(l2DistanceKernel());
-  All.push_back(linearRegressionKernel());
-  All.push_back(polyRegressionKernel());
-  All.push_back(gxKernel());
-  All.push_back(gyKernel());
-  All.push_back(robertsCrossKernel());
-  return All;
-}

@@ -1,0 +1,138 @@
+//===- kernels/KernelRegistry.cpp - Name-keyed kernel catalog -------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace porcupine;
+using namespace porcupine::kernels;
+
+std::string KernelRegistry::normalize(const std::string &Name) {
+  std::string Key;
+  Key.reserve(Name.size());
+  for (char C : Name) {
+    if (C == '-' || C == '_')
+      C = ' ';
+    Key.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  }
+  return Key;
+}
+
+Status KernelRegistry::add(const std::string &Name, Factory Make) {
+  if (Name.empty())
+    return Status::error("registry", "kernel name must not be empty");
+  if (!Make)
+    return Status::error("registry",
+                         "kernel '" + Name + "' registered without a factory");
+  std::string Key = normalize(Name);
+  auto It = ByKey.find(Key);
+  if (It != ByKey.end())
+    return Status::error("registry", "kernel '" + Name +
+                                         "' is already registered (as '" +
+                                         Entries[It->second].Name + "')");
+  ByKey.emplace(Key, Entries.size());
+  Entries.emplace_back(Name, std::move(Key), std::move(Make));
+  return Status::success();
+}
+
+const KernelBundle *KernelRegistry::materialize(Entry &E) const {
+  if (!E.Cached)
+    E.Cached = std::make_unique<KernelBundle>(E.Make());
+  return E.Cached.get();
+}
+
+Expected<const KernelBundle *>
+KernelRegistry::find(const std::string &Query) const {
+  std::string Key = normalize(Query);
+  if (Key.empty())
+    return Status::error("registry", "empty kernel name");
+
+  // Tier 1: exact match always wins, even when it is also a prefix of
+  // another name (e.g. "gx" must not be shadowed by a hypothetical "gx2").
+  auto It = ByKey.find(Key);
+  if (It != ByKey.end())
+    return materialize(Entries[It->second]);
+
+  // Tier 2: prefix matches; tier 3: substring matches. The first tier with
+  // any hit decides — a unique hit resolves, several report ambiguity.
+  auto Candidates = [&](bool PrefixOnly) {
+    std::vector<size_t> Hits;
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      size_t Pos = Entries[I].Key.find(Key);
+      if (PrefixOnly ? Pos == 0 : Pos != std::string::npos)
+        Hits.push_back(I);
+    }
+    return Hits;
+  };
+
+  for (bool PrefixOnly : {true, false}) {
+    std::vector<size_t> Hits = Candidates(PrefixOnly);
+    if (Hits.size() == 1)
+      return materialize(Entries[Hits[0]]);
+    if (Hits.size() > 1) {
+      std::string List;
+      for (size_t I : Hits) {
+        if (!List.empty())
+          List += ", ";
+        List += "'" + Entries[I].Name + "'";
+      }
+      return Status::error("registry", "kernel name '" + Query +
+                                           "' is ambiguous; candidates: " +
+                                           List);
+    }
+  }
+
+  std::string Known;
+  for (const Entry &E : Entries) {
+    if (!Known.empty())
+      Known += ", ";
+    Known += "'" + E.Name + "'";
+  }
+  return Status::error("registry", "unknown kernel '" + Query +
+                                       "'; registered kernels: " + Known);
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Out.push_back(E.Name);
+  return Out;
+}
+
+std::vector<KernelBundle> kernels::allKernels() {
+  const KernelRegistry &R = KernelRegistry::builtin();
+  std::vector<KernelBundle> All;
+  All.reserve(R.size());
+  for (const std::string &Name : R.names()) {
+    auto B = R.find(Name);
+    assert(B && "builtin registry lookup by registered name cannot fail");
+    All.push_back(**B);
+  }
+  return All;
+}
+
+const KernelRegistry &KernelRegistry::builtin() {
+  static const KernelRegistry Registry = [] {
+    KernelRegistry R;
+    // Table 2 order; names match each bundle's Spec.name().
+    (void)R.add("Box Blur", [] { return boxBlurKernel(); });
+    (void)R.add("Dot Product", [] { return dotProductKernel(); });
+    (void)R.add("Hamming Distance", [] { return hammingDistanceKernel(); });
+    (void)R.add("L2 Distance", [] { return l2DistanceKernel(); });
+    (void)R.add("Linear Regression", [] { return linearRegressionKernel(); });
+    (void)R.add("Polynomial Regression",
+                [] { return polyRegressionKernel(); });
+    (void)R.add("Gx", [] { return gxKernel(); });
+    (void)R.add("Gy", [] { return gyKernel(); });
+    (void)R.add("Roberts Cross", [] { return robertsCrossKernel(); });
+    return R;
+  }();
+  return Registry;
+}

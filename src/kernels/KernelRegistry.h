@@ -1,0 +1,116 @@
+//===- kernels/KernelRegistry.h - Name-keyed kernel catalog -----*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel catalog as a registry instead of a hard-coded vector: bundles
+/// are registered by name with a factory, materialized lazily (a lookup
+/// builds only the bundle it hits, once), and found by a deterministic
+/// exact-then-prefix-then-substring match with ambiguity reporting. New
+/// workloads register themselves without touching the built-in kernel
+/// translation units, and the built-in catalog is available as a seed via
+/// KernelRegistry::builtin().
+///
+/// Name matching is case-insensitive and treats '-'/'_' as spaces, so the
+/// CLI spellings "box-blur", "Box_Blur", and "Box Blur" all resolve to the
+/// same entry. An exact match always wins; otherwise a unique prefix match,
+/// then a unique substring match; multiple candidates at the first tier
+/// with any hit produce an error Status listing them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_KERNELS_KERNELREGISTRY_H
+#define PORCUPINE_KERNELS_KERNELREGISTRY_H
+
+#include "kernels/Kernels.h"
+#include "support/Status.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace kernels {
+
+/// A catalog of kernel bundles keyed by kernel name. Copyable: copies share
+/// the factories but materialize their own bundle caches. Not thread-safe.
+class KernelRegistry {
+public:
+  using Factory = std::function<KernelBundle()>;
+
+  /// Empty registry.
+  KernelRegistry() = default;
+
+  /// The paper's nine directly synthesized kernels, in Table 2 order.
+  /// Copy it to extend the catalog without mutating global state.
+  static const KernelRegistry &builtin();
+
+  /// Registers \p Make under \p Name (the kernel's spec name). Fails with an
+  /// error Status when the normalized name is already taken.
+  Status add(const std::string &Name, Factory Make);
+
+  /// Registers a bundle by value (wraps it in a copying factory).
+  Status add(const std::string &Name, const KernelBundle &B) {
+    return add(Name, [B]() { return B; });
+  }
+
+  /// Resolves \p Query to a registered bundle: exact match first, then
+  /// unique prefix, then unique substring. The bundle is materialized on
+  /// first hit and cached; the pointer stays valid for the registry's
+  /// lifetime (or until copy/move). Unknown names and ambiguous queries
+  /// return an error Status; ambiguity diagnostics list every candidate.
+  Expected<const KernelBundle *> find(const std::string &Query) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  size_t size() const { return Entries.size(); }
+
+  /// True when \p Name resolves exactly (after normalization).
+  bool contains(const std::string &Name) const {
+    return ByKey.count(normalize(Name)) != 0;
+  }
+
+  /// Canonical lookup key: lowercased, '-'/'_' folded to ' '.
+  static std::string normalize(const std::string &Name);
+
+private:
+  struct Entry {
+    std::string Name; ///< As registered (display form).
+    std::string Key;  ///< normalize(Name).
+    Factory Make;
+    /// Lazily materialized bundle; unique_ptr keeps the address stable
+    /// across Entries growth. Deliberately not copied with the registry.
+    std::unique_ptr<KernelBundle> Cached;
+
+    Entry() = default;
+    Entry(std::string Name, std::string Key, Factory Make)
+        : Name(std::move(Name)), Key(std::move(Key)), Make(std::move(Make)) {}
+    Entry(const Entry &Other)
+        : Name(Other.Name), Key(Other.Key), Make(Other.Make) {}
+    Entry &operator=(const Entry &Other) {
+      Name = Other.Name;
+      Key = Other.Key;
+      Make = Other.Make;
+      Cached.reset();
+      return *this;
+    }
+    Entry(Entry &&) = default;
+    Entry &operator=(Entry &&) = default;
+  };
+
+  const KernelBundle *materialize(Entry &E) const;
+
+  // mutable: find() is logically const but fills the per-entry cache.
+  mutable std::vector<Entry> Entries;
+  std::map<std::string, size_t> ByKey;
+};
+
+} // namespace kernels
+} // namespace porcupine
+
+#endif // PORCUPINE_KERNELS_KERNELREGISTRY_H

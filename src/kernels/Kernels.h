@@ -76,6 +76,9 @@ KernelBundle gyKernel();           ///< y-gradient.
 KernelBundle robertsCrossKernel(); ///< Roberts cross response.
 
 /// All nine directly synthesized kernels, in the paper's Table 2 order.
+/// Materializes a fresh copy of every bundle from the builtin registry; for
+/// by-name lookup or catalog extension use kernels::KernelRegistry
+/// (KernelRegistry.h) instead of scanning this vector.
 std::vector<KernelBundle> allKernels();
 
 /// Multi-step applications (paper section 6.3): stitched from kernel

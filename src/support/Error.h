@@ -6,8 +6,18 @@
 ///
 /// \file
 /// Minimal unrecoverable-error reporting. The library does not use C++
-/// exceptions (LLVM-style); conditions that indicate a programming error are
-/// asserted, and unrecoverable user-facing errors call porcupine::fatalError.
+/// exceptions (LLVM-style). The error-handling contract is split in two:
+///
+///   * Recoverable, user-caused conditions (unknown kernel, malformed
+///     program text, bad options, wrong-shaped inputs) surface as
+///     Status / Expected<T> with Diagnostics — see support/Status.h and the
+///     driver API that enforces this at the public boundary.
+///   * Internal invariants indicate a bug in this library: they are
+///     asserted, marked PORC_UNREACHABLE, or — when they must also fire in
+///     assert-free builds — call porcupine::fatalError, which aborts.
+///
+/// New code must not reach for fatalError on input a caller could have
+/// gotten wrong; validate early and return a Status instead.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,8 +30,9 @@
 
 namespace porcupine {
 
-/// Prints \p Message to stderr and aborts. Used for unrecoverable errors
-/// that can be triggered by user input (bad parameters, malformed programs).
+/// Prints \p Message to stderr and aborts. Reserved for internal invariant
+/// violations that must fire even in assert-free builds; user-triggerable
+/// conditions belong in Status/Expected (support/Status.h).
 [[noreturn]] inline void fatalError(const std::string &Message) {
   std::fprintf(stderr, "porcupine fatal error: %s\n", Message.c_str());
   std::abort();

@@ -1,0 +1,188 @@
+//===- support/Status.h - Recoverable errors and diagnostics ----*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable half of the error model (the unrecoverable half lives in
+/// Error.h). Anything a *user* can cause — an unknown kernel name, a
+/// malformed program, inconsistent options, inputs of the wrong shape —
+/// must surface as a Status / Expected<T> carrying Diagnostics, never as a
+/// fatalError/abort. fatalError and assert remain reserved for internal
+/// invariants that indicate a bug in this library itself.
+///
+/// The scheme is deliberately small (no exceptions, LLVM-style):
+///
+///   * Diagnostic — one message with a severity and the pipeline stage that
+///     produced it.
+///   * Status     — success, or failure carrying >= 1 error Diagnostic;
+///     non-fatal notes/warnings may ride along either way.
+///   * Expected<T> — a T or a failed Status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SUPPORT_STATUS_H
+#define PORCUPINE_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace porcupine {
+
+/// How serious a diagnostic is. Only Error makes a Status failing.
+enum class Severity {
+  Note,    ///< Informational (e.g. "synthesis timed out; using bundled").
+  Warning, ///< Suspicious but recoverable.
+  Error,   ///< The requested operation could not be performed.
+};
+
+inline const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+/// One diagnostic message, tagged with the pipeline stage that produced it
+/// ("registry", "synthesis", "codegen", "execute", ...).
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  std::string Stage;
+  std::string Message;
+
+  /// Renders as "error [synthesis]: message".
+  std::string toString() const {
+    std::string Out = severityName(Sev);
+    if (!Stage.empty())
+      Out += " [" + Stage + "]";
+    Out += ": " + Message;
+    return Out;
+  }
+};
+
+/// Success, or failure with diagnostics. A Status is failing exactly when it
+/// carries at least one Severity::Error diagnostic.
+class Status {
+public:
+  /// Success with no diagnostics.
+  Status() = default;
+
+  static Status success() { return Status(); }
+
+  /// Failure with a single error diagnostic.
+  static Status error(std::string Stage, std::string Message) {
+    Status S;
+    S.Diags.push_back({Severity::Error, std::move(Stage), std::move(Message)});
+    return S;
+  }
+
+  bool ok() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == Severity::Error)
+        return false;
+    return true;
+  }
+  explicit operator bool() const { return ok(); }
+
+  /// Appends a diagnostic of any severity.
+  Status &addDiagnostic(Diagnostic D) {
+    Diags.push_back(std::move(D));
+    return *this;
+  }
+  Status &addNote(std::string Stage, std::string Message) {
+    return addDiagnostic({Severity::Note, std::move(Stage), std::move(Message)});
+  }
+  Status &addWarning(std::string Stage, std::string Message) {
+    return addDiagnostic(
+        {Severity::Warning, std::move(Stage), std::move(Message)});
+  }
+  Status &addError(std::string Stage, std::string Message) {
+    return addDiagnostic(
+        {Severity::Error, std::move(Stage), std::move(Message)});
+  }
+
+  /// Appends all of \p Other's diagnostics.
+  Status &merge(const Status &Other) {
+    Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+    return *this;
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// The first error message, or "" when ok. Convenience for CLIs/tests.
+  std::string message() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == Severity::Error)
+        return D.Message;
+    return "";
+  }
+
+  /// All diagnostics rendered one per line.
+  std::string toString() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      if (!Out.empty())
+        Out += "\n";
+      Out += D.toString();
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+/// A value of type T, or a failed Status explaining why there is none.
+/// Dereferencing a failed Expected is a programming error (asserted).
+template <typename T> class Expected {
+public:
+  /// Success.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Failure. \p S must be failing; a success Status here is a bug.
+  Expected(Status S) : Err(std::move(S)) {
+    assert(!Err.ok() && "Expected constructed from a success Status");
+    if (Err.ok())
+      Err.addError("internal", "Expected constructed from a success Status");
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing a failed Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing a failed Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// The failure Status (success() when a value is present).
+  const Status &status() const { return Err; }
+
+  /// Moves the value out (valid only on success).
+  T take() {
+    assert(hasValue() && "taking from a failed Expected");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SUPPORT_STATUS_H

@@ -5,10 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Command-line driver for the Porcupine toolchain.
+/// Command-line front end of the Porcupine toolchain. Every subcommand is a
+/// thin wrapper over the porcupine::driver Compiler API; porcc itself only
+/// parses flags, forwards to the driver, and prints results/diagnostics.
 ///
 ///   porcc list
-///       List the bundled kernel specifications.
+///       List the registered kernels (builtin registry) and the multi-step
+///       applications.
+///   porcc compile <kernel> [--json] [--from-bundle] [--timeout S]
+///                 [--no-optimize] [--explicit-rot] [--peephole]
+///                 [--function NAME]
+///       Run the full pipeline (synthesis, analyses, parameter selection,
+///       SEAL codegen) and print a human-readable report, or with --json a
+///       single machine-readable record. --from-bundle skips synthesis and
+///       compiles the bundled program (fast, deterministic).
 ///   porcc synth <kernel> [--timeout S] [--no-optimize] [--explicit-rot]
 ///       Synthesize a kernel from its bundled spec/sketch; print the Quill
 ///       program, statistics, and generated SEAL code.
@@ -22,15 +32,17 @@
 ///   porcc check <file.quill> <kernel>
 ///       Verify a Quill program against a bundled kernel specification.
 ///
+/// Kernel names resolve exact-first, then by unique prefix, then unique
+/// substring; ambiguous names fail with the candidate list. Bad input of
+/// any kind prints a diagnostic and exits 1 — never aborts. Exit code 2 is
+/// reserved for usage errors.
+///
 //===----------------------------------------------------------------------===//
 
-#include "backend/BfvExecutor.h"
-#include "backend/SealCodeGen.h"
+#include "driver/Driver.h"
 #include "kernels/Kernels.h"
+#include "math/ModArith.h"
 #include "quill/Analysis.h"
-#include "quill/Interpreter.h"
-#include "spec/Equivalence.h"
-#include "synth/Synthesizer.h"
 
 #include <cstdio>
 #include <cstring>
@@ -45,34 +57,29 @@ using namespace porcupine::kernels;
 
 namespace {
 
-std::vector<KernelBundle> bundles() { return allKernels(); }
-
-std::optional<KernelBundle> findKernel(const std::string &Name) {
-  for (KernelBundle &B : bundles()) {
-    std::string Lower = B.Spec.name();
-    for (char &C : Lower)
-      C = static_cast<char>(tolower(C));
-    std::string Want = Name;
-    for (char &C : Want)
-      C = static_cast<char>(tolower(C));
-    if (Lower == Want || Lower.find(Want) != std::string::npos)
-      return std::move(B);
-  }
-  return std::nullopt;
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: porcc <list|compile|synth|emit|show|run|check> [args]\n"
+      "  porcc list\n"
+      "  porcc compile <kernel> [--json] [--from-bundle] [--timeout S] "
+      "[--no-optimize]\n"
+      "                [--explicit-rot] [--peephole] [--function NAME]\n"
+      "  porcc synth <kernel> [--timeout S] [--no-optimize] "
+      "[--explicit-rot]\n"
+      "  porcc emit <kernel> [--baseline] [--function NAME]\n"
+      "  porcc show <kernel> [--baseline]\n"
+      "  porcc run <file.quill> --inputs \"1 2 3;4 5 6\" "
+      "[--encrypted]\n"
+      "  porcc check <file.quill> <kernel>\n");
+  return 2;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: porcc <list|synth|emit|show|run|check> [args]\n"
-               "  porcc list\n"
-               "  porcc synth <kernel> [--timeout S] [--no-optimize] "
-               "[--explicit-rot]\n"
-               "  porcc emit <kernel> [--baseline] [--function NAME]\n"
-               "  porcc show <kernel> [--baseline]\n"
-               "  porcc run <file.quill> --inputs \"1 2 3;4 5 6\" "
-               "[--encrypted]\n"
-               "  porcc check <file.quill> <kernel>\n");
-  return 2;
+/// True when argument \p I exists and is a positional (not a flag). Keeps
+/// `porcc compile --json` (kernel forgotten) on the exit-2 usage path
+/// instead of reporting "unknown kernel '--json'".
+bool hasPositional(int Argc, char **Argv, int I = 0) {
+  return I < Argc && Argv[I][0] != '-';
 }
 
 bool hasFlag(int Argc, char **Argv, const char *Flag) {
@@ -90,6 +97,36 @@ const char *argValue(int Argc, char **Argv, const char *Flag,
   return Default;
 }
 
+/// Prints every diagnostic of a failed status to stderr and returns 1.
+int fail(const Status &S) {
+  std::fprintf(stderr, "%s\n", S.toString().c_str());
+  return 1;
+}
+
+/// Resolves a kernel name through the builtin registry, printing the
+/// diagnostic (unknown name, ambiguous prefix with candidates) on failure.
+const KernelBundle *lookupKernel(const driver::Compiler &C,
+                                 const char *Name) {
+  auto B = C.registry().find(Name);
+  if (!B) {
+    std::fprintf(stderr, "%s\n", B.status().toString().c_str());
+    return nullptr;
+  }
+  return *B;
+}
+
+/// Shared flag plumbing for the compile/synth subcommands.
+driver::CompileOptions optionsFromFlags(int Argc, char **Argv) {
+  driver::CompileOptions Opts;
+  Opts.Synthesis.TimeoutSeconds =
+      std::atof(argValue(Argc, Argv, "--timeout", "120"));
+  Opts.Synthesis.Optimize = !hasFlag(Argc, Argv, "--no-optimize");
+  Opts.ExplicitRotations = hasFlag(Argc, Argv, "--explicit-rot");
+  Opts.RunPeephole = hasFlag(Argc, Argv, "--peephole");
+  Opts.Codegen.FunctionName = argValue(Argc, Argv, "--function", "kernel");
+  return Opts;
+}
+
 void printAnalyses(const quill::Program &P) {
   auto Mix = quill::countInstructions(P);
   std::printf("; %d instructions (%d rotations, %d ct-ct muls, %d ct-pt "
@@ -99,12 +136,22 @@ void printAnalyses(const quill::Program &P) {
               quill::programMultiplicativeDepth(P));
 }
 
+void printNotes(const std::vector<Diagnostic> &Notes) {
+  for (const Diagnostic &D : Notes)
+    std::fprintf(stderr, "%s\n", D.toString().c_str());
+}
+
 int cmdList() {
+  driver::Compiler C;
   std::printf("%-24s %6s %7s %-s\n", "kernel", "inputs", "width", "layout");
-  for (const KernelBundle &B : bundles())
-    std::printf("%-24s %6d %7zu %s\n", B.Spec.name().c_str(),
-                B.Spec.numInputs(), B.Spec.vectorSize(),
-                B.Spec.layout().Description.c_str());
+  for (const std::string &Name : C.registry().names()) {
+    auto B = C.registry().find(Name);
+    if (!B)
+      return fail(B.status());
+    std::printf("%-24s %6d %7zu %s\n", (*B)->Spec.name().c_str(),
+                (*B)->Spec.numInputs(), (*B)->Spec.vectorSize(),
+                (*B)->Spec.layout().Description.c_str());
+  }
   std::printf("%-24s %6d %7zu %s\n", "Sobel (multi-step)", 1,
               ImageGeom::Slots, sobelApp().Spec.layout().Description.c_str());
   std::printf("%-24s %6d %7zu %s\n", "Harris (multi-step)", 1,
@@ -113,59 +160,87 @@ int cmdList() {
   return 0;
 }
 
-int cmdSynth(int Argc, char **Argv) {
-  if (Argc < 1)
+int cmdCompile(int Argc, char **Argv) {
+  if (!hasPositional(Argc, Argv))
     return usage();
-  auto B = findKernel(Argv[0]);
-  if (!B) {
-    std::fprintf(stderr, "error: unknown kernel '%s' (try 'porcc list')\n",
-                 Argv[0]);
-    return 1;
+  driver::CompileOptions Opts = optionsFromFlags(Argc, Argv);
+  Opts.RunSynthesis = !hasFlag(Argc, Argv, "--from-bundle");
+  Opts.FallbackToBundled = false;
+  driver::Compiler C(Opts);
+  auto Result = C.compile(Argv[0]);
+  if (!Result)
+    return fail(Result.status());
+
+  if (hasFlag(Argc, Argv, "--json")) {
+    std::printf("%s", driver::toJson(*Result).c_str());
+    return 0;
   }
-  synth::SynthesisOptions Opts;
-  Opts.TimeoutSeconds = std::atof(argValue(Argc, Argv, "--timeout", "120"));
-  Opts.Optimize = !hasFlag(Argc, Argv, "--no-optimize");
-  synth::Sketch Sk = B->Sketch;
-  Sk.ExplicitRotations = hasFlag(Argc, Argv, "--explicit-rot");
-  if (Sk.ExplicitRotations)
-    Opts.MaxComponents = 12;
+
+  printNotes(Result->Notes);
+  std::printf("kernel: %s (%s)\n", Result->KernelName.c_str(),
+              Result->FromSynthesis ? "synthesized" : "bundled program");
+  printAnalyses(Result->Program);
+  std::printf("%s", quill::printProgram(Result->Program).c_str());
+  std::printf("cost: latency %.0f us, paper cost %.0f\n",
+              Result->LatencyEstimateUs, Result->Cost);
+  if (Result->FromSynthesis)
+    std::printf("synthesis: %d example(s), %.2fs total%s%s\n",
+                Result->Stats.ExamplesUsed, Result->Stats.TotalTimeSeconds,
+                Result->Stats.ProvenOptimal ? ", proven optimal in sketch"
+                                            : "",
+                Result->Stats.TimedOut ? ", timed out" : "");
+  std::printf("parameters: N=%zu, %u-bit coeff modulus, mult-depth %u\n\n",
+              Result->Params.PolyDegree, Result->Params.CoeffModulusBits,
+              Result->Params.MultiplicativeDepth);
+  std::printf("%s", Result->SealCode.c_str());
+  return 0;
+}
+
+int cmdSynth(int Argc, char **Argv) {
+  if (!hasPositional(Argc, Argv))
+    return usage();
+  driver::CompileOptions Opts = optionsFromFlags(Argc, Argv);
+  Opts.FallbackToBundled = false;
+  driver::Compiler C(Opts);
+  const KernelBundle *B = lookupKernel(C, Argv[0]);
+  if (!B)
+    return 1;
 
   std::printf("synthesizing %s (timeout %.0fs)...\n", B->Spec.name().c_str(),
-              Opts.TimeoutSeconds);
-  auto Result = synth::synthesize(B->Spec, Sk, Opts);
-  if (!Result.Found) {
-    std::fprintf(stderr, "synthesis failed%s\n",
-                 Result.Stats.TimedOut ? " (timeout)" : "");
-    return 1;
-  }
+              Opts.Synthesis.TimeoutSeconds);
+  auto Result = C.compile(*B);
+  if (!Result)
+    return fail(Result.status());
   std::printf("\n");
-  printAnalyses(Result.Prog);
-  std::printf("%s\n", quill::printProgram(Result.Prog).c_str());
+  printAnalyses(Result->Program);
+  std::printf("%s\n", quill::printProgram(Result->Program).c_str());
   std::printf("stats: %d example(s), initial %.2fs, total %.2fs, cost %.0f "
               "-> %.0f%s%s\n\n",
-              Result.Stats.ExamplesUsed, Result.Stats.InitialTimeSeconds,
-              Result.Stats.TotalTimeSeconds, Result.Stats.InitialCost,
-              Result.Stats.FinalCost,
-              Result.Stats.ProvenOptimal ? ", proven optimal in sketch" : "",
-              Result.Stats.TimedOut ? ", timed out" : "");
-  std::printf("%s", emitSealCode(Result.Prog, {"kernel", true}).c_str());
+              Result->Stats.ExamplesUsed, Result->Stats.InitialTimeSeconds,
+              Result->Stats.TotalTimeSeconds, Result->Stats.InitialCost,
+              Result->Stats.FinalCost,
+              Result->Stats.ProvenOptimal ? ", proven optimal in sketch" : "",
+              Result->Stats.TimedOut ? ", timed out" : "");
+  std::printf("%s", Result->SealCode.c_str());
   return 0;
 }
 
 int cmdEmitOrShow(int Argc, char **Argv, bool Emit) {
-  if (Argc < 1)
+  if (!hasPositional(Argc, Argv))
     return usage();
-  auto B = findKernel(Argv[0]);
-  if (!B) {
-    std::fprintf(stderr, "error: unknown kernel '%s'\n", Argv[0]);
+  driver::Compiler C;
+  C.options().Codegen.FunctionName =
+      argValue(Argc, Argv, "--function", "kernel");
+  const KernelBundle *B = lookupKernel(C, Argv[0]);
+  if (!B)
     return 1;
-  }
   const quill::Program &P =
       hasFlag(Argc, Argv, "--baseline") ? B->Baseline : B->Synthesized;
   if (Emit) {
-    SealCodeGenOptions Opts;
-    Opts.FunctionName = argValue(Argc, Argv, "--function", "kernel");
-    std::printf("%s", emitSealCode(P, Opts).c_str());
+    auto Code = C.emit(P);
+    if (!Code)
+      return fail(Code.status());
+    std::printf("%s", Code->c_str());
   } else {
     printAnalyses(P);
     std::printf("%s", quill::printProgram(P).c_str());
@@ -174,7 +249,7 @@ int cmdEmitOrShow(int Argc, char **Argv, bool Emit) {
 }
 
 std::optional<std::vector<quill::SlotVector>>
-parseInputs(const std::string &Text, size_t Width) {
+parseInputs(const std::string &Text, size_t Width, uint64_t T) {
   std::vector<quill::SlotVector> Inputs;
   std::stringstream Stream(Text);
   std::string Part;
@@ -183,7 +258,7 @@ parseInputs(const std::string &Text, size_t Width) {
     std::istringstream Vals(Part);
     long long X;
     while (Vals >> X)
-      V.push_back(toResidue(X, 65537));
+      V.push_back(toResidue(X, T));
     if (V.size() > Width)
       return std::nullopt;
     V.resize(Width, 0);
@@ -192,13 +267,13 @@ parseInputs(const std::string &Text, size_t Width) {
   return Inputs;
 }
 
-int cmdRun(int Argc, char **Argv) {
-  if (Argc < 1)
-    return usage();
-  std::ifstream In(Argv[0]);
+/// Reads and parses a .quill file; on failure prints the reason and
+/// returns nullopt.
+std::optional<quill::Program> loadProgram(const char *Path) {
+  std::ifstream In(Path);
   if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Argv[0]);
-    return 1;
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return std::nullopt;
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
@@ -206,80 +281,66 @@ int cmdRun(int Argc, char **Argv) {
   std::string Error;
   if (!quill::parseProgram(Buf.str(), P, Error)) {
     std::fprintf(stderr, "parse error: %s\n", Error.c_str());
-    return 1;
+    return std::nullopt;
   }
-  auto Inputs =
-      parseInputs(argValue(Argc, Argv, "--inputs", ""), P.VectorSize);
-  if (!Inputs || static_cast<int>(Inputs->size()) != P.NumInputs) {
+  return P;
+}
+
+int cmdRun(int Argc, char **Argv) {
+  if (!hasPositional(Argc, Argv))
+    return usage();
+  auto P = loadProgram(Argv[0]);
+  if (!P)
+    return 1;
+  driver::Compiler C;
+  auto Inputs = parseInputs(argValue(Argc, Argv, "--inputs", ""),
+                            P->VectorSize, C.options().Synthesis.PlainModulus);
+  if (!Inputs || static_cast<int>(Inputs->size()) != P->NumInputs) {
     std::fprintf(stderr,
                  "error: program needs %d input vector(s) of width <= %zu "
                  "(separate vectors with ';')\n",
-                 P.NumInputs, P.VectorSize);
+                 P->NumInputs, P->VectorSize);
     return 1;
   }
 
-  quill::SlotVector Out;
-  if (hasFlag(Argc, Argv, "--encrypted")) {
-    BfvContext Ctx = BfvContext::forMultDepth(
-        static_cast<unsigned>(quill::programMultiplicativeDepth(P)));
-    Rng R(1);
-    BfvExecutor Exec(Ctx, R, {&P});
-    std::vector<Ciphertext> Enc;
-    for (const auto &V : *Inputs)
-      Enc.push_back(Exec.encryptInput(V));
-    Ciphertext Ct = Exec.run(P, Enc);
-    Out = Exec.decryptOutput(Ct, P.VectorSize);
+  bool Encrypted = hasFlag(Argc, Argv, "--encrypted");
+  auto Out = C.execute(*P, *Inputs, Encrypted);
+  if (!Out)
+    return fail(Out.status());
+  if (Out->Encrypted)
     std::printf("; executed under BFV (N=%zu), noise budget left %.1f "
                 "bits\n",
-                Ctx.polyDegree(), Exec.noiseBudget(Ct));
-  } else {
-    Out = quill::interpret(P, *Inputs, 65537);
-    std::printf("; executed by the plaintext interpreter (mod 65537)\n");
-  }
-  for (uint64_t V : Out)
+                Out->PolyDegree, Out->NoiseBudgetBits);
+  else
+    std::printf("; executed by the plaintext interpreter (mod %llu)\n",
+                static_cast<unsigned long long>(
+                    C.options().Synthesis.PlainModulus));
+  for (uint64_t V : Out->Outputs)
     std::printf("%llu ", static_cast<unsigned long long>(V));
   std::printf("\n");
   return 0;
 }
 
 int cmdCheck(int Argc, char **Argv) {
-  if (Argc < 2)
+  if (!hasPositional(Argc, Argv, 0) || !hasPositional(Argc, Argv, 1))
     return usage();
-  std::ifstream In(Argv[0]);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Argv[0]);
+  auto P = loadProgram(Argv[0]);
+  if (!P)
     return 1;
-  }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  quill::Program P;
-  std::string Error;
-  if (!quill::parseProgram(Buf.str(), P, Error)) {
-    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+  driver::Compiler C;
+  const KernelBundle *B = lookupKernel(C, Argv[1]);
+  if (!B)
     return 1;
-  }
-  auto B = findKernel(Argv[1]);
-  if (!B) {
-    std::fprintf(stderr, "error: unknown kernel '%s'\n", Argv[1]);
-    return 1;
-  }
-  if (P.VectorSize != B->Spec.vectorSize() ||
-      P.NumInputs != B->Spec.numInputs()) {
-    std::fprintf(stderr, "error: program shape (%d inputs, width %zu) does "
-                         "not match spec (%d inputs, width %zu)\n",
-                 P.NumInputs, P.VectorSize, B->Spec.numInputs(),
-                 B->Spec.vectorSize());
-    return 1;
-  }
-  Rng R(1);
-  auto V = verifyProgram(P, B->Spec, 65537, R);
-  if (V.Equivalent) {
+  auto V = C.verify(*P, B->Spec);
+  if (!V)
+    return fail(V.status());
+  if (V->Equivalent) {
     std::printf("OK: program is equivalent to '%s' on all inputs\n",
                 B->Spec.name().c_str());
     return 0;
   }
   std::printf("FAIL: not equivalent; counterexample input(s):\n");
-  for (const auto &Vec : V.Counterexample) {
+  for (const auto &Vec : V->Counterexample) {
     for (uint64_t X : Vec)
       std::printf("%llu ", static_cast<unsigned long long>(X));
     std::printf("\n");
@@ -295,6 +356,8 @@ int main(int Argc, char **Argv) {
   std::string Cmd = Argv[1];
   if (Cmd == "list")
     return cmdList();
+  if (Cmd == "compile")
+    return cmdCompile(Argc - 2, Argv + 2);
   if (Cmd == "synth")
     return cmdSynth(Argc - 2, Argv + 2);
   if (Cmd == "emit")
