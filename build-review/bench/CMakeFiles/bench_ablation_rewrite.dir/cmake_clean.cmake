@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rewrite.dir/bench_ablation_rewrite.cpp.o"
+  "CMakeFiles/bench_ablation_rewrite.dir/bench_ablation_rewrite.cpp.o.d"
+  "bench_ablation_rewrite"
+  "bench_ablation_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_speedup.dir/bench_figure4_speedup.cpp.o"
+  "CMakeFiles/bench_figure4_speedup.dir/bench_figure4_speedup.cpp.o.d"
+  "bench_figure4_speedup"
+  "bench_figure4_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

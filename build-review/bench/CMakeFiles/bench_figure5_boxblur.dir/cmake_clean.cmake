@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_boxblur.dir/bench_figure5_boxblur.cpp.o"
+  "CMakeFiles/bench_figure5_boxblur.dir/bench_figure5_boxblur.cpp.o.d"
+  "bench_figure5_boxblur"
+  "bench_figure5_boxblur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_boxblur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

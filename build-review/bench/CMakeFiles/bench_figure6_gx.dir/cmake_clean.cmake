@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_gx.dir/bench_figure6_gx.cpp.o"
+  "CMakeFiles/bench_figure6_gx.dir/bench_figure6_gx.cpp.o.d"
+  "bench_figure6_gx"
+  "bench_figure6_gx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_gx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

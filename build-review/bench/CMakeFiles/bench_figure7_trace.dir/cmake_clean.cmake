@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_trace.dir/bench_figure7_trace.cpp.o"
+  "CMakeFiles/bench_figure7_trace.dir/bench_figure7_trace.cpp.o.d"
+  "bench_figure7_trace"
+  "bench_figure7_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_programs.dir/bench_table2_programs.cpp.o"
+  "CMakeFiles/bench_table2_programs.dir/bench_table2_programs.cpp.o.d"
+  "bench_table2_programs"
+  "bench_table2_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_synthesis.dir/bench_table3_synthesis.cpp.o"
+  "CMakeFiles/bench_table3_synthesis.dir/bench_table3_synthesis.cpp.o.d"
+  "bench_table3_synthesis"
+  "bench_table3_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

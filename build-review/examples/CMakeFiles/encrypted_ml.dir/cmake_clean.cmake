@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_ml.dir/encrypted_ml.cpp.o"
+  "CMakeFiles/encrypted_ml.dir/encrypted_ml.cpp.o.d"
+  "encrypted_ml"
+  "encrypted_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

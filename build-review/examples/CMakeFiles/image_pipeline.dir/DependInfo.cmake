@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/image_pipeline.cpp" "examples/CMakeFiles/image_pipeline.dir/image_pipeline.cpp.o" "gcc" "examples/CMakeFiles/image_pipeline.dir/image_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/driver/CMakeFiles/porcupine_driver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/backend/CMakeFiles/porcupine_backend.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernels/CMakeFiles/porcupine_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/synth/CMakeFiles/porcupine_synth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bfv/CMakeFiles/porcupine_bfv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spec/CMakeFiles/porcupine_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quill/CMakeFiles/porcupine_quill.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/porcupine_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

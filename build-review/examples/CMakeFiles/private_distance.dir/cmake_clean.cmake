@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_distance.dir/private_distance.cpp.o"
+  "CMakeFiles/private_distance.dir/private_distance.cpp.o.d"
+  "private_distance"
+  "private_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

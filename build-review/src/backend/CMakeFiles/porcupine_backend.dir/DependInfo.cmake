@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/BfvExecutor.cpp" "src/backend/CMakeFiles/porcupine_backend.dir/BfvExecutor.cpp.o" "gcc" "src/backend/CMakeFiles/porcupine_backend.dir/BfvExecutor.cpp.o.d"
+  "/root/repo/src/backend/LatencyProfiler.cpp" "src/backend/CMakeFiles/porcupine_backend.dir/LatencyProfiler.cpp.o" "gcc" "src/backend/CMakeFiles/porcupine_backend.dir/LatencyProfiler.cpp.o.d"
+  "/root/repo/src/backend/ParameterSelector.cpp" "src/backend/CMakeFiles/porcupine_backend.dir/ParameterSelector.cpp.o" "gcc" "src/backend/CMakeFiles/porcupine_backend.dir/ParameterSelector.cpp.o.d"
+  "/root/repo/src/backend/SealCodeGen.cpp" "src/backend/CMakeFiles/porcupine_backend.dir/SealCodeGen.cpp.o" "gcc" "src/backend/CMakeFiles/porcupine_backend.dir/SealCodeGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/bfv/CMakeFiles/porcupine_bfv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quill/CMakeFiles/porcupine_quill.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/porcupine_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_backend.dir/BfvExecutor.cpp.o"
+  "CMakeFiles/porcupine_backend.dir/BfvExecutor.cpp.o.d"
+  "CMakeFiles/porcupine_backend.dir/LatencyProfiler.cpp.o"
+  "CMakeFiles/porcupine_backend.dir/LatencyProfiler.cpp.o.d"
+  "CMakeFiles/porcupine_backend.dir/ParameterSelector.cpp.o"
+  "CMakeFiles/porcupine_backend.dir/ParameterSelector.cpp.o.d"
+  "CMakeFiles/porcupine_backend.dir/SealCodeGen.cpp.o"
+  "CMakeFiles/porcupine_backend.dir/SealCodeGen.cpp.o.d"
+  "libporcupine_backend.a"
+  "libporcupine_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfv/BatchEncoder.cpp" "src/bfv/CMakeFiles/porcupine_bfv.dir/BatchEncoder.cpp.o" "gcc" "src/bfv/CMakeFiles/porcupine_bfv.dir/BatchEncoder.cpp.o.d"
+  "/root/repo/src/bfv/BfvContext.cpp" "src/bfv/CMakeFiles/porcupine_bfv.dir/BfvContext.cpp.o" "gcc" "src/bfv/CMakeFiles/porcupine_bfv.dir/BfvContext.cpp.o.d"
+  "/root/repo/src/bfv/Decryptor.cpp" "src/bfv/CMakeFiles/porcupine_bfv.dir/Decryptor.cpp.o" "gcc" "src/bfv/CMakeFiles/porcupine_bfv.dir/Decryptor.cpp.o.d"
+  "/root/repo/src/bfv/Encryptor.cpp" "src/bfv/CMakeFiles/porcupine_bfv.dir/Encryptor.cpp.o" "gcc" "src/bfv/CMakeFiles/porcupine_bfv.dir/Encryptor.cpp.o.d"
+  "/root/repo/src/bfv/Evaluator.cpp" "src/bfv/CMakeFiles/porcupine_bfv.dir/Evaluator.cpp.o" "gcc" "src/bfv/CMakeFiles/porcupine_bfv.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/bfv/KeyGenerator.cpp" "src/bfv/CMakeFiles/porcupine_bfv.dir/KeyGenerator.cpp.o" "gcc" "src/bfv/CMakeFiles/porcupine_bfv.dir/KeyGenerator.cpp.o.d"
+  "/root/repo/src/bfv/RingPoly.cpp" "src/bfv/CMakeFiles/porcupine_bfv.dir/RingPoly.cpp.o" "gcc" "src/bfv/CMakeFiles/porcupine_bfv.dir/RingPoly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/math/CMakeFiles/porcupine_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_bfv.dir/BatchEncoder.cpp.o"
+  "CMakeFiles/porcupine_bfv.dir/BatchEncoder.cpp.o.d"
+  "CMakeFiles/porcupine_bfv.dir/BfvContext.cpp.o"
+  "CMakeFiles/porcupine_bfv.dir/BfvContext.cpp.o.d"
+  "CMakeFiles/porcupine_bfv.dir/Decryptor.cpp.o"
+  "CMakeFiles/porcupine_bfv.dir/Decryptor.cpp.o.d"
+  "CMakeFiles/porcupine_bfv.dir/Encryptor.cpp.o"
+  "CMakeFiles/porcupine_bfv.dir/Encryptor.cpp.o.d"
+  "CMakeFiles/porcupine_bfv.dir/Evaluator.cpp.o"
+  "CMakeFiles/porcupine_bfv.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/porcupine_bfv.dir/KeyGenerator.cpp.o"
+  "CMakeFiles/porcupine_bfv.dir/KeyGenerator.cpp.o.d"
+  "CMakeFiles/porcupine_bfv.dir/RingPoly.cpp.o"
+  "CMakeFiles/porcupine_bfv.dir/RingPoly.cpp.o.d"
+  "libporcupine_bfv.a"
+  "libporcupine_bfv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_bfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for porcupine_bfv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for porcupine_bfv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_driver.dir/Driver.cpp.o"
+  "CMakeFiles/porcupine_driver.dir/Driver.cpp.o.d"
+  "libporcupine_driver.a"
+  "libporcupine_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

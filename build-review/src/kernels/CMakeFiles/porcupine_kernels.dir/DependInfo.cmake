@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/Apps.cpp" "src/kernels/CMakeFiles/porcupine_kernels.dir/Apps.cpp.o" "gcc" "src/kernels/CMakeFiles/porcupine_kernels.dir/Apps.cpp.o.d"
+  "/root/repo/src/kernels/ImageKernels.cpp" "src/kernels/CMakeFiles/porcupine_kernels.dir/ImageKernels.cpp.o" "gcc" "src/kernels/CMakeFiles/porcupine_kernels.dir/ImageKernels.cpp.o.d"
+  "/root/repo/src/kernels/KernelRegistry.cpp" "src/kernels/CMakeFiles/porcupine_kernels.dir/KernelRegistry.cpp.o" "gcc" "src/kernels/CMakeFiles/porcupine_kernels.dir/KernelRegistry.cpp.o.d"
+  "/root/repo/src/kernels/VectorKernels.cpp" "src/kernels/CMakeFiles/porcupine_kernels.dir/VectorKernels.cpp.o" "gcc" "src/kernels/CMakeFiles/porcupine_kernels.dir/VectorKernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/synth/CMakeFiles/porcupine_synth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spec/CMakeFiles/porcupine_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quill/CMakeFiles/porcupine_quill.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/porcupine_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_kernels.dir/Apps.cpp.o"
+  "CMakeFiles/porcupine_kernels.dir/Apps.cpp.o.d"
+  "CMakeFiles/porcupine_kernels.dir/ImageKernels.cpp.o"
+  "CMakeFiles/porcupine_kernels.dir/ImageKernels.cpp.o.d"
+  "CMakeFiles/porcupine_kernels.dir/KernelRegistry.cpp.o"
+  "CMakeFiles/porcupine_kernels.dir/KernelRegistry.cpp.o.d"
+  "CMakeFiles/porcupine_kernels.dir/VectorKernels.cpp.o"
+  "CMakeFiles/porcupine_kernels.dir/VectorKernels.cpp.o.d"
+  "libporcupine_kernels.a"
+  "libporcupine_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

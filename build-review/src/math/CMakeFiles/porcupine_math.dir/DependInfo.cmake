@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/BigInt.cpp" "src/math/CMakeFiles/porcupine_math.dir/BigInt.cpp.o" "gcc" "src/math/CMakeFiles/porcupine_math.dir/BigInt.cpp.o.d"
+  "/root/repo/src/math/Crt.cpp" "src/math/CMakeFiles/porcupine_math.dir/Crt.cpp.o" "gcc" "src/math/CMakeFiles/porcupine_math.dir/Crt.cpp.o.d"
+  "/root/repo/src/math/ModArith.cpp" "src/math/CMakeFiles/porcupine_math.dir/ModArith.cpp.o" "gcc" "src/math/CMakeFiles/porcupine_math.dir/ModArith.cpp.o.d"
+  "/root/repo/src/math/Ntt.cpp" "src/math/CMakeFiles/porcupine_math.dir/Ntt.cpp.o" "gcc" "src/math/CMakeFiles/porcupine_math.dir/Ntt.cpp.o.d"
+  "/root/repo/src/math/Primes.cpp" "src/math/CMakeFiles/porcupine_math.dir/Primes.cpp.o" "gcc" "src/math/CMakeFiles/porcupine_math.dir/Primes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

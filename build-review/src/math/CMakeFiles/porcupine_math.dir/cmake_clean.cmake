@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_math.dir/BigInt.cpp.o"
+  "CMakeFiles/porcupine_math.dir/BigInt.cpp.o.d"
+  "CMakeFiles/porcupine_math.dir/Crt.cpp.o"
+  "CMakeFiles/porcupine_math.dir/Crt.cpp.o.d"
+  "CMakeFiles/porcupine_math.dir/ModArith.cpp.o"
+  "CMakeFiles/porcupine_math.dir/ModArith.cpp.o.d"
+  "CMakeFiles/porcupine_math.dir/Ntt.cpp.o"
+  "CMakeFiles/porcupine_math.dir/Ntt.cpp.o.d"
+  "CMakeFiles/porcupine_math.dir/Primes.cpp.o"
+  "CMakeFiles/porcupine_math.dir/Primes.cpp.o.d"
+  "libporcupine_math.a"
+  "libporcupine_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

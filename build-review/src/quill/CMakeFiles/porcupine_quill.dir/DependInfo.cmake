@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quill/Analysis.cpp" "src/quill/CMakeFiles/porcupine_quill.dir/Analysis.cpp.o" "gcc" "src/quill/CMakeFiles/porcupine_quill.dir/Analysis.cpp.o.d"
+  "/root/repo/src/quill/CostModel.cpp" "src/quill/CMakeFiles/porcupine_quill.dir/CostModel.cpp.o" "gcc" "src/quill/CMakeFiles/porcupine_quill.dir/CostModel.cpp.o.d"
+  "/root/repo/src/quill/Interpreter.cpp" "src/quill/CMakeFiles/porcupine_quill.dir/Interpreter.cpp.o" "gcc" "src/quill/CMakeFiles/porcupine_quill.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/quill/Peephole.cpp" "src/quill/CMakeFiles/porcupine_quill.dir/Peephole.cpp.o" "gcc" "src/quill/CMakeFiles/porcupine_quill.dir/Peephole.cpp.o.d"
+  "/root/repo/src/quill/Program.cpp" "src/quill/CMakeFiles/porcupine_quill.dir/Program.cpp.o" "gcc" "src/quill/CMakeFiles/porcupine_quill.dir/Program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/math/CMakeFiles/porcupine_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

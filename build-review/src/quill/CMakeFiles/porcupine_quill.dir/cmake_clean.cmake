@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_quill.dir/Analysis.cpp.o"
+  "CMakeFiles/porcupine_quill.dir/Analysis.cpp.o.d"
+  "CMakeFiles/porcupine_quill.dir/CostModel.cpp.o"
+  "CMakeFiles/porcupine_quill.dir/CostModel.cpp.o.d"
+  "CMakeFiles/porcupine_quill.dir/Interpreter.cpp.o"
+  "CMakeFiles/porcupine_quill.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/porcupine_quill.dir/Peephole.cpp.o"
+  "CMakeFiles/porcupine_quill.dir/Peephole.cpp.o.d"
+  "CMakeFiles/porcupine_quill.dir/Program.cpp.o"
+  "CMakeFiles/porcupine_quill.dir/Program.cpp.o.d"
+  "libporcupine_quill.a"
+  "libporcupine_quill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_quill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for porcupine_quill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/Equivalence.cpp" "src/spec/CMakeFiles/porcupine_spec.dir/Equivalence.cpp.o" "gcc" "src/spec/CMakeFiles/porcupine_spec.dir/Equivalence.cpp.o.d"
+  "/root/repo/src/spec/KernelSpec.cpp" "src/spec/CMakeFiles/porcupine_spec.dir/KernelSpec.cpp.o" "gcc" "src/spec/CMakeFiles/porcupine_spec.dir/KernelSpec.cpp.o.d"
+  "/root/repo/src/spec/SymPoly.cpp" "src/spec/CMakeFiles/porcupine_spec.dir/SymPoly.cpp.o" "gcc" "src/spec/CMakeFiles/porcupine_spec.dir/SymPoly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/quill/CMakeFiles/porcupine_quill.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/porcupine_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

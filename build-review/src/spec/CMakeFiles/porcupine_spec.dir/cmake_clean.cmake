@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_spec.dir/Equivalence.cpp.o"
+  "CMakeFiles/porcupine_spec.dir/Equivalence.cpp.o.d"
+  "CMakeFiles/porcupine_spec.dir/KernelSpec.cpp.o"
+  "CMakeFiles/porcupine_spec.dir/KernelSpec.cpp.o.d"
+  "CMakeFiles/porcupine_spec.dir/SymPoly.cpp.o"
+  "CMakeFiles/porcupine_spec.dir/SymPoly.cpp.o.d"
+  "libporcupine_spec.a"
+  "libporcupine_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_support.dir/Random.cpp.o"
+  "CMakeFiles/porcupine_support.dir/Random.cpp.o.d"
+  "CMakeFiles/porcupine_support.dir/Timing.cpp.o"
+  "CMakeFiles/porcupine_support.dir/Timing.cpp.o.d"
+  "libporcupine_support.a"
+  "libporcupine_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

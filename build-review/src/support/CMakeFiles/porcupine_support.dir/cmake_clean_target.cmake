@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libporcupine_support.a"
+)

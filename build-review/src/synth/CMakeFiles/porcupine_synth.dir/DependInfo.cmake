@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/Compose.cpp" "src/synth/CMakeFiles/porcupine_synth.dir/Compose.cpp.o" "gcc" "src/synth/CMakeFiles/porcupine_synth.dir/Compose.cpp.o.d"
+  "/root/repo/src/synth/Sketch.cpp" "src/synth/CMakeFiles/porcupine_synth.dir/Sketch.cpp.o" "gcc" "src/synth/CMakeFiles/porcupine_synth.dir/Sketch.cpp.o.d"
+  "/root/repo/src/synth/Synthesizer.cpp" "src/synth/CMakeFiles/porcupine_synth.dir/Synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/porcupine_synth.dir/Synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/spec/CMakeFiles/porcupine_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quill/CMakeFiles/porcupine_quill.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/porcupine_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/porcupine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

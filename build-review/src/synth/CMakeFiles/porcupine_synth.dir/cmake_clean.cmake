@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcupine_synth.dir/Compose.cpp.o"
+  "CMakeFiles/porcupine_synth.dir/Compose.cpp.o.d"
+  "CMakeFiles/porcupine_synth.dir/Sketch.cpp.o"
+  "CMakeFiles/porcupine_synth.dir/Sketch.cpp.o.d"
+  "CMakeFiles/porcupine_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/porcupine_synth.dir/Synthesizer.cpp.o.d"
+  "libporcupine_synth.a"
+  "libporcupine_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcupine_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfv_param_test.dir/bfv_param_test.cpp.o"
+  "CMakeFiles/bfv_param_test.dir/bfv_param_test.cpp.o.d"
+  "bfv_param_test"
+  "bfv_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfv_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfv_test.dir/bfv_test.cpp.o"
+  "CMakeFiles/bfv_test.dir/bfv_test.cpp.o.d"
+  "bfv_test"
+  "bfv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peephole_test.dir/peephole_test.cpp.o"
+  "CMakeFiles/peephole_test.dir/peephole_test.cpp.o.d"
+  "peephole_test"
+  "peephole_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peephole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcutest_main.dir/porcutest/gtest_main.cpp.o"
+  "CMakeFiles/porcutest_main.dir/porcutest/gtest_main.cpp.o.d"
+  "libporcutest_main.a"
+  "libporcutest_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcutest_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

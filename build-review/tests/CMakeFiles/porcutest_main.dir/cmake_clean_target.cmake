@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libporcutest_main.a"
+)

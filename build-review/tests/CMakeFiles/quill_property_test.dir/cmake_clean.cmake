@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quill_property_test.dir/quill_property_test.cpp.o"
+  "CMakeFiles/quill_property_test.dir/quill_property_test.cpp.o.d"
+  "quill_property_test"
+  "quill_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quill_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quill_test.dir/quill_test.cpp.o"
+  "CMakeFiles/quill_test.dir/quill_test.cpp.o.d"
+  "quill_test"
+  "quill_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_property_test.dir/synth_property_test.cpp.o"
+  "CMakeFiles/synth_property_test.dir/synth_property_test.cpp.o.d"
+  "synth_property_test"
+  "synth_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porcc.dir/porcc.cpp.o"
+  "CMakeFiles/porcc.dir/porcc.cpp.o.d"
+  "porcc"
+  "porcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
