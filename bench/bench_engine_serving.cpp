@@ -1,0 +1,118 @@
+//===- bench/bench_engine_serving.cpp - Engine serving throughput ---------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the serving layer the paper's compile/run split implies but
+/// never benchmarks: driver::Engine cache-lookup latency (hot get() must be
+/// nanoseconds-to-microseconds, since it gates every request), and batched
+/// encrypted throughput of one shared CompiledKernel from 1 vs 4 client
+/// threads drawing on the runtime pool.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Engine.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace porcupine;
+using namespace porcupine::driver;
+
+namespace {
+
+std::vector<std::vector<std::vector<uint64_t>>>
+makeBatch(const quill::Program &P, int Calls, uint64_t Salt) {
+  std::vector<std::vector<std::vector<uint64_t>>> Batch;
+  for (int C = 0; C < Calls; ++C) {
+    std::vector<std::vector<uint64_t>> Call;
+    for (int In = 0; In < P.NumInputs; ++In) {
+      std::vector<uint64_t> V(P.VectorSize);
+      for (size_t S = 0; S < V.size(); ++S)
+        V[S] = (Salt * 97 + static_cast<uint64_t>(C) * 31 + S * 7 + 1) % 251;
+      Call.push_back(std::move(V));
+    }
+    Batch.push_back(std::move(Call));
+  }
+  return Batch;
+}
+
+} // namespace
+
+int main() {
+  EngineOptions EO;
+  EO.Defaults.RunSynthesis = false; // Bundled programs: measure serving,
+                                    // not synthesis.
+  EO.RuntimePoolSize = 4;
+  Engine E(EO);
+
+  const char *Kernel = "gx";
+  auto K = E.get(Kernel);
+  if (!K) {
+    std::fprintf(stderr, "%s\n", K.status().toString().c_str());
+    return 1;
+  }
+
+  // Hot-path lookup latency: repeated get() of a cached kernel.
+  constexpr int Lookups = 10000;
+  Stopwatch LookupWatch;
+  for (int I = 0; I < Lookups; ++I) {
+    auto Hit = E.get(Kernel);
+    if (!Hit)
+      return 1;
+  }
+  double LookupUs = LookupWatch.micros() / Lookups;
+
+  // Warm the full runtime pool so the throughput comparison measures
+  // steady state for both thread counts.
+  constexpr int WarmClients = 4;
+  {
+    std::vector<std::thread> Warm;
+    for (int C = 0; C < WarmClients; ++C)
+      Warm.emplace_back([&, C] {
+        (void)(*K)->executeMany(makeBatch((*K)->program(), 1,
+                                          static_cast<uint64_t>(C)));
+      });
+    for (std::thread &Th : Warm)
+      Th.join();
+  }
+
+  constexpr int CallsPerClient = 8;
+  auto Serve = [&](int Clients) {
+    Stopwatch W;
+    std::vector<std::thread> Pool;
+    for (int C = 0; C < Clients; ++C)
+      Pool.emplace_back([&, C] {
+        auto Out = (*K)->executeMany(makeBatch((*K)->program(),
+                                               CallsPerClient,
+                                               static_cast<uint64_t>(C)));
+        if (!Out)
+          std::fprintf(stderr, "%s\n", Out.status().toString().c_str());
+      });
+    for (std::thread &Th : Pool)
+      Th.join();
+    double Seconds = W.seconds();
+    return (Clients * CallsPerClient) / Seconds;
+  };
+
+  double OneThread = Serve(1);
+  double FourThreads = Serve(4);
+
+  std::printf("engine serving, kernel '%s' (fingerprint %s)\n",
+              (*K)->name().c_str(), (*K)->fingerprint().c_str());
+  std::printf("%-32s %12.3f us\n", "hot get() lookup latency", LookupUs);
+  std::printf("%-32s %12.2f calls/s\n", "encrypted throughput, 1 client",
+              OneThread);
+  std::printf("%-32s %12.2f calls/s\n", "encrypted throughput, 4 clients",
+              FourThreads);
+  std::printf("%-32s %12.2fx\n", "scaling", FourThreads / OneThread);
+  EngineStats S = E.stats();
+  std::printf("%-32s %llu hits / %llu misses (%.1f%% hit rate)\n",
+              "compile cache",
+              static_cast<unsigned long long>(S.Hits),
+              static_cast<unsigned long long>(S.Misses), 100.0 * S.hitRate());
+  return 0;
+}

@@ -24,22 +24,30 @@ std::vector<int> porcupine::requiredRotations(const Program &P) {
   return Steps;
 }
 
-BfvExecutor::BfvExecutor(const BfvContext &Ctx, Rng &R,
-                         const std::vector<const Program *> &Programs)
-    : Ctx(Ctx), Keygen(Ctx, R), Pk(Keygen.createPublicKey()), Eval(Ctx),
-      Enc(Ctx, Pk, R), Dec(Ctx, Keygen.secretKey()),
-      Relin(Keygen.createRelinKeys()) {
+std::vector<int> porcupine::requiredRotations(
+    const std::vector<const Program *> &Programs) {
   std::vector<int> AllSteps;
   for (const Program *P : Programs) {
-    assert(P->VectorSize <= Ctx.slotCount() &&
-           "kernel wider than a batching row");
     auto Steps = requiredRotations(*P);
     AllSteps.insert(AllSteps.end(), Steps.begin(), Steps.end());
   }
   std::sort(AllSteps.begin(), AllSteps.end());
   AllSteps.erase(std::unique(AllSteps.begin(), AllSteps.end()),
                  AllSteps.end());
-  Galois = Keygen.createGaloisKeys(AllSteps);
+  return AllSteps;
+}
+
+BfvExecutor::BfvExecutor(const BfvContext &Ctx, Rng &R,
+                         const std::vector<const Program *> &Programs)
+    : Ctx(Ctx), Keygen(Ctx, R), Pk(Keygen.createPublicKey()), Eval(Ctx),
+      Enc(Ctx, Pk, R), Dec(Ctx, Keygen.secretKey()),
+      Relin(Keygen.createRelinKeys()) {
+  for (const Program *P : Programs) {
+    (void)P; // Only read by the assert.
+    assert(P->VectorSize <= Ctx.slotCount() &&
+           "kernel wider than a batching row");
+  }
+  Galois = Keygen.createGaloisKeys(requiredRotations(Programs));
 }
 
 Ciphertext

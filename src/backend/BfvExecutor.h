@@ -27,8 +27,13 @@
 
 namespace porcupine {
 
-/// The rotation steps a program performs (deduplicated, signed).
+/// The rotation steps a program performs (sorted, deduplicated, signed).
 std::vector<int> requiredRotations(const quill::Program &P);
+
+/// The union of rotation steps across a program set (sorted, deduplicated)
+/// — exactly the Galois keys a runtime serving that set must hold.
+std::vector<int>
+requiredRotations(const std::vector<const quill::Program *> &Programs);
 
 /// Host-side runner: owns keys and the evaluator for one context and a set
 /// of programs.

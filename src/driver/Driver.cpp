@@ -8,6 +8,7 @@
 
 #include "backend/LatencyProfiler.h"
 #include "quill/Interpreter.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -165,8 +166,9 @@ Compiler::selectParameters(const quill::Program &P) const {
   return porcupine::selectParameters(P);
 }
 
-Expected<Runtime> Compiler::instantiate(
-    const std::vector<const quill::Program *> &Programs) const {
+Expected<Runtime>
+Compiler::instantiate(const std::vector<const quill::Program *> &Programs,
+                      std::shared_ptr<const BfvContext> Reuse) const {
   if (Programs.empty())
     return Status::error("execute", "instantiate() needs at least one program");
   int Depth = 0;
@@ -180,8 +182,11 @@ Expected<Runtime> Compiler::instantiate(
   }
 
   Runtime RT;
-  RT.Ctx = std::make_unique<BfvContext>(
-      BfvContext::forMultDepth(static_cast<unsigned>(Depth)));
+  if (Reuse)
+    RT.Ctx = std::move(Reuse);
+  else
+    RT.Ctx = std::make_shared<const BfvContext>(
+        BfvContext::forMultDepth(static_cast<unsigned>(Depth)));
   // The standard-parameter contexts fix the plaintext modulus; a program
   // compiled/verified under a different modulus would silently compute
   // different values encrypted, so refuse rather than mislead.
@@ -201,15 +206,7 @@ Expected<Runtime> Compiler::instantiate(
                          std::to_string(RT.Ctx->slotCount()));
   RT.R = std::make_unique<Rng>(Opts.ExecutionSeed);
   RT.Exec = std::make_unique<BfvExecutor>(*RT.Ctx, *RT.R, Programs);
-  for (const quill::Program *P : Programs) {
-    std::vector<int> Steps = requiredRotations(*P);
-    RT.KeyedRotations.insert(RT.KeyedRotations.end(), Steps.begin(),
-                             Steps.end());
-  }
-  std::sort(RT.KeyedRotations.begin(), RT.KeyedRotations.end());
-  RT.KeyedRotations.erase(
-      std::unique(RT.KeyedRotations.begin(), RT.KeyedRotations.end()),
-      RT.KeyedRotations.end());
+  RT.KeyedRotations = requiredRotations(Programs);
   return RT;
 }
 
@@ -443,38 +440,10 @@ double Runtime::noiseBudget(const Ciphertext &Ct) const {
 
 namespace {
 
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 8);
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out.push_back(C);
-      }
-    }
-  }
-  return Out;
-}
+// String interpolation into the record goes through json::escape — kernel
+// names, diagnostics, program text, and generated code may contain quotes,
+// backslashes, or control characters.
+using json::escape;
 
 std::string num(double V, const char *Fmt = "%.2f") {
   char Buf[64];
@@ -486,9 +455,9 @@ std::string num(double V, const char *Fmt = "%.2f") {
 
 std::string porcupine::driver::toJson(const CompileResult &R) {
   std::string J = "{\n";
-  J += "  \"kernel\": \"" + jsonEscape(R.KernelName) + "\",\n";
+  J += "  \"kernel\": \"" + escape(R.KernelName) + "\",\n";
   J += "  \"from_synthesis\": " + std::string(R.FromSynthesis ? "true" : "false") + ",\n";
-  J += "  \"program\": \"" + jsonEscape(quill::printProgram(R.Program)) + "\",\n";
+  J += "  \"program\": \"" + escape(quill::printProgram(R.Program)) + "\",\n";
   J += "  \"instructions\": {\"total\": " + std::to_string(R.Mix.Total) +
        ", \"rotations\": " + std::to_string(R.Mix.Rotations) +
        ", \"ct_ct_muls\": " + std::to_string(R.Mix.CtCtMuls) +
@@ -516,12 +485,12 @@ std::string porcupine::driver::toJson(const CompileResult &R) {
        std::to_string(R.Params.CoeffModulusBits) +
        ", \"mult_depth\": " + std::to_string(R.Params.MultiplicativeDepth) +
        "},\n";
-  J += "  \"seal_code\": \"" + jsonEscape(R.SealCode) + "\",\n";
+  J += "  \"seal_code\": \"" + escape(R.SealCode) + "\",\n";
   J += "  \"notes\": [";
   for (size_t I = 0; I < R.Notes.size(); ++I) {
     if (I)
       J += ", ";
-    J += "\"" + jsonEscape(R.Notes[I].toString()) + "\"";
+    J += "\"" + escape(R.Notes[I].toString()) + "\"";
   }
   J += "]\n}\n";
   return J;

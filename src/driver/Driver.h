@@ -99,7 +99,24 @@ struct CompileOptions {
 
   /// Seed for execution-side randomness (keys, encryption noise).
   uint64_t ExecutionSeed = 1;
+
+  /// Canonical, injective rendering of every option that can change what a
+  /// compile produces or how the result executes, with keys in a fixed
+  /// alphabetical order — two CompileOptions built by assigning fields in
+  /// any order render identically iff they request the same compilation.
+  /// This is the options half of the Engine's compile-cache key.
+  std::string canonicalKey() const;
+
+  /// 64-bit FNV-1a hash of canonicalKey() as 16 lowercase hex digits; the
+  /// compact form recorded in artifacts and surfaced by porcc.
+  std::string fingerprint() const;
 };
+
+/// Fingerprint of one (kernel, options) compile pair: FNV-1a over the
+/// kernel name and the options' canonical key. Identical pairs always
+/// collide (that is the point — the Engine never re-synthesizes them).
+std::string compileFingerprint(const std::string &KernelName,
+                               const CompileOptions &Opts);
 
 /// What one full compile() produces.
 struct CompileResult {
@@ -190,11 +207,18 @@ public:
   const BfvContext &context() const { return *Ctx; }
   const BfvExecutor &executor() const { return *Exec; }
 
+  /// The immutable context backing this runtime. Hand it to
+  /// Compiler::instantiate() to build further runtimes for the same
+  /// program set without paying context construction (CRT bases, NTT
+  /// tables) again — this is how the Engine's runtime pools scale.
+  std::shared_ptr<const BfvContext> sharedContext() const { return Ctx; }
+
 private:
   friend class Compiler;
   Runtime() = default;
 
-  std::unique_ptr<BfvContext> Ctx;
+  std::shared_ptr<const BfvContext> Ctx; // Immutable; shareable across
+                                         // runtimes (and threads).
   std::unique_ptr<Rng> R; // Keys/encryptor hold a reference into this.
   std::unique_ptr<BfvExecutor> Exec;
   std::vector<int> KeyedRotations; // Sorted; for run()-time validation.
@@ -250,9 +274,15 @@ public:
   /// Smallest standard 128-bit-security BFV parameters covering \p P.
   Expected<ParameterChoice> selectParameters(const quill::Program &P) const;
 
-  /// Builds an encrypted execution environment for \p Programs.
-  Expected<Runtime> instantiate(
-      const std::vector<const quill::Program *> &Programs) const;
+  /// Builds an encrypted execution environment for \p Programs. \p Reuse,
+  /// when given, must be the sharedContext() of a runtime instantiated for
+  /// programs at least as deep as \p Programs (keys are still generated
+  /// fresh; only the immutable context is shared — the caller vouches for
+  /// the depth, which is trivially true when reusing within one program
+  /// set, as the Engine's runtime pools do).
+  Expected<Runtime>
+  instantiate(const std::vector<const quill::Program *> &Programs,
+              std::shared_ptr<const BfvContext> Reuse = nullptr) const;
 
   /// One-shot end-to-end run of \p P on \p Inputs (one vector per program
   /// input, each at most VectorSize wide; values taken mod the plaintext

@@ -1,0 +1,128 @@
+//===- driver/Fingerprint.cpp - Canonical compile-option keys -------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CompileOptions::canonicalKey() renders every semantically relevant
+/// option as `name=value;` pairs in a fixed alphabetical order. The
+/// rendering must be *injective*: two options objects map to the same key
+/// exactly when every covered field is equal, so the Engine's compile
+/// cache can key on it without false sharing. Free-form strings (the
+/// codegen function name) are therefore JSON-quoted, and doubles are
+/// rendered with %.17g (round-trip exact for IEEE doubles).
+///
+/// Extending CompileOptions? Add the new field here in alphabetical
+/// position, or identical compiles under different values of that field
+/// will incorrectly share a cache entry.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace porcupine;
+using namespace porcupine::driver;
+
+namespace {
+
+std::string fmtDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+void addField(std::string &Out, const char *Name, const std::string &Value) {
+  Out += Name;
+  Out += '=';
+  Out += Value;
+  Out += ';';
+}
+
+void addField(std::string &Out, const char *Name, double V) {
+  addField(Out, Name, fmtDouble(V));
+}
+
+void addField(std::string &Out, const char *Name, bool V) {
+  addField(Out, Name, std::string(V ? "1" : "0"));
+}
+
+void addField(std::string &Out, const char *Name, int V) {
+  addField(Out, Name, std::to_string(V));
+}
+
+void addField(std::string &Out, const char *Name, uint64_t V) {
+  addField(Out, Name, std::to_string(V));
+}
+
+uint64_t fnv1a(const std::string &S, uint64_t Hash = 0xcbf29ce484222325ull) {
+  for (char C : S) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+} // namespace
+
+std::string CompileOptions::canonicalKey() const {
+  std::string K;
+  K.reserve(512);
+  addField(K, "codegen.comments", Codegen.EmitComments);
+  // JSON-quoted: a function name containing ';' or '=' must not be able to
+  // forge neighboring fields.
+  addField(K, "codegen.function", json::quote(Codegen.FunctionName));
+  addField(K, "emit_seal_code", EmitSealCode);
+  addField(K, "execution.seed", ExecutionSeed);
+  addField(K, "explicit_rotations", ExplicitRotations);
+  addField(K, "explicit_rotations.max_components",
+           ExplicitRotationMaxComponents);
+  addField(K, "fallback_to_bundled", FallbackToBundled);
+  addField(K, "latency.add_ct_ct", Synthesis.Latency.AddCtCt);
+  addField(K, "latency.add_ct_pt", Synthesis.Latency.AddCtPt);
+  addField(K, "latency.mul_ct_ct", Synthesis.Latency.MulCtCt);
+  addField(K, "latency.mul_ct_pt", Synthesis.Latency.MulCtPt);
+  addField(K, "latency.rot_ct", Synthesis.Latency.RotCt);
+  addField(K, "latency.source",
+           std::string(Latency == LatencySource::Profiled ? "profiled"
+                                                          : "defaults"));
+  addField(K, "latency.sub_ct_ct", Synthesis.Latency.SubCtCt);
+  addField(K, "latency.sub_ct_pt", Synthesis.Latency.SubCtPt);
+  addField(K, "profile_repeats", ProfileRepeats);
+  addField(K, "run_peephole", RunPeephole);
+  addField(K, "run_synthesis", RunSynthesis);
+  addField(K, "select_parameters", SelectParameters);
+  addField(K, "synthesis.max_components", Synthesis.MaxComponents);
+  addField(K, "synthesis.min_components", Synthesis.MinComponents);
+  addField(K, "synthesis.optimize", Synthesis.Optimize);
+  addField(K, "synthesis.plain_modulus", Synthesis.PlainModulus);
+  addField(K, "synthesis.seed", Synthesis.Seed);
+  addField(K, "synthesis.timeout_seconds", Synthesis.TimeoutSeconds);
+  return K;
+}
+
+std::string CompileOptions::fingerprint() const {
+  return hex16(fnv1a(canonicalKey()));
+}
+
+std::string driver::compileFingerprint(const std::string &KernelName,
+                                       const CompileOptions &Opts) {
+  // Hash the name first with a separator FNV never produces from field
+  // text, then continue over the canonical key, so ("ab", opts) and
+  // ("a", "b"+opts) cannot collide by construction of the stream.
+  uint64_t H = fnv1a(KernelName);
+  H ^= 0x1f;
+  H *= 0x100000001b3ull;
+  return hex16(fnv1a(Opts.canonicalKey(), H));
+}

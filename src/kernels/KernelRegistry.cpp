@@ -24,12 +24,32 @@ std::string KernelRegistry::normalize(const std::string &Name) {
   return Key;
 }
 
+KernelRegistry::KernelRegistry(const KernelRegistry &Other) {
+  std::lock_guard<std::mutex> L(Other.M);
+  Entries = Other.Entries; // Entry's copy drops the materialized cache.
+  ByKey = Other.ByKey;
+}
+
+KernelRegistry &KernelRegistry::operator=(const KernelRegistry &Other) {
+  if (this == &Other)
+    return *this;
+  // Consistent order (address-based) so two concurrent cross-assignments
+  // cannot deadlock.
+  std::lock(M, Other.M);
+  std::lock_guard<std::mutex> L1(M, std::adopt_lock);
+  std::lock_guard<std::mutex> L2(Other.M, std::adopt_lock);
+  Entries = Other.Entries;
+  ByKey = Other.ByKey;
+  return *this;
+}
+
 Status KernelRegistry::add(const std::string &Name, Factory Make) {
   if (Name.empty())
     return Status::error("registry", "kernel name must not be empty");
   if (!Make)
     return Status::error("registry",
                          "kernel '" + Name + "' registered without a factory");
+  std::lock_guard<std::mutex> L(M);
   std::string Key = normalize(Name);
   auto It = ByKey.find(Key);
   if (It != ByKey.end())
@@ -52,6 +72,9 @@ KernelRegistry::find(const std::string &Query) const {
   std::string Key = normalize(Query);
   if (Key.empty())
     return Status::error("registry", "empty kernel name");
+  // The returned bundle pointer stays valid after the lock drops: entries
+  // are never removed and the cache's unique_ptr keeps the address stable.
+  std::lock_guard<std::mutex> L(M);
 
   // Tier 1: exact match always wins, even when it is also a prefix of
   // another name (e.g. "gx" must not be shadowed by a hypothetical "gx2").
@@ -99,6 +122,7 @@ KernelRegistry::find(const std::string &Query) const {
 }
 
 std::vector<std::string> KernelRegistry::names() const {
+  std::lock_guard<std::mutex> L(M);
   std::vector<std::string> Out;
   Out.reserve(Entries.size());
   for (const Entry &E : Entries)

@@ -19,6 +19,12 @@
 /// then a unique substring match; multiple candidates at the first tier
 /// with any hit produce an error Status listing them.
 ///
+/// Lookups are thread-safe: find()/names()/contains() serialize on an
+/// internal mutex (lazy materialization mutates the per-entry cache), so
+/// the process-shared builtin() registry can back concurrent Compilers and
+/// Engines. add() takes the same lock but must still be externally ordered
+/// against lookups that expect the entry to exist.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PORCUPINE_KERNELS_KERNELREGISTRY_H
@@ -30,6 +36,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,13 +44,18 @@ namespace porcupine {
 namespace kernels {
 
 /// A catalog of kernel bundles keyed by kernel name. Copyable: copies share
-/// the factories but materialize their own bundle caches. Not thread-safe.
+/// the factories but materialize their own bundle caches. Lookups are
+/// thread-safe (internal mutex); see the file comment.
 class KernelRegistry {
 public:
   using Factory = std::function<KernelBundle()>;
 
   /// Empty registry.
   KernelRegistry() = default;
+
+  /// Copies share factories, not materialized bundles (or the mutex).
+  KernelRegistry(const KernelRegistry &Other);
+  KernelRegistry &operator=(const KernelRegistry &Other);
 
   /// The paper's nine directly synthesized kernels, in Table 2 order.
   /// Copy it to extend the catalog without mutating global state.
@@ -68,10 +80,14 @@ public:
   /// Registered names, in registration order.
   std::vector<std::string> names() const;
 
-  size_t size() const { return Entries.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> L(M);
+    return Entries.size();
+  }
 
   /// True when \p Name resolves exactly (after normalization).
   bool contains(const std::string &Name) const {
+    std::lock_guard<std::mutex> L(M);
     return ByKey.count(normalize(Name)) != 0;
   }
 
@@ -105,6 +121,9 @@ private:
 
   const KernelBundle *materialize(Entry &E) const;
 
+  /// Serializes every member access; lazy materialization makes even
+  /// lookups logically-const writers. Per-object, never copied.
+  mutable std::mutex M;
   // mutable: find() is logically const but fills the per-entry cache.
   mutable std::vector<Entry> Entries;
   std::map<std::string, size_t> ByKey;

@@ -7,6 +7,8 @@
 #include "quill/Program.h"
 
 #include <cassert>
+#include <cctype>
+#include <cstdint>
 #include <sstream>
 
 using namespace porcupine;
@@ -131,13 +133,46 @@ struct LineLexer {
   bool next(std::string &Tok) { return static_cast<bool>(In >> Tok); }
 };
 
+/// Strict bounded integer parse: optional sign, digits only, no trailing
+/// junk, result within [Min, Max]. The parser must reject hostile input
+/// (overflow, "1abc") with an error return — never throw like std::stoi.
+bool parseBoundedInt(const std::string &Tok, long long Min, long long Max,
+                     long long &Out) {
+  if (Tok.empty())
+    return false;
+  size_t I = 0;
+  bool Neg = false;
+  if (Tok[0] == '+' || Tok[0] == '-') {
+    Neg = Tok[0] == '-';
+    I = 1;
+  }
+  if (I == Tok.size())
+    return false;
+  long long V = 0;
+  for (; I < Tok.size(); ++I) {
+    if (!isdigit(static_cast<unsigned char>(Tok[I])))
+      return false;
+    int Digit = Tok[I] - '0';
+    if (V > (INT64_MAX - Digit) / 10)
+      return false; // Would overflow.
+    V = V * 10 + Digit;
+  }
+  if (Neg)
+    V = -V;
+  if (V < Min || V > Max)
+    return false;
+  Out = V;
+  return true;
+}
+
 bool parseValueRef(const std::string &Tok, char Prefix, int &Out) {
   if (Tok.size() < 2 || Tok[0] != Prefix)
     return false;
-  for (size_t I = 1; I < Tok.size(); ++I)
-    if (!isdigit(Tok[I]))
-      return false;
-  Out = std::stoi(Tok.substr(1));
+  long long V;
+  if (!parseBoundedInt(Tok.substr(1), 0, INT32_MAX, V) || Tok[1] == '-' ||
+      Tok[1] == '+')
+    return false;
+  Out = static_cast<int>(V);
   return true;
 }
 
@@ -171,8 +206,16 @@ bool quill::parseProgram(const std::string &Text, Program &Out,
         Error = Err.str() + "malformed header";
         return false;
       }
-      Out.NumInputs = std::stoi(A.substr(7));
-      Out.VectorSize = std::stoul(B.substr(6));
+      // Bounded so a corrupted header cannot request absurd allocations
+      // downstream; 2^24 slots is far beyond any real batching row.
+      long long Inputs, Width;
+      if (!parseBoundedInt(A.substr(7), 1, 1 << 20, Inputs) ||
+          !parseBoundedInt(B.substr(6), 1, 1 << 24, Width)) {
+        Error = Err.str() + "header inputs/width out of range";
+        return false;
+      }
+      Out.NumInputs = static_cast<int>(Inputs);
+      Out.VectorSize = static_cast<size_t>(Width);
       SawHeader = true;
       continue;
     }
@@ -260,7 +303,12 @@ bool quill::parseProgram(const std::string &Text, Program &Out,
         return false;
       }
     } else {
-      I.Rot = std::stoi(B);
+      long long Amount;
+      if (!parseBoundedInt(B, INT32_MIN, INT32_MAX, Amount)) {
+        Error = Err.str() + "malformed rotation amount '" + B + "'";
+        return false;
+      }
+      I.Rot = static_cast<int>(Amount);
     }
     Out.Instructions.push_back(I);
   }

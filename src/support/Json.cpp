@@ -1,0 +1,357 @@
+//===- support/Json.cpp - Minimal JSON reading and escaping ---------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace porcupine;
+using namespace porcupine::json;
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string json::quote(const std::string &S) {
+  return "\"" + escape(S) + "\"";
+}
+
+const Value *Value::find(const std::string &Key) const {
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+static const std::string EmptyString;
+
+const std::string &Value::asString() const {
+  return isString() ? Str : EmptyString;
+}
+
+const std::string &Value::numberText() const {
+  return isNumber() ? Str : EmptyString;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace porcupine {
+namespace json {
+
+/// Strict recursive-descent RFC-8259 parser with a nesting cap (deeply
+/// nested hostile input must fail cleanly, not overflow the stack).
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    skipSpace();
+    if (!parseValue(Out, /*Depth=*/0))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing content after the JSON value");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  bool fail(const std::string &Why) {
+    Error = "JSON error at byte " + std::to_string(Pos) + ": " + Why;
+    return false;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipSpace() {
+    while (!atEnd() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                        Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool expect(char C) {
+    if (atEnd() || Text[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    for (const char *P = Word; *P; ++P, ++Pos)
+      if (atEnd() || Text[Pos] != *P)
+        return fail(std::string("malformed literal (expected ") + Word + ")");
+    return true;
+  }
+
+  /// Appends \p Code as UTF-8.
+  static void appendUtf8(std::string &Out, uint32_t Code) {
+    if (Code < 0x80) {
+      Out.push_back(static_cast<char>(Code));
+    } else if (Code < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else if (Code < 0x10000) {
+      Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xF0 | (Code >> 18)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    }
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      if (atEnd())
+        return fail("truncated \\u escape");
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return fail("non-hex digit in \\u escape");
+    }
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!expect('"'))
+      return false;
+    Out.clear();
+    while (true) {
+      if (atEnd())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character inside string");
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (atEnd())
+        return fail("truncated escape sequence");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        uint32_t Code;
+        if (!parseHex4(Code))
+          return false;
+        // Combine a surrogate pair; a lone surrogate is malformed.
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired UTF-16 high surrogate");
+          Pos += 2;
+          uint32_t Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid UTF-16 low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("unpaired UTF-16 low surrogate");
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail("unknown escape sequence");
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("malformed number");
+    if (peek() == '0')
+      ++Pos; // No leading zeros before further digits.
+    else
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    if (!atEnd() && peek() == '.') {
+      ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required after decimal point");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required in exponent");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    Out.K = Value::Kind::Number;
+    Out.Num = std::strtod(Text.c_str() + Start, nullptr);
+    Out.Str = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+  bool parseValue(Value &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting deeper than the parser's limit");
+    if (atEnd())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{': {
+      ++Pos;
+      Out.K = Value::Kind::Object;
+      skipSpace();
+      if (!atEnd() && peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipSpace();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipSpace();
+        if (!expect(':'))
+          return false;
+        skipSpace();
+        Value Member;
+        if (!parseValue(Member, Depth + 1))
+          return false;
+        Out.Members.emplace_back(std::move(Key), std::move(Member));
+        skipSpace();
+        if (!atEnd() && peek() == ',') {
+          ++Pos;
+          continue;
+        }
+        return expect('}');
+      }
+    }
+    case '[': {
+      ++Pos;
+      Out.K = Value::Kind::Array;
+      skipSpace();
+      if (!atEnd() && peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipSpace();
+        Value Elem;
+        if (!parseValue(Elem, Depth + 1))
+          return false;
+        Out.Elems.push_back(std::move(Elem));
+        skipSpace();
+        if (!atEnd() && peek() == ',') {
+          ++Pos;
+          continue;
+        }
+        return expect(']');
+      }
+    }
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = Value::Kind::Bool;
+      Out.Flag = true;
+      return literal("true");
+    case 'f':
+      Out.K = Value::Kind::Bool;
+      Out.Flag = false;
+      return literal("false");
+    case 'n':
+      Out.K = Value::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace json
+} // namespace porcupine
+
+bool json::parse(const std::string &Text, Value &Out, std::string &Error) {
+  Out = Value();
+  Error.clear();
+  Parser P(Text, Error);
+  Value Parsed;
+  if (!P.run(Parsed))
+    return false;
+  Out = std::move(Parsed);
+  return true;
+}

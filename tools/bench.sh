@@ -1,0 +1,115 @@
+#!/usr/bin/env sh
+# tools/bench.sh — the perf snapshot, machine-readable:
+#   1. build (reusing the given/default build dir)
+#   2. run the paper-figure benches, timing each
+#   3. run the `porcc bench` serving loop over a few kernels (Engine cache
+#      hit-rate + per-call encrypted latency)
+#   4. write everything into one JSON document (default: BENCH_results.json
+#      at the repo root) so the perf trajectory can be tracked across PRs
+#
+# Usage: tools/bench.sh [--out FILE] [build-dir]   (default: build)
+#
+# Also reachable as `tools/check.sh --bench`, which runs it after the test
+# suite on the same build tree.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+OUT="$ROOT/BENCH_results.json"
+BUILD_DIR=
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out)
+      [ $# -ge 2 ] || { echo "bench.sh: --out needs a file" >&2; exit 2; }
+      OUT=$2; shift ;;
+    -*) echo "bench.sh: unknown option '$1'" >&2; exit 2 ;;
+    *)
+      if [ -n "$BUILD_DIR" ]; then
+        echo "bench.sh: more than one build dir given" >&2; exit 2
+      fi
+      BUILD_DIR=$1 ;;
+  esac
+  shift
+done
+BUILD_DIR=${BUILD_DIR:-"$ROOT/build"}
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+echo "== build ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" >/dev/null
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# now_ms: epoch milliseconds (GNU date %N; falls back to whole seconds).
+now_ms() {
+  NS=$(date +%s%N 2>/dev/null)
+  case "$NS" in
+    *N|'') echo "$(( $(date +%s) * 1000 ))" ;;
+    *) echo "$(( NS / 1000000 ))" ;;
+  esac
+}
+
+# One figure/ablation bench binary, timed. Appends a JSON entry to
+# $TMP/benches.
+run_bench() {
+  NAME=$1
+  BIN="$BUILD_DIR/bench/$NAME"
+  if [ ! -x "$BIN" ]; then
+    echo "  skip $NAME (not built)"
+    return 0
+  fi
+  echo "  run  $NAME"
+  START=$(now_ms)
+  if "$BIN" >"$TMP/$NAME.out" 2>&1; then CODE=0; else CODE=$?; fi
+  END=$(now_ms)
+  [ -s "$TMP/benches" ] && printf ',\n' >>"$TMP/benches"
+  printf '    {"name": "%s", "wall_ms": %s, "exit": %s}' \
+    "$NAME" "$((END - START))" "$CODE" >>"$TMP/benches"
+}
+
+# One `porcc bench` serving record (already JSON on stdout). $1 is the
+# kernel name; extra args pass through.
+run_serving() {
+  KERNEL=$1; shift
+  echo "  run  porcc bench '$KERNEL' $*"
+  if "$BUILD_DIR/tools/porcc" bench "$KERNEL" "$@" >"$TMP/serving.one" \
+      2>"$TMP/serving.err"; then
+    [ -s "$TMP/servings" ] && printf ',\n' >>"$TMP/servings"
+    sed 's/^/    /' "$TMP/serving.one" >>"$TMP/servings"
+  else
+    echo "  FAIL porcc bench '$KERNEL':" >&2
+    cat "$TMP/serving.err" >&2
+    exit 1
+  fi
+}
+
+: >"$TMP/benches"
+: >"$TMP/servings"
+
+echo "== figure benches"
+run_bench bench_figure5_boxblur
+run_bench bench_figure6_gx
+run_bench bench_engine_serving
+
+echo "== serving benches (porcc bench)"
+run_serving "dot product" --runs 8 --batch 4
+run_serving "gx" --runs 8 --batch 4
+run_serving "box blur" --runs 8 --batch 4
+
+{
+  printf '{\n'
+  printf '  "schema": "porcupine-bench-results/1",\n'
+  printf '  "generated_by": "tools/bench.sh",\n'
+  printf '  "date_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "host_jobs": %s,\n' "$JOBS"
+  printf '  "benches": [\n'
+  cat "$TMP/benches"
+  printf '\n  ],\n'
+  printf '  "serving": [\n'
+  cat "$TMP/servings"
+  printf '\n  ]\n'
+  printf '}\n'
+} >"$OUT"
+
+echo "== bench.sh: wrote $OUT"

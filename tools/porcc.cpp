@@ -14,11 +14,14 @@
 ///       applications.
 ///   porcc compile <kernel> [--json] [--from-bundle] [--timeout S]
 ///                 [--no-optimize] [--explicit-rot] [--peephole]
-///                 [--function NAME]
+///                 [--function NAME] [--emit-artifact FILE]
 ///       Run the full pipeline (synthesis, analyses, parameter selection,
 ///       SEAL codegen) and print a human-readable report, or with --json a
 ///       single machine-readable record. --from-bundle skips synthesis and
 ///       compiles the bundled program (fast, deterministic).
+///       --emit-artifact persists the compiled kernel as a versioned JSON
+///       artifact that `porcc run --artifact` and driver::Engine can
+///       warm-start from without re-synthesizing.
 ///   porcc synth <kernel> [--timeout S] [--no-optimize] [--explicit-rot]
 ///       Synthesize a kernel from its bundled spec/sketch; print the Quill
 ///       program, statistics, and generated SEAL code.
@@ -26,9 +29,19 @@
 ///       Emit SEAL-style C++ for a bundled program.
 ///   porcc show <kernel> [--baseline]
 ///       Print a bundled Quill program and its static analyses.
-///   porcc run <file.quill> --inputs "1 2 3;4 5 6" [--encrypted]
-///       Parse a Quill program and execute it on the given inputs
-///       (plaintext interpreter, or end-to-end encrypted with --encrypted).
+///   porcc run <file.quill> --inputs "1 2 3;4 5 6" [--encrypted] [--batch]
+///   porcc run --artifact <file.json> --inputs "..." [--encrypted] [--batch]
+///       Parse a Quill program (or load a compiled-kernel artifact) and
+///       execute it (plaintext interpreter, or end-to-end encrypted with
+///       --encrypted). With --batch, the inputs string holds several calls
+///       separated by '|' ("1 2;3 4|5 6;7 8"), executed as one batch over
+///       a shared runtime.
+///   porcc bench <kernel> [--runs N] [--batch N] [--pool N] [--synthesize]
+///              [--plaintext] [--timeout S]
+///       Serving benchmark through driver::Engine: compile once (bundled
+///       program unless --synthesize), demonstrate the compile cache, then
+///       loop batched encrypted calls and print one machine-readable JSON
+///       record with compile latency, per-call latency, and cache hit-rate.
 ///   porcc check <file.quill> <kernel>
 ///       Verify a Quill program against a bundled kernel specification.
 ///
@@ -39,11 +52,16 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/Artifact.h"
 #include "driver/Driver.h"
+#include "driver/Engine.h"
 #include "kernels/Kernels.h"
 #include "math/ModArith.h"
 #include "quill/Analysis.h"
+#include "support/Json.h"
+#include "support/Timing.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -60,17 +78,23 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: porcc <list|compile|synth|emit|show|run|check> [args]\n"
+      "usage: porcc <list|compile|synth|emit|show|run|bench|check> [args]\n"
       "  porcc list\n"
       "  porcc compile <kernel> [--json] [--from-bundle] [--timeout S] "
       "[--no-optimize]\n"
       "                [--explicit-rot] [--peephole] [--function NAME]\n"
+      "                [--emit-artifact FILE]\n"
       "  porcc synth <kernel> [--timeout S] [--no-optimize] "
       "[--explicit-rot]\n"
       "  porcc emit <kernel> [--baseline] [--function NAME]\n"
       "  porcc show <kernel> [--baseline]\n"
       "  porcc run <file.quill> --inputs \"1 2 3;4 5 6\" "
-      "[--encrypted]\n"
+      "[--encrypted] [--batch]\n"
+      "  porcc run --artifact <file.json> --inputs \"...\" "
+      "[--encrypted] [--batch]\n"
+      "  porcc bench <kernel> [--runs N] [--batch N] [--pool N] "
+      "[--synthesize]\n"
+      "             [--plaintext] [--timeout S]\n"
       "  porcc check <file.quill> <kernel>\n");
   return 2;
 }
@@ -170,6 +194,15 @@ int cmdCompile(int Argc, char **Argv) {
   auto Result = C.compile(Argv[0]);
   if (!Result)
     return fail(Result.status());
+
+  if (const char *Path = argValue(Argc, Argv, "--emit-artifact", nullptr)) {
+    Status S = driver::saveArtifact(*Result, Opts, Path);
+    if (!S)
+      return fail(S);
+    std::fprintf(stderr, "note [artifact]: wrote '%s' (fingerprint %s)\n",
+                 Path,
+                 driver::compileFingerprint(Result->KernelName, Opts).c_str());
+  }
 
   if (hasFlag(Argc, Argv, "--json")) {
     std::printf("%s", driver::toJson(*Result).c_str());
@@ -286,38 +319,216 @@ std::optional<quill::Program> loadProgram(const char *Path) {
   return P;
 }
 
+/// Splits a --batch inputs string ("1 2;3 4|5 6;7 8") into one input set
+/// per '|'-separated call. Without \p Batch the whole string is one call.
+std::optional<std::vector<std::vector<quill::SlotVector>>>
+parseBatchInputs(const std::string &Text, bool Batch, size_t Width,
+                 uint64_t T) {
+  std::vector<std::vector<quill::SlotVector>> Calls;
+  std::stringstream Stream(Text);
+  std::string Part;
+  if (!Batch) {
+    auto One = parseInputs(Text, Width, T);
+    if (!One)
+      return std::nullopt;
+    Calls.push_back(std::move(*One));
+    return Calls;
+  }
+  while (std::getline(Stream, Part, '|')) {
+    auto One = parseInputs(Part, Width, T);
+    if (!One)
+      return std::nullopt;
+    Calls.push_back(std::move(*One));
+  }
+  return Calls;
+}
+
+void printOutcome(const driver::ExecuteOutcome &Out, uint64_t PlainModulus) {
+  if (Out.Encrypted)
+    std::printf("; executed under BFV (N=%zu), noise budget left %.1f "
+                "bits\n",
+                Out.PolyDegree, Out.NoiseBudgetBits);
+  else
+    std::printf("; executed by the plaintext interpreter (mod %llu)\n",
+                static_cast<unsigned long long>(PlainModulus));
+  for (uint64_t V : Out.Outputs)
+    std::printf("%llu ", static_cast<unsigned long long>(V));
+  std::printf("\n");
+}
+
 int cmdRun(int Argc, char **Argv) {
-  if (!hasPositional(Argc, Argv))
+  const char *ArtifactPath = argValue(Argc, Argv, "--artifact", nullptr);
+  if (!ArtifactPath && !hasPositional(Argc, Argv))
     return usage();
+  bool Batch = hasFlag(Argc, Argv, "--batch");
+  bool Encrypted = hasFlag(Argc, Argv, "--encrypted");
+  const char *InputText = argValue(Argc, Argv, "--inputs", "");
+
+  if (ArtifactPath) {
+    // Serving path: warm-start an Engine from the artifact and execute the
+    // batch over the kernel's pooled runtimes.
+    driver::Engine E;
+    auto K = E.loadArtifact(ArtifactPath);
+    if (!K)
+      return fail(K.status());
+    const driver::CompiledKernel &Kernel = **K;
+    uint64_t T = Kernel.options().Synthesis.PlainModulus;
+    auto Calls = parseBatchInputs(InputText, Batch,
+                                  Kernel.program().VectorSize, T);
+    bool BadShape = false;
+    if (Calls)
+      for (const auto &Call : *Calls)
+        if (static_cast<int>(Call.size()) != Kernel.program().NumInputs)
+          BadShape = true;
+    if (!Calls || Calls->empty() || BadShape) {
+      std::fprintf(stderr,
+                   "error: kernel '%s' needs %d input vector(s) of width <= "
+                   "%zu per call (';' between vectors, '|' between --batch "
+                   "calls)\n",
+                   Kernel.name().c_str(), Kernel.program().NumInputs,
+                   Kernel.program().VectorSize);
+      return 1;
+    }
+    std::printf("; kernel '%s' from artifact (fingerprint %s)\n",
+                Kernel.name().c_str(), Kernel.fingerprint().c_str());
+    auto Many = Kernel.executeMany(*Calls, Encrypted);
+    if (!Many)
+      return fail(Many.status());
+    for (const driver::ExecuteOutcome &Out : *Many)
+      printOutcome(Out, T);
+    return 0;
+  }
+
   auto P = loadProgram(Argv[0]);
   if (!P)
     return 1;
   driver::Compiler C;
-  auto Inputs = parseInputs(argValue(Argc, Argv, "--inputs", ""),
-                            P->VectorSize, C.options().Synthesis.PlainModulus);
-  if (!Inputs || static_cast<int>(Inputs->size()) != P->NumInputs) {
+  uint64_t T = C.options().Synthesis.PlainModulus;
+  auto Calls = parseBatchInputs(InputText, Batch, P->VectorSize, T);
+  bool BadShape = false;
+  if (Calls)
+    for (const auto &Call : *Calls)
+      if (static_cast<int>(Call.size()) != P->NumInputs)
+        BadShape = true;
+  if (!Calls || Calls->empty() || BadShape) {
     std::fprintf(stderr,
                  "error: program needs %d input vector(s) of width <= %zu "
-                 "(separate vectors with ';')\n",
+                 "per call (';' between vectors, '|' between --batch "
+                 "calls)\n",
                  P->NumInputs, P->VectorSize);
     return 1;
   }
+  for (const auto &Call : *Calls) {
+    auto Out = C.execute(*P, Call, Encrypted);
+    if (!Out)
+      return fail(Out.status());
+    printOutcome(*Out, T);
+  }
+  return 0;
+}
 
-  bool Encrypted = hasFlag(Argc, Argv, "--encrypted");
-  auto Out = C.execute(*P, *Inputs, Encrypted);
-  if (!Out)
-    return fail(Out.status());
-  if (Out->Encrypted)
-    std::printf("; executed under BFV (N=%zu), noise budget left %.1f "
-                "bits\n",
-                Out->PolyDegree, Out->NoiseBudgetBits);
-  else
-    std::printf("; executed by the plaintext interpreter (mod %llu)\n",
-                static_cast<unsigned long long>(
-                    C.options().Synthesis.PlainModulus));
-  for (uint64_t V : Out->Outputs)
-    std::printf("%llu ", static_cast<unsigned long long>(V));
-  std::printf("\n");
+int cmdBench(int Argc, char **Argv) {
+  if (!hasPositional(Argc, Argv))
+    return usage();
+  int Runs = std::atoi(argValue(Argc, Argv, "--runs", "16"));
+  int Batch = std::atoi(argValue(Argc, Argv, "--batch", "4"));
+  int Pool = std::atoi(argValue(Argc, Argv, "--pool", "2"));
+  bool Encrypted = !hasFlag(Argc, Argv, "--plaintext");
+  if (Runs < 1 || Batch < 1 || Pool < 1) {
+    std::fprintf(stderr, "error: --runs/--batch/--pool must be positive\n");
+    return 1;
+  }
+
+  driver::EngineOptions EO;
+  EO.Defaults = optionsFromFlags(Argc, Argv);
+  EO.Defaults.RunSynthesis = hasFlag(Argc, Argv, "--synthesize");
+  EO.RuntimePoolSize = static_cast<size_t>(Pool);
+  driver::Engine E(EO);
+
+  Stopwatch CompileWatch;
+  auto K = E.get(Argv[0]);
+  if (!K)
+    return fail(K.status());
+  double CompileMs = CompileWatch.micros() / 1000.0;
+  // The second lookup must be served from the cache; its hit shows up in
+  // the stats this record reports.
+  auto Again = E.get(Argv[0]);
+  if (!Again || *Again != *K)
+    return fail(Status::error("bench", "second get() was not a cache hit"));
+
+  const driver::CompiledKernel &Kernel = **K;
+  const quill::Program &P = Kernel.program();
+  uint64_t T = Kernel.options().Synthesis.PlainModulus;
+
+  // Deterministic synthetic traffic: distinct small values per call so
+  // repeated runs are comparable machine to machine.
+  std::vector<std::vector<std::vector<uint64_t>>> Calls;
+  for (int RunIdx = 0; RunIdx < Batch; ++RunIdx) {
+    std::vector<std::vector<uint64_t>> Call;
+    for (int In = 0; In < P.NumInputs; ++In) {
+      std::vector<uint64_t> V(P.VectorSize);
+      for (size_t Slot = 0; Slot < V.size(); ++Slot)
+        V[Slot] = (static_cast<uint64_t>(RunIdx) * 31 +
+                   static_cast<uint64_t>(In) * 13 + Slot * 7 + 1) %
+                  std::min<uint64_t>(T, 251);
+      Call.push_back(std::move(V));
+    }
+    Calls.push_back(std::move(Call));
+  }
+
+  // Warmup builds the first pooled runtime (context + keys) so the timed
+  // loop measures steady-state serving latency.
+  auto Warm = Kernel.execute(Calls.front(), Encrypted);
+  if (!Warm)
+    return fail(Warm.status());
+
+  int CallsDone = 0;
+  double TotalUs = 0.0, MinUs = 0.0, MaxUs = 0.0;
+  double LastNoise = Warm->NoiseBudgetBits;
+  while (CallsDone < Runs) {
+    int ThisBatch = std::min(Batch, Runs - CallsDone);
+    std::vector<std::vector<std::vector<uint64_t>>> Slice(
+        Calls.begin(), Calls.begin() + ThisBatch);
+    Stopwatch W;
+    auto Many = Kernel.executeMany(Slice, Encrypted);
+    double Us = W.micros();
+    if (!Many)
+      return fail(Many.status());
+    double PerCall = Us / ThisBatch;
+    if (!CallsDone || PerCall < MinUs)
+      MinUs = PerCall;
+    if (!CallsDone || PerCall > MaxUs)
+      MaxUs = PerCall;
+    TotalUs += Us;
+    CallsDone += ThisBatch;
+    if (!Many->empty())
+      LastNoise = Many->back().NoiseBudgetBits;
+  }
+
+  driver::EngineStats S = E.stats();
+  double MeanUs = TotalUs / CallsDone;
+  std::printf("{\n");
+  std::printf("  \"kernel\": %s,\n", json::quote(Kernel.name()).c_str());
+  std::printf("  \"fingerprint\": %s,\n",
+              json::quote(Kernel.fingerprint()).c_str());
+  std::printf("  \"from_synthesis\": %s,\n",
+              Kernel.result().FromSynthesis ? "true" : "false");
+  std::printf("  \"encrypted\": %s,\n", Encrypted ? "true" : "false");
+  std::printf("  \"compile_ms\": %.3f,\n", CompileMs);
+  std::printf("  \"runs\": %d,\n", CallsDone);
+  std::printf("  \"batch\": %d,\n", Batch);
+  std::printf("  \"runtime_pool\": %zu,\n", Kernel.runtimePoolSize());
+  std::printf("  \"per_call_us\": {\"mean\": %.1f, \"min\": %.1f, "
+              "\"max\": %.1f},\n",
+              MeanUs, MinUs, MaxUs);
+  std::printf("  \"throughput_calls_per_s\": %.2f,\n",
+              MeanUs > 0 ? 1e6 / MeanUs : 0.0);
+  std::printf("  \"noise_budget_bits\": %.1f,\n", LastNoise);
+  std::printf("  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+              "\"hit_rate\": %.3f}\n",
+              static_cast<unsigned long long>(S.Hits),
+              static_cast<unsigned long long>(S.Misses), S.hitRate());
+  std::printf("}\n");
   return 0;
 }
 
@@ -366,6 +577,8 @@ int main(int Argc, char **Argv) {
     return cmdEmitOrShow(Argc - 2, Argv + 2, /*Emit=*/false);
   if (Cmd == "run")
     return cmdRun(Argc - 2, Argv + 2);
+  if (Cmd == "bench")
+    return cmdBench(Argc - 2, Argv + 2);
   if (Cmd == "check")
     return cmdCheck(Argc - 2, Argv + 2);
   return usage();
