@@ -31,6 +31,10 @@ Status Compiler::validateOptions() const {
     S.addError("options", "MaxComponents must be >= MinComponents");
   if (Syn.PlainModulus < 2)
     S.addError("options", "plaintext modulus must be at least 2");
+  if (Syn.Threads < 0)
+    S.addError("options",
+               "synthesis Threads must be >= 0 (0 = one per hardware "
+               "thread, 1 = sequential)");
   if (Opts.ExplicitRotations && Opts.ExplicitRotationMaxComponents < 1)
     S.addError("options",
                "ExplicitRotationMaxComponents must be at least 1");
@@ -477,7 +481,8 @@ std::string porcupine::driver::toJson(const CompileResult &R) {
        ", \"final_cost\": " + num(R.Stats.FinalCost, "%.0f") +
        ", \"timed_out\": " + (R.Stats.TimedOut ? "true" : "false") +
        ", \"proven_optimal\": " + (R.Stats.ProvenOptimal ? "true" : "false") +
-       "},\n";
+       ", \"threads\": " + std::to_string(R.Stats.ThreadsUsed) +
+       ", \"cpu_seconds\": " + num(R.Stats.CpuTimeSeconds) + "},\n";
   J += "  \"peephole_rewrites\": " + std::to_string(R.Peephole.total()) + ",\n";
   J += "  \"parameters\": {\"poly_degree\": " +
        std::to_string(R.Params.PolyDegree) +

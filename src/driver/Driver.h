@@ -60,8 +60,15 @@ enum class LatencySource {
 /// Everything that configures a compilation, in one object.
 struct CompileOptions {
   /// Synthesis tunables: component bounds, timeout, cost-minimization
-  /// phase, plaintext modulus, PRNG seed, and the latency table (which the
-  /// driver overwrites when Latency == Profiled).
+  /// phase, plaintext modulus, PRNG seed, the latency table (which the
+  /// driver overwrites when Latency == Profiled), and the portfolio
+  /// thread count `Synthesis.Threads` (0 = one worker per hardware
+  /// thread, 1 = the exact sequential search; surfaced as `porcc --jobs`).
+  /// Thread count never changes the synthesized program — the portfolio's
+  /// deterministic tie-break guarantees byte-identical results for every
+  /// value — so it is deliberately *excluded* from canonicalKey(): a
+  /// deployment may retune it freely without invalidating compile caches
+  /// or artifacts.
   synth::SynthesisOptions Synthesis;
 
   /// Run CEGIS synthesis. When false, compile() takes the bundled

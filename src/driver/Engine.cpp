@@ -231,6 +231,24 @@ Expected<Engine::KernelHandle> Engine::get(const std::string &KernelName,
   return getImpl(KernelName, Opts);
 }
 
+std::future<Expected<Engine::KernelHandle>>
+Engine::compileAsync(const std::string &KernelName) {
+  return compileAsync(KernelName, EOpts.Defaults);
+}
+
+std::future<Expected<Engine::KernelHandle>>
+Engine::compileAsync(const std::string &KernelName,
+                     const CompileOptions &Opts) {
+  // std::async with the async policy: the compile starts immediately on
+  // its own thread and runs through getImpl, i.e. the exact cache path —
+  // misses coalesce with every concurrent get()/compileAsync() of the
+  // same key, hits resolve at once, failures surface through the future.
+  return std::async(std::launch::async,
+                    [this, KernelName, Opts] {
+                      return getImpl(KernelName, Opts);
+                    });
+}
+
 Expected<Engine::KernelHandle> Engine::getImpl(const std::string &KernelName,
                                                const CompileOptions &Opts) {
   // Resolve the name first so every spelling ("gx", "Gx") of one kernel

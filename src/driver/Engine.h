@@ -17,6 +17,9 @@
 ///   auto Out = (*K)->execute({{1,2,3,4}, ...});  // one encrypted call
 ///   auto Many = (*K)->executeMany(Batch);        // batched calls, one
 ///                                                // runtime checkout
+///   auto F = E.compileAsync("sobel gx");         // warm the cache off the
+///   ...                                          // request path; same
+///   auto K3 = F.get();                           // miss-coalescing as get()
 ///
 /// Engine::get() returns a shared handle to an immutable CompiledKernel
 /// (program + analyses + cost + BFV parameters + emitted SEAL code) backed
@@ -46,6 +49,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <list>
 #include <map>
 #include <memory>
@@ -212,6 +216,22 @@ public:
   /// share one cache entry regardless of how the options were built.
   Expected<KernelHandle> get(const std::string &KernelName,
                              const CompileOptions &Opts);
+
+  /// Non-blocking get(): returns immediately with a future that resolves
+  /// to the same handle (or failure) a synchronous get() would produce.
+  /// The compile runs on its own thread through the identical cache path,
+  /// so concurrent compileAsync()/get() calls for one (kernel, options)
+  /// pair coalesce onto a single compile — kicking off a compileAsync()
+  /// and then calling get() from a serving thread never synthesizes
+  /// twice. A cached kernel resolves the future (almost) immediately.
+  ///
+  /// Lifetime: the returned future owns the worker thread's shared state
+  /// and must not outlive this Engine unresolved — wait on (or destroy,
+  /// which joins) every pending future before destroying the Engine.
+  std::future<Expected<KernelHandle>>
+  compileAsync(const std::string &KernelName);
+  std::future<Expected<KernelHandle>>
+  compileAsync(const std::string &KernelName, const CompileOptions &Opts);
 
   /// Warm-starts from a kernel artifact (driver/Artifact.h): parses and
   /// re-validates the file, caches the kernel under its recorded

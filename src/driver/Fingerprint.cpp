@@ -15,7 +15,11 @@
 ///
 /// Extending CompileOptions? Add the new field here in alphabetical
 /// position, or identical compiles under different values of that field
-/// will incorrectly share a cache entry.
+/// will incorrectly share a cache entry. The one deliberate exclusion is
+/// Synthesis.Threads: the portfolio search's deterministic tie-break makes
+/// the compiled program byte-identical for every thread count, so keying
+/// on it would only split the cache across performance-equivalent entries
+/// (and invalidate artifacts whenever a deployment retunes its --jobs).
 ///
 //===----------------------------------------------------------------------===//
 

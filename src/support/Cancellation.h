@@ -1,0 +1,71 @@
+//===- support/Cancellation.h - Cooperative stop tokens ---------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free stand-in for C++20 std::stop_source/std::stop_token
+/// (this tree builds as C++17): a CancellationSource owns a shared stop
+/// flag, hands out cheap copyable CancellationTokens, and any holder of
+/// the source can request a stop that every token observes. Cancellation
+/// is cooperative — long-running work (the synthesizer's search loops,
+/// ThreadPool tasks) polls stopRequested() at a granularity of its
+/// choosing and unwinds cleanly; nothing is ever interrupted mid-step.
+///
+/// Tokens outlive their source safely: the flag lives in a shared_ptr, so
+/// a token whose source was destroyed simply keeps reporting the last
+/// requested state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SUPPORT_CANCELLATION_H
+#define PORCUPINE_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <memory>
+
+namespace porcupine {
+
+/// Read side of a cancellation flag. Copy freely; thread-safe.
+class CancellationToken {
+public:
+  /// A token that can never be cancelled (the default for code paths that
+  /// take a token but run uncancellable).
+  CancellationToken() = default;
+
+  /// True once the owning source requested a stop.
+  bool stopRequested() const {
+    return Flag && Flag->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token is connected to a source at all.
+  bool stopPossible() const { return Flag != nullptr; }
+
+private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> Flag)
+      : Flag(std::move(Flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// Write side: owns the flag, issues tokens, requests the stop.
+class CancellationSource {
+public:
+  CancellationSource() : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(Flag); }
+
+  /// Signals every token. Idempotent; safe from any thread.
+  void requestStop() { Flag->store(true, std::memory_order_relaxed); }
+
+  bool stopRequested() const { return Flag->load(std::memory_order_relaxed); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SUPPORT_CANCELLATION_H

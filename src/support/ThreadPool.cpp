@@ -1,0 +1,90 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace porcupine;
+
+unsigned porcupine::resolveThreadCount(int Requested) {
+  if (Requested > 0)
+    return static_cast<unsigned>(Requested);
+  if (Requested < 0)
+    return 1u; // Garbage from a raw --jobs flag: fall back to sequential.
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (unsigned Id = 0; Id < Workers; ++Id)
+    Threads.emplace_back([this, Id] { workerLoop(Id); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(Task T) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (ShuttingDown)
+      return false;
+    Queue.push_back(std::move(T));
+  }
+  WorkAvailable.notify_one();
+  return true;
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> L(M);
+  Idle.wait(L, [this] { return Queue.empty() && Running == 0; });
+}
+
+void ThreadPool::shutdown() {
+  // Claim the worker handles under the lock so concurrent shutdown()
+  // calls (e.g. an explicit shutdown racing the destructor) cannot join
+  // the same std::thread twice: exactly one caller gets a non-empty
+  // ToJoin and performs the drain; the others return with nothing to do.
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> L(M);
+    ShuttingDown = true;
+    ToJoin.swap(Threads);
+  }
+  // Workers drain the queue before exiting, so queued work is never lost —
+  // it is either executed or (for cancellation-aware tasks whose stop was
+  // requested) reduced to a cheap no-op by the task itself.
+  WorkAvailable.notify_all();
+  for (std::thread &T : ToJoin)
+    if (T.joinable())
+      T.join();
+}
+
+size_t ThreadPool::tasksExecuted() const {
+  std::lock_guard<std::mutex> L(M);
+  return Executed;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  std::unique_lock<std::mutex> L(M);
+  while (true) {
+    WorkAvailable.wait(L, [this] { return !Queue.empty() || ShuttingDown; });
+    if (Queue.empty()) {
+      // ShuttingDown with a drained queue: exit.
+      return;
+    }
+    Task T = std::move(Queue.front());
+    Queue.pop_front();
+    ++Running;
+    L.unlock();
+    T(Id);
+    L.lock();
+    --Running;
+    ++Executed;
+    if (Queue.empty() && Running == 0)
+      Idle.notify_all();
+  }
+}

@@ -1,0 +1,107 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dependency-free worker pool (std::thread + one shared FIFO
+/// queue) for the fan-out phases of the toolchain — above all the
+/// synthesizer's portfolio search, where thousands of independent
+/// candidate-subtree tasks of wildly uneven size need to keep N cores
+/// busy. A single shared queue self-balances: whichever worker drains its
+/// subtree first steals the next queued batch, so no per-thread deques or
+/// rebalancing heuristics are needed at this task granularity.
+///
+/// Contract:
+///   * submit() enqueues a task and returns immediately; tasks run on the
+///     pool's workers in FIFO order (started in order; completion order is
+///     up to the scheduler). Each task receives the index of the worker
+///     running it ([0, workerCount())), which callers use for per-thread
+///     accounting (e.g. SynthesisStats::NodesPerThread).
+///   * Tasks must not throw (the tree builds without exception-based error
+///     handling) and must not block on other queued tasks — a task that
+///     waits for a later submission can deadlock a fully busy pool. Use a
+///     CancellationToken (support/Cancellation.h) for cooperative abort
+///     instead of blocking.
+///   * shutdown()/the destructor drain the queue: already-queued tasks
+///     still run before the workers exit. Cancellation-aware callers who
+///     want a *fast* drain request their stop first, which turns every
+///     queued task into a cheap no-op. submit() after shutdown() returns
+///     false and drops the task.
+///   * waitIdle() blocks until the queue is empty and every worker is
+///     between tasks — a coarse whole-pool barrier for callers with no
+///     finer bookkeeping. (The synthesizer's portfolio queries instead
+///     count their own tasks' completions under their coordinator lock —
+///     same guarantee, scoped to the query — so no task outlives the
+///     spec/example state it captured.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_SUPPORT_THREADPOOL_H
+#define PORCUPINE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace porcupine {
+
+/// Resolved worker count for a user-facing "threads" knob: \p Requested
+/// when positive, hardware concurrency when 0 (and 1 when even that is
+/// unknown), and 1 — the sequential path — for negative garbage (the
+/// driver additionally rejects negatives at its validation boundary).
+/// Used by SynthesisOptions::Threads and porcc --jobs.
+unsigned resolveThreadCount(int Requested);
+
+class ThreadPool {
+public:
+  /// A task; the argument is the executing worker's index.
+  using Task = std::function<void(unsigned WorkerId)>;
+
+  /// Spawns \p Workers threads (clamped to at least 1).
+  explicit ThreadPool(unsigned Workers);
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Drains the queue (runs every queued task), then joins the workers.
+  ~ThreadPool();
+
+  unsigned workerCount() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues \p T; returns false (dropping it) after shutdown().
+  bool submit(Task T);
+
+  /// Blocks until the queue is empty and no task is running.
+  void waitIdle();
+
+  /// Stops accepting work, drains already-queued tasks, joins the
+  /// workers. Idempotent and safe against concurrent calls (one caller
+  /// performs the join; the rest return at once); called by the
+  /// destructor.
+  void shutdown();
+
+  /// Lifetime count of tasks that finished executing.
+  size_t tasksExecuted() const;
+
+private:
+  void workerLoop(unsigned Id);
+
+  mutable std::mutex M;
+  std::condition_variable WorkAvailable; ///< Signals workers: task or stop.
+  std::condition_variable Idle;          ///< Signals waitIdle()/shutdown().
+  std::deque<Task> Queue;
+  std::vector<std::thread> Threads;
+  size_t Running = 0;  ///< Tasks currently executing.
+  size_t Executed = 0; ///< Tasks finished, lifetime.
+  bool ShuttingDown = false;
+};
+
+} // namespace porcupine
+
+#endif // PORCUPINE_SUPPORT_THREADPOOL_H

@@ -10,12 +10,20 @@
 #include "quill/Analysis.h"
 #include "quill/Interpreter.h"
 #include "spec/Equivalence.h"
+#include "support/Cancellation.h"
+#include "support/ThreadPool.h"
 #include "support/Timing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <climits>
+#include <condition_variable>
+#include <ctime>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
 #include <unordered_set>
 
@@ -128,7 +136,46 @@ public:
     return Found;
   }
 
+  /// Installs a cooperative abort predicate, polled every few hundred
+  /// nodes. When it fires the search unwinds and run()/runFromPrefix()
+  /// return false with aborted() set — the portfolio's cancellation hook
+  /// for workers whose candidate subtree has been outrun by a
+  /// lower-indexed solution (or whose whole query was stopped).
+  void setAbort(std::function<bool()> Fn) { ExternalAbort = std::move(Fn); }
+
+  /// Enumerates the first \p Depth levels only, recording every surviving
+  /// partial assignment — in sequential DFS visit order — instead of
+  /// recursing deeper. These prefixes are the tasks of one portfolio
+  /// query: concatenating the subtree searches in prefix order replays the
+  /// sequential search exactly.
+  void collectPrefixes(int Depth, std::vector<std::vector<ChosenInstr>> &Out) {
+    assert(Depth >= 1 && Depth < L && "prefix depth must stop above the final slot");
+    Chosen.clear();
+    PrefixDepth = Depth;
+    PrefixOut = &Out;
+    dfs(0, 0.0);
+    PrefixDepth = -1;
+    PrefixOut = nullptr;
+  }
+
+  /// Replays \p Prefix (re-running the same pruning checks it survived at
+  /// collection time), then searches the remaining slots. Equivalent to
+  /// the slice of run() below that prefix.
+  bool runFromPrefix(const std::vector<ChosenInstr> &Prefix,
+                     std::vector<ChosenInstr> &Out) {
+    assert(!Prefix.empty() && static_cast<int>(Prefix.size()) < L &&
+           "prefix must leave at least the final slot to search");
+    Chosen.clear();
+    Replay = &Prefix;
+    bool Found = replayStep(0, 0.0);
+    Replay = nullptr;
+    if (Found)
+      Out = Solution;
+    return Found;
+  }
+
   bool timedOut() const { return TimedOutFlag; }
+  bool aborted() const { return AbortedFlag; }
   long nodes() const { return Nodes; }
 
 private:
@@ -166,6 +213,15 @@ private:
 
   long Nodes = 0;
   bool TimedOutFlag = false;
+  bool AbortedFlag = false;
+  std::function<bool()> ExternalAbort;
+
+  // Portfolio-search plumbing: prefix recording (collectPrefixes) and
+  // prefix replay (runFromPrefix). Mutually exclusive; -1/null when the
+  // search runs the plain sequential DFS.
+  int PrefixDepth = -1;
+  std::vector<std::vector<ChosenInstr>> *PrefixOut = nullptr;
+  const std::vector<ChosenInstr> *Replay = nullptr;
 
   Fingerprint maskedProjection(const Fingerprint &F) const {
     Fingerprint Out;
@@ -214,11 +270,57 @@ private:
   }
 
   bool checkTime() {
-    if (TimedOutFlag)
+    if (TimedOutFlag || AbortedFlag)
       return true;
+    // The abort poll is an atomic load or two, so it can run at a finer
+    // cadence than the clock read; both piggyback on the node counter.
+    if ((Nodes & 0xff) == 0 && ExternalAbort && ExternalAbort()) {
+      AbortedFlag = true;
+      return true;
+    }
     if ((Nodes & 0xfff) == 0 && Clock.seconds() > Opts.TimeoutSeconds)
       TimedOutFlag = true;
     return TimedOutFlag;
+  }
+
+  /// Recomputes the placement data (value fingerprint, newly materialized
+  /// latency, multiplicative depth) for an already-chosen instruction —
+  /// the replay half of runFromPrefix(). Mirrors the three enumeration
+  /// paths in dfs()/solveFinalAddSub() exactly, including the rotation-CSE
+  /// latency rule.
+  void candidateData(const ChosenInstr &CI, Fingerprint &F, double &NewLat,
+                     int &Depth) const {
+    if (CI.Op == Opcode::RotCt) {
+      F = rotated(CI.Src0, CI.Rot0);
+      NewLat = Opts.Latency.RotCt;
+      Depth = MDepth[CI.Src0];
+      return;
+    }
+    if (isCtPt(CI.Op)) {
+      F = applyPt(CI.Op, rotated(CI.Src0, CI.Rot0), CI.PtIdx);
+      NewLat = Opts.Latency.latencyOf(CI.Op) + rotationCost(CI.Src0, CI.Rot0);
+      Depth = MDepth[CI.Src0] + (isMultiply(CI.Op) ? 1 : 0);
+      return;
+    }
+    F = applyArith(CI.Op, rotated(CI.Src0, CI.Rot0),
+                   rotated(CI.Src1, CI.Rot1));
+    NewLat = Opts.Latency.latencyOf(CI.Op) + rotationCost(CI.Src0, CI.Rot0);
+    if (CI.Rot1 != 0 && !(CI.Src1 == CI.Src0 && CI.Rot1 == CI.Rot0))
+      NewLat += rotationCost(CI.Src1, CI.Rot1);
+    Depth = std::max(MDepth[CI.Src0], MDepth[CI.Src1]) +
+            (isMultiply(CI.Op) ? 1 : 0);
+  }
+
+  /// Places the next replayed instruction and continues (further replay or
+  /// live search) through place()'s normal recursion dispatch.
+  bool replayStep(int Slot, double LatAcc) {
+    const ChosenInstr &CI = (*Replay)[Slot];
+    Fingerprint F;
+    double NewLat;
+    int Depth;
+    candidateData(CI, F, NewLat, Depth);
+    ++Nodes;
+    return place(Slot, LatAcc, CI, F, NewLat, Depth);
   }
 
   /// Fingerprint of value \p Src rotated left by \p Rot (0 = identity;
@@ -396,7 +498,18 @@ private:
     int NewId = static_cast<int>(Values.size()) - 1;
     indexValue(NewId);
 
-    bool Found = dfs(Slot + 1, Lat);
+    bool Found;
+    if (PrefixOut && Slot + 1 == PrefixDepth) {
+      // Prefix collection: record the surviving partial assignment (Chosen
+      // already includes CI) as one portfolio task and keep enumerating
+      // siblings instead of recursing.
+      PrefixOut->push_back(Chosen);
+      Found = false;
+    } else if (Replay && Slot + 1 < static_cast<int>(Replay->size())) {
+      Found = replayStep(Slot + 1, Lat);
+    } else {
+      Found = dfs(Slot + 1, Lat);
+    }
 
     // Undo.
     unindexValue(NewId);
@@ -469,6 +582,8 @@ private:
           CI.Src1 = Src1;
           CI.Rot1 = Rot1;
           Fingerprint F = applyArith(Comp.Op, rotated(Src0, Rot0), B);
+          // Latency/depth formula mirrored in candidateData(); keep in
+          // sync or prefix replay diverges from collection-time pruning.
           double NewLat = OpLat + rotationCost(Src0, Rot0);
           if (Rot1 != 0 && !(Src1 == Src0 && Rot1 == Rot0))
             NewLat += rotationCost(Src1, Rot1);
@@ -535,6 +650,7 @@ private:
             CI.Src0 = Src;
             CI.Rot0 = Rot;
             Fingerprint F = applyPt(Comp.Op, rotated(Src, Rot), Comp.PtIdx);
+            // Mirrored in candidateData(); keep in sync.
             double NewLat = OpLat + rotationCost(Src, Rot);
             int Depth = MDepth[Src] + (isMultiply(Comp.Op) ? 1 : 0);
             if (place(Slot, LatAcc, CI, F, NewLat, Depth))
@@ -576,6 +692,7 @@ private:
               CI.Rot1 = Rot1;
               rotatedInto(Src1, Rot1, B);
               applyArithInto(Comp.Op, A, B, F);
+              // Mirrored in candidateData(); keep in sync.
               double NewLat = OpLat + rotationCost(Src0, Rot0);
               // Second rotation may CSE with the first.
               if (Rot1 != 0 && !(Src1 == Src0 && Rot1 == Rot0))
@@ -651,6 +768,176 @@ Example makeExample(const KernelSpec &Spec,
   return E;
 }
 
+/// Outcome of one solve query (a single sketch size L, example set, and
+/// cost bound) — the unit the paper hands to the SMT solver and the unit
+/// this reproduction fans out across the thread pool.
+struct QueryResult {
+  bool Sat = false;
+  std::vector<ChosenInstr> Chosen;
+  bool TimedOut = false;
+};
+
+/// Runs one solve query sequentially on the calling thread.
+QueryResult runQuerySequential(const KernelSpec &Spec, const Sketch &Sk,
+                               const SynthesisOptions &Opts,
+                               const std::vector<Example> &Examples, int L,
+                               double CostBound, Stopwatch &Clock,
+                               SynthesisStats &Stats) {
+  Search S(Spec, Sk, Opts, Examples, L, CostBound, Clock);
+  QueryResult Q;
+  Q.Sat = S.run(Q.Chosen);
+  Q.TimedOut = S.timedOut();
+  Stats.NodesExplored += S.nodes();
+  Stats.NodesPerThread[0] += S.nodes();
+  return Q;
+}
+
+/// Runs one solve query as a parallel portfolio over \p Pool:
+///
+///   1. Enumerate the first level once, collecting every surviving
+///      single-instruction prefix in sequential DFS order — the task
+///      list. Depth 1 is deliberate: level-0 enumeration is trivially
+///      cheap, while a depth-2 generation pass would serially re-run the
+///      level-1 enumeration that dominates several kernels' search time
+///      (measured: it roughly doubled total work on the Sobel kernels).
+///      One slot-0 candidate per task still yields dozens-to-hundreds of
+///      tasks, and the shared pool queue balances their uneven subtrees.
+///   2. Every task replays its prefix and searches the remaining slots
+///      independently; an atomic lowest-solution index plus a stop token
+///      cancel any worker whose subtree has been outrun.
+///   3. The winner is the lowest-indexed prefix containing a solution —
+///      precisely the solution the sequential DFS reaches first, so the
+///      outcome is independent of worker count and scheduling.
+///
+/// Tasks before the winning index always run to completion (a later, but
+/// lower-indexed, solution must win), and the call returns only after
+/// every task finished — the captured spec/sketch/example state may be
+/// mutated by the caller the moment this returns.
+///
+/// A query that times out anywhere reports TimedOut with no solution,
+/// like the sequential path. (Under deadline pressure the portfolio can
+/// cover more of the space than one thread would — that is the point —
+/// so timeout-bound runs may legitimately differ from Threads=1.)
+QueryResult runQueryPortfolio(const KernelSpec &Spec, const Sketch &Sk,
+                              const SynthesisOptions &Opts,
+                              const std::vector<Example> &Examples, int L,
+                              double CostBound, Stopwatch &Clock,
+                              ThreadPool &Pool, SynthesisStats &Stats) {
+  QueryResult Q;
+
+  std::vector<std::vector<ChosenInstr>> Prefixes;
+  {
+    Search G(Spec, Sk, Opts, Examples, L, CostBound, Clock);
+    G.collectPrefixes(1, Prefixes);
+    Stats.NodesExplored += G.nodes();
+    Stats.NodesPerThread[0] += G.nodes();
+    if (G.timedOut()) {
+      Q.TimedOut = true;
+      return Q;
+    }
+  }
+  if (Prefixes.empty())
+    return Q; // Every prefix pruned: UNSAT without ever going deep.
+  if (Prefixes.size() == 1) {
+    // One surviving subtree: search it on the calling thread, reusing the
+    // level-1 enumeration the generation pass already paid for.
+    Search S(Spec, Sk, Opts, Examples, L, CostBound, Clock);
+    Q.Sat = S.runFromPrefix(Prefixes.front(), Q.Chosen);
+    Q.TimedOut = S.timedOut();
+    Stats.NodesExplored += S.nodes();
+    Stats.NodesPerThread[0] += S.nodes();
+    return Q;
+  }
+
+  const int NumTasks = static_cast<int>(Prefixes.size());
+  std::mutex M;
+  std::condition_variable AllDone;
+  std::atomic<int> Best{INT_MAX};
+  CancellationSource Cancel;
+  std::vector<ChosenInstr> BestChosen;
+  int DoneCount = 0;
+  /// Lowest index whose subtree was NOT searched to completion (timed
+  /// out, aborted, or skipped), and whether any task genuinely hit the
+  /// wall-clock deadline. Tasks cut short because a lower-indexed winner
+  /// outran them also land in MinPartialIdx, but harmlessly: their index
+  /// is by construction above the final winner, so they can never demote
+  /// a solution (Best only ever decreases).
+  int MinPartialIdx = INT_MAX;
+  bool AnyTimeout = false;
+
+  for (int J = 0; J < NumTasks; ++J) {
+    bool Submitted = Pool.submit([&, J](unsigned Worker) {
+      CancellationToken Tok = Cancel.token();
+      long TaskNodes = 0;
+      bool Sat = false, TOut = false, Completed = false;
+      std::vector<ChosenInstr> Out;
+      // Tasks the winner already outran skip without building a Search.
+      if (!Tok.stopRequested() &&
+          Best.load(std::memory_order_relaxed) > J) {
+        Search S(Spec, Sk, Opts, Examples, L, CostBound, Clock);
+        S.setAbort([&Tok, &Best, J] {
+          return Tok.stopRequested() ||
+                 Best.load(std::memory_order_relaxed) < J;
+        });
+        Sat = S.runFromPrefix(Prefixes[J], Out);
+        TOut = S.timedOut();
+        Completed = !TOut && !S.aborted();
+        TaskNodes = S.nodes();
+      }
+      std::lock_guard<std::mutex> LG(M);
+      Stats.NodesExplored += TaskNodes;
+      Stats.NodesPerThread[Worker] += TaskNodes;
+      if (TOut) {
+        AnyTimeout = true;
+        Cancel.requestStop();
+      }
+      if (Sat && J < Best.load(std::memory_order_relaxed)) {
+        Best.store(J, std::memory_order_relaxed);
+        BestChosen = std::move(Out);
+      } else if (!Completed && !Sat) {
+        MinPartialIdx = std::min(MinPartialIdx, J);
+      }
+      ++DoneCount;
+      AllDone.notify_all();
+    });
+    assert(Submitted && "portfolio pool rejected a task");
+    (void)Submitted;
+  }
+
+  std::unique_lock<std::mutex> LK(M);
+  AllDone.wait(LK, [&] { return DoneCount == NumTasks; });
+  // A solution stands only when it is lower-indexed than every subtree
+  // that was not searched to completion: the sequential DFS reaches
+  // subtrees in index order, so it would have returned that solution
+  // before ever entering the partial ones. An incomplete subtree at or
+  // below the winning index means sequential could have found something
+  // earlier (or stalled first) — report the timeout instead, like the
+  // sequential path does.
+  int Winner = Best.load(std::memory_order_relaxed);
+  if (Winner < MinPartialIdx) {
+    Q.Sat = true;
+    Q.Chosen = std::move(BestChosen);
+  } else if (AnyTimeout) {
+    Q.TimedOut = true;
+  }
+  return Q;
+}
+
+/// One solve query under the options' threading policy. \p Pool is null
+/// when Threads resolved to 1 (the exact sequential code path); L == 1
+/// sketches have no prefix level to split on and stay sequential too.
+QueryResult runQuery(const KernelSpec &Spec, const Sketch &Sk,
+                     const SynthesisOptions &Opts,
+                     const std::vector<Example> &Examples, int L,
+                     double CostBound, Stopwatch &Clock, ThreadPool *Pool,
+                     SynthesisStats &Stats) {
+  if (!Pool || L < 2)
+    return runQuerySequential(Spec, Sk, Opts, Examples, L, CostBound, Clock,
+                              Stats);
+  return runQueryPortfolio(Spec, Sk, Opts, Examples, L, CostBound, Clock,
+                           *Pool, Stats);
+}
+
 } // namespace
 
 SynthesisResult porcupine::synth::synthesize(const KernelSpec &Spec,
@@ -661,9 +948,25 @@ SynthesisResult porcupine::synth::synthesize(const KernelSpec &Spec,
 
   SynthesisResult Result;
   Stopwatch Clock;
+  std::clock_t CpuStart = std::clock();
   Rng R(Opts.Seed);
   uint64_t T = Opts.PlainModulus;
   CostModel Model(Opts.Latency);
+
+  // Threading policy: 0 = auto (one worker per hardware thread), 1 = the
+  // sequential code path with no pool at all, N = N pool workers. One pool
+  // serves every query of the run; queries are fanned out one at a time.
+  unsigned Threads = resolveThreadCount(Opts.Threads);
+  std::unique_ptr<ThreadPool> Pool;
+  if (Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Threads);
+  Result.Stats.ThreadsUsed = static_cast<int>(Threads);
+  Result.Stats.NodesPerThread.assign(Threads, 0);
+  auto FinishStats = [&] {
+    Result.Stats.TotalTimeSeconds = Clock.seconds();
+    Result.Stats.CpuTimeSeconds =
+        static_cast<double>(std::clock() - CpuStart) / CLOCKS_PER_SEC;
+  };
 
   std::vector<Example> Examples;
   Examples.push_back(makeExample(Spec, Spec.randomInputs(R, T), T));
@@ -677,16 +980,16 @@ SynthesisResult porcupine::synth::synthesize(const KernelSpec &Spec,
   bool Found = false;
   for (int L = Opts.MinComponents; L <= Opts.MaxComponents && !Found; ++L) {
     for (;;) {
-      Search S(Spec, Sk, Opts, Examples, L,
-               /*CostBound=*/1e300, Clock);
-      bool Sat = S.run(Chosen);
-      Result.Stats.NodesExplored += S.nodes();
-      if (S.timedOut()) {
+      QueryResult Sol = runQuery(Spec, Sk, Opts, Examples, L,
+                                 /*CostBound=*/1e300, Clock, Pool.get(),
+                                 Result.Stats);
+      if (Sol.TimedOut) {
         Result.Stats.TimedOut = true;
         break;
       }
-      if (!Sat)
+      if (!Sol.Sat)
         break; // No program with L components; deepen.
+      Chosen = std::move(Sol.Chosen);
       Program Candidate = lowerChosen(Sk, Chosen);
       auto V = Verify(Candidate);
       if (V.Equivalent) {
@@ -705,7 +1008,7 @@ SynthesisResult porcupine::synth::synthesize(const KernelSpec &Spec,
   Result.Stats.ExamplesUsed = static_cast<int>(Examples.size());
   Result.Stats.InitialTimeSeconds = Clock.seconds();
   if (!Result.Found) {
-    Result.Stats.TotalTimeSeconds = Clock.seconds();
+    FinishStats();
     return Result;
   }
   Result.Stats.InitialCost = Model.cost(Result.Prog);
@@ -727,18 +1030,18 @@ SynthesisResult porcupine::synth::synthesize(const KernelSpec &Spec,
       // float orders can disagree in the last bits. Shrink the bound by an
       // epsilon so "equal cost modulo rounding" never counts as progress.
       double Epsilon = std::max(1e-6, Bound * 1e-9);
-      Search S(Spec, Sk, Opts, Examples, L, Bound - Epsilon, Clock);
-      bool Sat = S.run(Chosen);
-      Result.Stats.NodesExplored += S.nodes();
-      if (S.timedOut()) {
+      QueryResult Sol = runQuery(Spec, Sk, Opts, Examples, L, Bound - Epsilon,
+                                 Clock, Pool.get(), Result.Stats);
+      if (Sol.TimedOut) {
         Result.Stats.TimedOut = true;
         break;
       }
-      if (!Sat) {
+      if (!Sol.Sat) {
         // The solver proved no cheaper program exists in this sketch.
         Result.Stats.ProvenOptimal = true;
         break;
       }
+      Chosen = std::move(Sol.Chosen);
       Program Candidate = lowerChosen(Sk, Chosen);
       auto V = Verify(Candidate);
       if (!V.Equivalent) {
@@ -759,6 +1062,6 @@ SynthesisResult porcupine::synth::synthesize(const KernelSpec &Spec,
   }
 
   Result.Stats.ExamplesUsed = static_cast<int>(Examples.size());
-  Result.Stats.TotalTimeSeconds = Clock.seconds();
+  FinishStats();
   return Result;
 }

@@ -23,6 +23,21 @@
 /// dead-value bounds, and cheapest-first ordering. Verification is exact
 /// polynomial identity (spec/Equivalence.h).
 ///
+/// Parallel portfolio search: every solve query (one sketch size L, one
+/// example set, one cost bound) is embarrassingly parallel across the
+/// candidate space, so with Threads > 1 the query is split at a shallow
+/// prefix depth into independent candidate subtrees that run on a
+/// support::ThreadPool. The winner is chosen by a deterministic tie-break
+/// — the lowest candidate (prefix) index that contains a solution, which
+/// is exactly the candidate the sequential search would have reached first
+/// — and cooperative cancellation (support/Cancellation.h-style stop
+/// flags) stops every worker exploring a higher-indexed subtree. Because
+/// the cost-minimization phase already orders queries by strictly
+/// decreasing cost bound, this tie-break makes the synthesized program
+/// byte-identical for every thread count and every thread schedule;
+/// threading changes only how fast the answer arrives (and, under timeout
+/// pressure, how much of the space gets covered before the deadline).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PORCUPINE_SYNTH_SYNTHESIZER_H
@@ -34,6 +49,7 @@
 #include "synth/Sketch.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace porcupine {
 namespace synth {
@@ -53,6 +69,11 @@ struct SynthesisOptions {
   uint64_t PlainModulus = 65537;
   /// PRNG seed (examples, counterexample sampling).
   uint64_t Seed = 1;
+  /// Worker threads for the portfolio search: 0 = one per hardware thread,
+  /// 1 = the exact sequential code path, N > 1 = N pool workers. The
+  /// synthesized program is byte-identical for every value (deterministic
+  /// lowest-candidate-index tie-break), so this is purely a speed knob.
+  int Threads = 0;
 };
 
 /// Measurements the paper reports in Table 3.
@@ -71,6 +92,15 @@ struct SynthesisStats {
   /// under the cost model within this sketch).
   bool ProvenOptimal = false;
   long NodesExplored = 0;
+
+  // Parallel-search accounting (PR 4). ThreadsUsed is the resolved worker
+  // count (1 when synthesis never ran the portfolio path); NodesPerThread
+  // has one entry per worker and sums to NodesExplored; CpuTimeSeconds is
+  // process CPU time across all workers, so CpuTimeSeconds /
+  // TotalTimeSeconds approximates the achieved parallel speedup.
+  int ThreadsUsed = 1;
+  std::vector<long> NodesPerThread;
+  double CpuTimeSeconds = 0.0;
 };
 
 /// Outcome of a synthesis run.

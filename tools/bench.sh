@@ -4,8 +4,12 @@
 #   2. run the paper-figure benches, timing each
 #   3. run the `porcc bench` serving loop over a few kernels (Engine cache
 #      hit-rate + per-call encrypted latency)
-#   4. write everything into one JSON document (default: BENCH_results.json
+#   4. run the synthesis parallel-speedup benchmark (1 thread vs 4
+#      portfolio threads over the fast-synthesizing kernels; also verifies
+#      the programs stay byte-identical across thread counts)
+#   5. write everything into one JSON document (default: BENCH_results.json
 #      at the repo root) so the perf trajectory can be tracked across PRs
+#      — tools/bench_compare.py diffs two such snapshots and gates CI
 #
 # Usage: tools/bench.sh [--out FILE] [build-dir]   (default: build)
 #
@@ -97,6 +101,20 @@ run_serving "dot product" --runs 8 --batch 4
 run_serving "gx" --runs 8 --batch 4
 run_serving "box blur" --runs 8 --batch 4
 
+# Synthesis parallel speedup: every record carries synthesis_ms (the
+# N-thread wall time), synthesis_ms_1thread, and synthesis_threads-equivalent
+# context, so bench history stays comparable across machine sizes. A
+# non-zero exit here means the sequential and parallel programs differed —
+# a determinism bug, not a perf number — and fails the snapshot.
+echo "== synthesis speedup (1 vs 4 threads)"
+if ! "$BUILD_DIR/bench/bench_table3_synthesis" --compare-threads 4 \
+    --timeout 60 >"$TMP/synthesis" 2>"$TMP/synthesis.err"; then
+  echo "  FAIL bench_table3_synthesis --compare-threads:" >&2
+  cat "$TMP/synthesis.err" >&2
+  exit 1
+fi
+sed -n 's/^/  /p' "$TMP/synthesis.err"
+
 {
   printf '{\n'
   printf '  "schema": "porcupine-bench-results/1",\n'
@@ -108,7 +126,9 @@ run_serving "box blur" --runs 8 --batch 4
   printf '\n  ],\n'
   printf '  "serving": [\n'
   cat "$TMP/servings"
-  printf '\n  ]\n'
+  printf '\n  ],\n'
+  printf '  "synthesis":\n'
+  sed 's/^/  /' "$TMP/synthesis"
   printf '}\n'
 } >"$OUT"
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_results.json snapshots and fail on perf regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json FRESH.json [--tolerance R]
+
+The committed BENCH_results.json is the baseline; a fresh tools/bench.sh
+run is the candidate. The gate:
+
+  * serving records ("porcc bench" loops, matched by kernel name):
+    per-call mean latency must not regress by more than the tolerance
+    (default 1.25 = +25%).
+  * synthesis speedup record (when both snapshots carry one): programs
+    must still be byte-identical across thread counts ("all_identical") —
+    a correctness property, never tolerated.
+
+Everything else (figure-bench wall times, compile times, median speedup)
+is reported informationally only: those vary with runner load and core
+count, so gating on them would be flaky. For the same reason the latency
+gate arms only when both snapshots report the same host_jobs (machine
+class); cross-host comparisons warn instead of failing unless
+--strict-hosts is given. Refresh the committed BENCH_results.json from
+the CI runner class (the nightly job uploads its fresh snapshot as an
+artifact) to arm the nightly gate.
+
+Override knob: when a regression is expected and intentional, raise the
+tolerance with --tolerance or the PORCUPINE_BENCH_TOLERANCE environment
+variable for that run — and refresh the committed BENCH_results.json in
+the same PR so the baseline tracks reality again.
+
+Exit status: 0 clean, 1 regression (or determinism violation), 2 usage or
+unreadable/malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"bench_compare: cannot read '{path}': {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def serving_by_kernel(doc):
+    records = {}
+    for rec in doc.get("serving", []):
+        name = rec.get("kernel")
+        mean = rec.get("per_call_us", {}).get("mean")
+        if isinstance(name, str) and isinstance(mean, (int, float)) and mean > 0:
+            records[name] = rec
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_results.json")
+    parser.add_argument("fresh", help="fresh tools/bench.sh output")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="max allowed fresh/baseline per-call latency ratio "
+        "(default 1.25; env PORCUPINE_BENCH_TOLERANCE overrides)",
+    )
+    parser.add_argument(
+        "--strict-hosts",
+        action="store_true",
+        help="gate latency even when the snapshots report different "
+        "host_jobs (default: cross-host latency diffs only warn, since "
+        "absolute timings are not comparable across machine classes)",
+    )
+    args = parser.parse_args()
+    if args.tolerance is None:
+        raw = os.environ.get("PORCUPINE_BENCH_TOLERANCE", "1.25")
+        try:
+            args.tolerance = float(raw)
+        except ValueError:
+            print(
+                f"bench_compare: PORCUPINE_BENCH_TOLERANCE is not a number: "
+                f"'{raw}'",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+    if args.tolerance <= 0:
+        print("bench_compare: tolerance must be positive", file=sys.stderr)
+        sys.exit(2)
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    base_serving = serving_by_kernel(base)
+    fresh_serving = serving_by_kernel(fresh)
+
+    # Absolute latencies only gate when both snapshots come from the same
+    # machine class: a baseline committed from a laptop compared against a
+    # CI runner (or vice versa) would fail every night — or mask real
+    # regressions — on hardware differences alone. host_jobs (the
+    # snapshot's core count) is the class marker bench.sh records; refresh
+    # the committed baseline from the CI runner class to arm the gate.
+    same_host_class = base.get("host_jobs") == fresh.get("host_jobs")
+    latency_gates = same_host_class or args.strict_hosts
+    if not latency_gates:
+        print(
+            f"note: host_jobs differ (baseline {base.get('host_jobs')}, "
+            f"fresh {fresh.get('host_jobs')}); latency regressions warn "
+            "only (--strict-hosts to gate anyway)"
+        )
+
+    failures = []
+    print(f"serving per-call latency (tolerance {args.tolerance:.2f}x):")
+    for name, brec in sorted(base_serving.items()):
+        frec = fresh_serving.get(name)
+        if frec is None:
+            print(f"  WARN  {name}: missing from fresh run, skipped")
+            continue
+        bmean = brec["per_call_us"]["mean"]
+        fmean = frec["per_call_us"]["mean"]
+        ratio = fmean / bmean
+        verdict = "ok"
+        if ratio > args.tolerance:
+            if latency_gates:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: per-call mean {bmean:.1f}us -> {fmean:.1f}us "
+                    f"({ratio:.2f}x > {args.tolerance:.2f}x)"
+                )
+            else:
+                verdict = "WARN"
+        print(f"  {verdict:10s} {name}: {bmean:.1f}us -> {fmean:.1f}us ({ratio:.2f}x)")
+    for name in sorted(set(fresh_serving) - set(base_serving)):
+        print(f"  note  {name}: new kernel, no baseline yet")
+
+    synth = fresh.get("synthesis")
+    if isinstance(synth, dict):
+        median = synth.get("median_speedup")
+        threads = synth.get("synthesis_threads")
+        print(f"synthesis: median speedup {median}x at {threads} threads")
+        if synth.get("all_identical") is False:
+            failures.append(
+                "synthesis determinism violated: sequential and parallel "
+                "programs differ (see fresh snapshot's synthesis.kernels)"
+            )
+        # Speedup is advisory (runner load makes a hard gate flaky), but a
+        # multi-core host showing none deserves a loud line in the log —
+        # that is what a serialized-pool regression would look like.
+        host = fresh.get("host_jobs")
+        if (
+            isinstance(median, (int, float))
+            and isinstance(host, int)
+            and isinstance(threads, int)
+            and host >= 4
+            and threads > 1
+            and median < 1.5
+        ):
+            print(
+                f"  WARN  median speedup {median}x on a {host}-core host — "
+                "the portfolio may have stopped scaling (not gated)"
+            )
+
+    if failures:
+        print("\nbench_compare: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print(
+            "  (intentional? re-run with a higher --tolerance / "
+            "PORCUPINE_BENCH_TOLERANCE and refresh BENCH_results.json)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print("bench_compare: ok")
+
+
+if __name__ == "__main__":
+    main()
