@@ -69,7 +69,7 @@ Plaintext BfvExecutor::encodeConstant(const PlainConstant &C) const {
   return Encoder.encodeSigned(Slots);
 }
 
-Ciphertext BfvExecutor::execInstr(const Instr &I,
+Ciphertext BfvExecutor::execInstr(const Instr &I, bool ExplicitRelin,
                                   const std::vector<Ciphertext> &Values,
                                   const std::vector<Plaintext> &Consts) const {
   const Ciphertext &A = Values[I.Src0];
@@ -79,8 +79,11 @@ Ciphertext BfvExecutor::execInstr(const Instr &I,
   case Opcode::SubCtCt:
     return Eval.sub(A, Values[I.Src1]);
   case Opcode::MulCtCt:
-    // The paper's code generation inserts relinearization after every
-    // ciphertext-ciphertext multiply.
+    // Implicit programs follow the paper's code generation: a
+    // relinearization after every ciphertext-ciphertext multiply.
+    // Explicit-relin programs schedule it themselves via Relin.
+    if (ExplicitRelin)
+      return Eval.multiply(A, Values[I.Src1]);
     return Eval.relinearize(Eval.multiply(A, Values[I.Src1]), Relin);
   case Opcode::AddCtPt:
     return Eval.addPlain(A, Consts[I.PtIdx]);
@@ -90,6 +93,8 @@ Ciphertext BfvExecutor::execInstr(const Instr &I,
     return Eval.multiplyPlain(A, Consts[I.PtIdx]);
   case Opcode::RotCt:
     return Eval.rotateRows(A, I.Rot, Galois);
+  case Opcode::Relin:
+    return Eval.relinearize(A, Relin);
   }
   PORC_UNREACHABLE("unhandled opcode");
 }
@@ -105,7 +110,7 @@ Ciphertext BfvExecutor::run(const Program &P,
   std::vector<Ciphertext> Values = Inputs;
   Values.reserve(P.numValues());
   for (const Instr &I : P.Instructions)
-    Values.push_back(execInstr(I, Values, Consts));
+    Values.push_back(execInstr(I, P.ExplicitRelin, Values, Consts));
   return Values[P.outputId()];
 }
 
@@ -132,7 +137,7 @@ BfvExecutor::runWithTrace(const Program &P,
   std::vector<Ciphertext> Values = Inputs;
   std::vector<std::vector<uint64_t>> Trace;
   for (const Instr &I : P.Instructions) {
-    Values.push_back(execInstr(I, Values, Consts));
+    Values.push_back(execInstr(I, P.ExplicitRelin, Values, Consts));
     Trace.push_back(decryptOutput(Values.back(), TraceWidth));
   }
   return Trace;

@@ -6,10 +6,14 @@
 ///
 /// \file
 /// Executes Quill programs on real BFV ciphertexts - the role SEAL plays in
-/// the paper's toolchain. The executor performs the code-generation
-/// post-processing the paper describes: relinearization is inserted after
-/// every ciphertext-ciphertext multiply, and the Galois keys for exactly
-/// the rotations a program needs are generated up front.
+/// the paper's toolchain. For implicit-relin programs the executor performs
+/// the code-generation post-processing the paper describes: relinearization
+/// is inserted after every ciphertext-ciphertext multiply. Explicit-relin
+/// programs (Program::ExplicitRelin, produced by the lazy-relin pass)
+/// schedule relinearization themselves; multiplies stay raw three-component
+/// results until a Relin instruction reduces them (adds, subtracts, ct-pt
+/// multiplies, and decryption all tolerate three components). Galois keys
+/// for exactly the rotations a program needs are generated up front.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -84,7 +88,7 @@ private:
   /// splats broadcast everywhere; vectors occupy row-0 slots [0, size).
   Plaintext encodeConstant(const quill::PlainConstant &C) const;
 
-  Ciphertext execInstr(const quill::Instr &I,
+  Ciphertext execInstr(const quill::Instr &I, bool ExplicitRelin,
                        const std::vector<Ciphertext> &Values,
                        const std::vector<Plaintext> &Consts) const;
 };

@@ -57,10 +57,15 @@ quill::LatencyTable porcupine::profileLatencies(const BfvContext &Ctx, Rng &R,
   Table.AddCtPt = medianMicros(Repeats, [&] { Eval.addPlain(A, Plain); });
   Table.SubCtPt = medianMicros(Repeats, [&] { Eval.subPlain(A, Plain); });
   Table.MulCtPt = medianMicros(Repeats, [&] { Eval.multiplyPlain(A, Plain); });
-  // Mandatory relinearization is part of the instruction the compiler
-  // schedules, so include it.
-  Table.MulCtCt = medianMicros(
-      Repeats, [&] { Eval.relinearize(Eval.multiply(A, B), Relin); });
+  // Profile the raw tensor product and the relinearization separately, then
+  // keep the table invariant MulCtCt == raw + RelinCt so implicit programs
+  // (mandatory relin folded into the multiply) and explicit-relin programs
+  // price identically when every multiply is relinearized.
+  double MulRaw = medianMicros(Repeats, [&] { Eval.multiply(A, B); });
+  Ciphertext Product = Eval.multiply(A, B);
+  Table.RelinCt =
+      medianMicros(Repeats, [&] { Eval.relinearize(Product, Relin); });
+  Table.MulCtCt = MulRaw + Table.RelinCt;
   Table.RotCt =
       medianMicros(Repeats, [&] { Eval.rotateRows(A, 1, Galois); });
   return Table;

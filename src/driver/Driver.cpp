@@ -40,6 +40,12 @@ Status Compiler::validateOptions() const {
                "ExplicitRotationMaxComponents must be at least 1");
   if (Opts.Latency == LatencySource::Profiled && Opts.ProfileRepeats < 1)
     S.addError("options", "ProfileRepeats must be at least 1");
+  // Parse the optimizer pipeline up front so a typo fails compilation with
+  // a diagnostic instead of surfacing mid-pipeline.
+  auto PM = quill::PassManager::fromPipeline(Opts.Pipeline,
+                                             quill::PassManagerOptions());
+  if (!PM)
+    S.addError("options", PM.status().message());
   return S;
 }
 
@@ -145,11 +151,40 @@ Compiler::synthesizeWith(const KernelSpec &Spec, const synth::Sketch &Sk,
 }
 
 Expected<OptimizeOutcome> Compiler::optimize(const quill::Program &P) const {
+  return optimizeWith(P, Opts.Synthesis.Latency);
+}
+
+Expected<OptimizeOutcome>
+Compiler::optimizeWith(const quill::Program &P,
+                       const quill::LatencyTable &Latency) const {
   Status S = validateProgram(P, "optimize");
   if (!S)
     return S;
+
+  quill::PassManagerOptions PMO;
+  PMO.Context.Latency = Latency;
+  PMO.Context.PlainModulus = Opts.Synthesis.PlainModulus;
+  // Deterministic verification examples: the pass manager re-interprets
+  // the program on these after every pass and rejects any behavioral
+  // change. Seeded from the synthesis seed so compiles are reproducible.
+  Rng R(Opts.Synthesis.Seed ^ 0x9e3779b97f4a7c15ull);
+  for (int E = 0; E < 3; ++E) {
+    std::vector<quill::SlotVector> Example;
+    for (int I = 0; I < P.NumInputs; ++I)
+      Example.push_back(
+          R.vectorBelow(Opts.Synthesis.PlainModulus, P.VectorSize));
+    PMO.Examples.push_back(std::move(Example));
+  }
+
+  auto PM = quill::PassManager::fromPipeline(Opts.Pipeline, std::move(PMO));
+  if (!PM)
+    return PM.status();
   OptimizeOutcome Out;
-  Out.Program = quill::peepholeOptimize(P, Opts.Synthesis.Latency, &Out.Stats);
+  Out.Program = P;
+  auto Stats = PM->run(Out.Program);
+  if (!Stats)
+    return Stats.status();
+  Out.Stats = Stats.take();
   return Out;
 }
 
@@ -336,13 +371,14 @@ Compiler::compileFrom(const KernelSpec &Spec, const synth::Sketch &Sk,
   if (!Res.FromSynthesis && !BundledNotes.empty())
     Res.Notes.push_back({Severity::Note, "synthesis", BundledNotes});
 
-  // Stage 2: optional peephole optimization.
-  if (Opts.RunPeephole) {
-    auto Opt = optimize(Res.Program);
+  // Stage 2: the optimizer pipeline, priced under the same latency table
+  // as synthesis and the final cost estimate.
+  if (!Opts.Pipeline.empty()) {
+    auto Opt = optimizeWith(Res.Program, Latency);
     if (!Opt)
       return Opt.status();
     Res.Program = std::move(Opt->Program);
-    Res.Peephole = Opt->Stats;
+    Res.Optimizer = std::move(Opt->Stats);
   }
 
   // Stage 3: static analyses and the cost estimate, priced under the same
@@ -466,7 +502,8 @@ std::string porcupine::driver::toJson(const CompileResult &R) {
        ", \"rotations\": " + std::to_string(R.Mix.Rotations) +
        ", \"ct_ct_muls\": " + std::to_string(R.Mix.CtCtMuls) +
        ", \"ct_pt_muls\": " + std::to_string(R.Mix.CtPtMuls) +
-       ", \"adds_subs\": " + std::to_string(R.Mix.AddsSubs) + "},\n";
+       ", \"adds_subs\": " + std::to_string(R.Mix.AddsSubs) +
+       ", \"relins\": " + std::to_string(R.Mix.Relins) + "},\n";
   J += "  \"depth\": " + std::to_string(R.Depth) + ",\n";
   J += "  \"mult_depth\": " + std::to_string(R.MultDepth) + ",\n";
   J += "  \"latency_us\": " + num(R.LatencyEstimateUs) + ",\n";
@@ -483,7 +520,28 @@ std::string porcupine::driver::toJson(const CompileResult &R) {
        ", \"proven_optimal\": " + (R.Stats.ProvenOptimal ? "true" : "false") +
        ", \"threads\": " + std::to_string(R.Stats.ThreadsUsed) +
        ", \"cpu_seconds\": " + num(R.Stats.CpuTimeSeconds) + "},\n";
-  J += "  \"peephole_rewrites\": " + std::to_string(R.Peephole.total()) + ",\n";
+  J += "  \"optimizer\": {\"rewrites\": " +
+       std::to_string(R.Optimizer.totalRewrites()) +
+       ", \"cost_before\": " + num(R.Optimizer.costBefore(), "%.0f") +
+       ", \"cost_after\": " + num(R.Optimizer.costAfter(), "%.0f") +
+       ", \"passes\": [";
+  for (size_t I = 0; I < R.Optimizer.Passes.size(); ++I) {
+    const quill::PassRunStats &PS = R.Optimizer.Passes[I];
+    if (I)
+      J += ", ";
+    J += "{\"pass\": \"" + escape(PS.Pass) + "\"";
+    J += ", \"rewrites\": " + std::to_string(PS.Rewrites);
+    J += ", \"instructions_removed\": " +
+         std::to_string(PS.InstructionsRemoved);
+    J += ", \"rotations_eliminated\": " +
+         std::to_string(PS.RotationsEliminated);
+    J += ", \"relins_deferred\": " + std::to_string(PS.RelinsDeferred);
+    J += ", \"cost_before\": " + num(PS.CostBefore, "%.0f");
+    J += ", \"cost_after\": " + num(PS.CostAfter, "%.0f");
+    J += ", \"reverted\": " + std::string(PS.Reverted ? "true" : "false");
+    J += "}";
+  }
+  J += "]},\n";
   J += "  \"parameters\": {\"poly_degree\": " +
        std::to_string(R.Params.PolyDegree) +
        ", \"coeff_modulus_bits\": " +

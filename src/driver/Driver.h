@@ -39,6 +39,7 @@
 #include "backend/SealCodeGen.h"
 #include "kernels/KernelRegistry.h"
 #include "quill/Analysis.h"
+#include "quill/Passes.h"
 #include "quill/Peephole.h"
 #include "spec/Equivalence.h"
 #include "support/Status.h"
@@ -86,10 +87,15 @@ struct CompileOptions {
   /// components, so the sketch needs more of them).
   int ExplicitRotationMaxComponents = 12;
 
-  /// Run the rewrite-rule peephole pass over the chosen program. Off by
-  /// default: synthesized programs are already cost-minimized; the pass
-  /// exists for baselines and externally supplied programs.
-  bool RunPeephole = false;
+  /// Named optimizer pipeline (quill::PassManager) run over the chosen
+  /// program: a comma-separated pass list, validated at compile time. The
+  /// default pipeline recovers cost synthesis cannot express — lazy
+  /// relinearization, rotation sharing — on top of the classical rewrite
+  /// rules; it never increases cost-model cost (cost-increasing passes are
+  /// reverted) and semantic preservation is re-verified by interpreting
+  /// deterministic examples after every pass. Empty string disables
+  /// optimization entirely.
+  std::string Pipeline = quill::defaultPipeline();
 
   /// Cost/latency source for synthesis and the reported cost estimate.
   LatencySource Latency = LatencySource::Defaults;
@@ -128,7 +134,9 @@ std::string compileFingerprint(const std::string &KernelName,
 /// What one full compile() produces.
 struct CompileResult {
   std::string KernelName;
-  /// The compiled (and, when enabled, peephole-optimized) Quill program.
+  /// The compiled (and, when a pipeline is configured, optimized) Quill
+  /// program. May be in explicit-relin form (Program::ExplicitRelin) when
+  /// the lazy-relin pass found relinearizations to elide or share.
   quill::Program Program;
   /// True when Program came out of synthesis this run; false when it is the
   /// bundled program (RunSynthesis off, or fallback after a failure).
@@ -136,8 +144,8 @@ struct CompileResult {
   /// Synthesis measurements. On a fallback these are the *failed*
   /// attempt's stats (TimedOut etc.); zeroed when synthesis never ran.
   synth::SynthesisStats Stats;
-  /// Peephole rewrite counts (zeroed when the pass did not run).
-  quill::PeepholeStats Peephole;
+  /// Per-pass optimizer statistics (empty when Pipeline is empty).
+  quill::PipelineStats Optimizer;
 
   // Static analyses of Program.
   quill::InstrMix Mix;
@@ -166,7 +174,7 @@ struct SynthesisOutcome {
 /// optimize() stage output.
 struct OptimizeOutcome {
   quill::Program Program;
-  quill::PeepholeStats Stats;
+  quill::PipelineStats Stats;
 };
 
 /// execute() stage output.
@@ -272,7 +280,9 @@ public:
   Expected<SynthesisOutcome> synthesize(const KernelSpec &Spec,
                                         const synth::Sketch &Sk) const;
 
-  /// Rewrite-rule peephole optimization of \p P.
+  /// Runs the options' optimizer pipeline over \p P with per-pass
+  /// interpreter verification on deterministic examples (seeded from
+  /// Synthesis.Seed). An empty Pipeline returns \p P unchanged.
   Expected<OptimizeOutcome> optimize(const quill::Program &P) const;
 
   /// SEAL-style C++ for \p P under the options' codegen settings.
@@ -316,6 +326,11 @@ private:
   synthesizeWith(const KernelSpec &Spec, const synth::Sketch &Sk,
                  const quill::LatencyTable &Latency,
                  synth::SynthesisStats *FailStats = nullptr) const;
+  /// optimize() under an already-resolved latency table (compile() passes
+  /// the profiled one so pass pricing matches the final cost estimate).
+  Expected<OptimizeOutcome>
+  optimizeWith(const quill::Program &P,
+               const quill::LatencyTable &Latency) const;
   Expected<CompileResult> compileFrom(const KernelSpec &Spec,
                                       const synth::Sketch &Sk,
                                       const quill::Program *Bundled,

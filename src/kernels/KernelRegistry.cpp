@@ -145,7 +145,8 @@ std::vector<KernelBundle> kernels::allKernels() {
 const KernelRegistry &KernelRegistry::builtin() {
   static const KernelRegistry Registry = [] {
     KernelRegistry R;
-    // Table 2 order; names match each bundle's Spec.name().
+    // The paper's nine in Table 2 order, then extensions; names match each
+    // bundle's Spec.name().
     (void)R.add("Box Blur", [] { return boxBlurKernel(); });
     (void)R.add("Dot Product", [] { return dotProductKernel(); });
     (void)R.add("Hamming Distance", [] { return hammingDistanceKernel(); });
@@ -156,6 +157,7 @@ const KernelRegistry &KernelRegistry::builtin() {
     (void)R.add("Gx", [] { return gxKernel(); });
     (void)R.add("Gy", [] { return gyKernel(); });
     (void)R.add("Roberts Cross", [] { return robertsCrossKernel(); });
+    (void)R.add("Variance", [] { return varianceKernel(); });
     return R;
   }();
   return Registry;

@@ -68,6 +68,7 @@ KernelBundle hammingDistanceKernel();  ///< 4-wide sum of squared diffs.
 KernelBundle l2DistanceKernel();       ///< 8-wide squared L2 distance.
 KernelBundle linearRegressionKernel(); ///< w.x + b over 2 features.
 KernelBundle polyRegressionKernel();   ///< a*x^2 + b*x + c, slot-parallel.
+KernelBundle varianceKernel();         ///< n*sum(x^2) - sum(x)^2, slot 0.
 
 // Image kernels (5x5 packed images).
 KernelBundle boxBlurKernel();      ///< 2x2 window sum (paper Figure 5).
@@ -75,7 +76,8 @@ KernelBundle gxKernel();           ///< x-gradient (paper Figure 6).
 KernelBundle gyKernel();           ///< y-gradient.
 KernelBundle robertsCrossKernel(); ///< Roberts cross response.
 
-/// All nine directly synthesized kernels, in the paper's Table 2 order.
+/// Every bundled kernel: the paper's nine (Table 2 order) plus the
+/// variance extension.
 /// Materializes a fresh copy of every bundle from the builtin registry; for
 /// by-name lookup or catalog extension use kernels::KernelRegistry
 /// (KernelRegistry.h) instead of scanning this vector.

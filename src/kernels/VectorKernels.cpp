@@ -4,10 +4,12 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Dot product, Hamming distance, L2 distance, linear regression, and
-/// polynomial regression: the machine-learning building blocks of the
-/// paper's evaluation. Reductions follow the packed-vector pattern of paper
-/// Figure 2 (multiply, then log2(n) rotate-add steps into slot 0).
+/// Dot product, Hamming distance, L2 distance, linear regression,
+/// polynomial regression, and variance: the machine-learning building
+/// blocks of the paper's evaluation (variance extends the set with a
+/// division-free statistics kernel). Reductions follow the packed-vector
+/// pattern of paper Figure 2 (multiply, then log2(n) rotate-add steps into
+/// slot 0).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -280,5 +282,73 @@ KernelBundle kernels::polyRegressionKernel() {
   B.Notes = "slot-parallel layout: 5->4 instructions and 3->2 ct-ct "
             "multiplies (paper reports 9->7 at its layout); the win comes "
             "from the same (ax+b)x factorization";
+  return B;
+}
+
+KernelBundle kernels::varianceKernel() {
+  // Scaled sample variance over one packed vector: n^2 * Var(x) =
+  // n*sum(x^2) - sum(x)^2, division-free as HE statistics pipelines
+  // compute it. Beyond Porcupine's paper set, but the same packed-vector
+  // reduction idiom — and the showcase for lazy relinearization: the
+  // x^2 product feeds a rotation (its relin must stay), while the
+  // sum(x)^2 product feeds only the final subtraction (its relin is
+  // elided outright by the lazy-relin pass).
+  constexpr size_t W = 4;
+  DataLayout Layout;
+  Layout.Description = "4 samples packed from slot 0; scaled variance "
+                       "n*sum(x^2) - sum(x)^2 in slot 0";
+  Layout.OutputMask = slotZeroMask(W);
+
+  KernelSpec Spec = makeKernelSpec(
+      "Variance", 1, W, Layout, [](const auto &In, auto Konst) {
+        auto SumSq = Konst(0);
+        auto Sum = Konst(0);
+        for (size_t I = 0; I < W; ++I) {
+          SumSq = SumSq + In[0][I] * In[0][I];
+          Sum = Sum + In[0][I];
+        }
+        auto Scaled = Konst(static_cast<int64_t>(W)) * SumSq - Sum * Sum;
+        std::vector<std::decay_t<decltype(Scaled)>> Out(W, Konst(0));
+        Out[0] = Scaled;
+        return Out;
+      });
+
+  Sketch Sk;
+  Sk.NumInputs = 1;
+  Sk.VectorSize = W;
+  int SkN = Sk.addConstant(PlainConstant{{static_cast<int64_t>(W)}});
+  Sk.Menu = {Component::ctCt(Opcode::MulCtCt, OperandKind::Ct,
+                             OperandKind::Ct),
+             Component::ctCt(Opcode::AddCtCt),
+             Component::ctCt(Opcode::SubCtCt, OperandKind::Ct,
+                             OperandKind::Ct),
+             Component::ctPt(Opcode::MulCtPt, SkN)};
+  Sk.Rotations = RotationSet::powersOfTwo(W);
+
+  // Two packed reductions (x^2 and x), scale, square, subtract: 12
+  // instructions. The program is already local-rule clean; what the
+  // optimizer pipeline recovers on it is purely the lazy relinearization.
+  Program Base;
+  Base.NumInputs = 1;
+  Base.VectorSize = W;
+  int N = Base.internConstant(PlainConstant{{static_cast<int64_t>(W)}});
+  int X2 = Base.append(Instr::ctCt(Opcode::MulCtCt, 0, 0));
+  int SumSq = appendReduction(Base, X2, W);
+  int Scaled = Base.append(Instr::ctPt(Opcode::MulCtPt, SumSq, N));
+  int Sum = appendReduction(Base, 0, W);
+  int Sum2 = Base.append(Instr::ctCt(Opcode::MulCtCt, Sum, Sum));
+  Base.append(Instr::ctCt(Opcode::SubCtCt, Scaled, Sum2));
+
+  KernelBundle B;
+  B.Spec = std::move(Spec);
+  B.Sketch = std::move(Sk);
+  B.Baseline = Base;
+  // At 12 components the sketch space is out of enumeration reach; the
+  // bundled anchor is the hand-scheduled program (like the multi-step
+  // apps, this kernel is served --from-bundle).
+  B.Synthesized = Base;
+  B.Notes = "variance extends the paper set; synthesis at this size is out "
+            "of sketch-enumeration reach, so the bundled program is the "
+            "hand-scheduled reduction pair";
   return B;
 }

@@ -18,7 +18,10 @@ std::vector<int> quill::computeDepths(const Program &P) {
     int D = Depth[I.Src0];
     if (isCtCt(I.Op))
       D = std::max(D, Depth[I.Src1]);
-    Depth[P.valueOf(K)] = D + 1;
+    // Relin is backend post-processing, not part of the paper's logical
+    // dataflow depth (Table 2's "Depth"); it is depth-transparent so the
+    // metric stays comparable between implicit and explicit-relin forms.
+    Depth[P.valueOf(K)] = I.Op == Opcode::Relin ? D : D + 1;
   }
   return Depth;
 }
@@ -58,6 +61,9 @@ InstrMix quill::countInstructions(const Program &P) {
       break;
     case Opcode::MulCtPt:
       ++Mix.CtPtMuls;
+      break;
+    case Opcode::Relin:
+      ++Mix.Relins;
       break;
     default:
       ++Mix.AddsSubs;

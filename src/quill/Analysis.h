@@ -43,6 +43,8 @@ struct InstrMix {
   int CtCtMuls = 0;
   int CtPtMuls = 0;
   int AddsSubs = 0;
+  /// Explicit relinearizations (explicit-relin programs only).
+  int Relins = 0;
 };
 
 InstrMix countInstructions(const Program &P);

@@ -29,6 +29,8 @@ double LatencyTable::latencyOf(Opcode Op) const {
     return MulCtPt;
   case Opcode::RotCt:
     return RotCt;
+  case Opcode::Relin:
+    return RelinCt;
   }
   return 0.0;
 }
@@ -38,14 +40,22 @@ std::string LatencyTable::toString() const {
   OS << "add-ct-ct=" << AddCtCt << "us add-ct-pt=" << AddCtPt
      << "us sub-ct-ct=" << SubCtCt << "us sub-ct-pt=" << SubCtPt
      << "us mul-ct-ct=" << MulCtCt << "us mul-ct-pt=" << MulCtPt
-     << "us rot-ct=" << RotCt << "us";
+     << "us rot-ct=" << RotCt << "us relin-ct=" << RelinCt << "us";
   return OS.str();
 }
 
 double CostModel::latency(const Program &P) const {
   double Sum = 0.0;
-  for (const Instr &I : P.Instructions)
-    Sum += Table.latencyOf(I.Op);
+  for (const Instr &I : P.Instructions) {
+    // In explicit-relin form the multiply no longer carries its implicit
+    // relinearization; the Relin instructions price that separately. The
+    // split keeps a relin-after-every-mul explicit program exactly as
+    // expensive as its implicit twin.
+    if (P.ExplicitRelin && I.Op == Opcode::MulCtCt)
+      Sum += Table.mulCtCtRaw();
+    else
+      Sum += Table.latencyOf(I.Op);
+  }
   return Sum;
 }
 

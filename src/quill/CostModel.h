@@ -32,10 +32,20 @@ struct LatencyTable {
   double AddCtPt = 15.0;
   double SubCtCt = 20.0;
   double SubCtPt = 15.0;
-  /// Includes the mandatory relinearization.
+  /// Includes the mandatory relinearization (the paper's model, and how
+  /// implicit-relin programs are priced).
   double MulCtCt = 15000.0;
   double MulCtPt = 800.0;
   double RotCt = 2500.0;
+  /// One relinearization (a key switch, comparable to a rotation). In
+  /// explicit-relin programs mul-ct-ct is priced raw (mulCtCtRaw()) and
+  /// each Relin instruction adds this.
+  double RelinCt = 2500.0;
+
+  /// The raw tensor-product multiply without its relinearization.
+  double mulCtCtRaw() const {
+    return MulCtCt > RelinCt ? MulCtCt - RelinCt : 0.0;
+  }
 
   double latencyOf(Opcode Op) const;
   std::string toString() const;

@@ -73,6 +73,10 @@ SlotVector quill::applyInstr(const Instr &I,
   }
   case Opcode::RotCt:
     return rotateSlots(A, I.Rot);
+  case Opcode::Relin:
+    // Relinearization reduces ciphertext components; the decrypted slot
+    // values are untouched, so behaviorally it is the identity.
+    return A;
   }
   return Out;
 }

@@ -21,6 +21,10 @@ namespace porcupine {
 namespace quill {
 
 /// Quill opcodes. Names follow the paper's s-expression mnemonics.
+/// Relin is the one extension over the paper's Table 1: the paper folds the
+/// mandatory relinearization into mul-ct-ct; programs in explicit-relin
+/// form (Program::ExplicitRelin) schedule it as its own instruction so the
+/// optimizer can sink, share, or elide it (EVA's "lazy relinearization").
 enum class Opcode {
   AddCtCt,
   AddCtPt,
@@ -29,6 +33,7 @@ enum class Opcode {
   MulCtCt,
   MulCtPt,
   RotCt,
+  Relin,
 };
 
 /// True for opcodes whose both operands are ciphertexts.
@@ -47,6 +52,10 @@ inline bool isCtPt(Opcode Op) {
 inline bool isMultiply(Opcode Op) {
   return Op == Opcode::MulCtCt || Op == Opcode::MulCtPt;
 }
+
+/// True for the unary ciphertext opcodes (single ciphertext operand, no
+/// plaintext index and no rotation amount).
+inline bool isUnaryCt(Opcode Op) { return Op == Opcode::Relin; }
 
 /// True when operand order does not matter.
 inline bool isCommutative(Opcode Op) {

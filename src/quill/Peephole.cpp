@@ -47,6 +47,7 @@ bool rewriteOnce(Program &P, const LatencyTable &Latency,
   Program Out;
   Out.NumInputs = P.NumInputs;
   Out.VectorSize = P.VectorSize;
+  Out.ExplicitRelin = P.ExplicitRelin;
   Out.Constants = P.Constants;
 
   // Old id -> new id (after instruction removal/renumbering).
@@ -153,6 +154,15 @@ bool rewriteOnce(Program &P, const LatencyTable &Latency,
       continue;
     }
 
+    // --- relin (explicit-relin programs) ---------------------------------
+    if (I.Op == Opcode::Relin) {
+      Instr R;
+      R.Op = Opcode::Relin;
+      R.Src0 = NewId[I.Src0];
+      NewId[OldDst] = Out.append(R);
+      continue;
+    }
+
     // --- ct-ct ops -------------------------------------------------------
     NewId[OldDst] =
         Out.append(Instr::ctCt(I.Op, NewId[I.Src0], NewId[I.Src1]));
@@ -168,6 +178,7 @@ bool rewriteOnce(Program &P, const LatencyTable &Latency,
     Program Pruned;
     Pruned.NumInputs = Out.NumInputs;
     Pruned.VectorSize = Out.VectorSize;
+    Pruned.ExplicitRelin = Out.ExplicitRelin;
     Pruned.Constants = Out.Constants;
     std::vector<int> Remap(Out.numValues(), -1);
     for (int I = 0; I < Out.NumInputs; ++I)
@@ -202,11 +213,21 @@ Program quill::peepholeOptimize(const Program &P, const LatencyTable &Latency,
                                 PeepholeStats *Stats) {
   PeepholeStats Local;
   Program Current = P;
-  // Iterate to fixpoint; each pass strictly shrinks or simplifies, so this
-  // terminates quickly.
-  for (int Round = 0; Round < 16; ++Round)
-    if (!rewriteOnce(Current, Latency, Local))
+  // Iterate to an actual fixpoint — never stop while a rule still fires —
+  // which makes the optimizer idempotent by construction: a second
+  // peepholeOptimize() call always returns its input unchanged. Each round
+  // strictly shrinks the program or strength-reduces an instruction kind
+  // that no rule reintroduces, so the loop terminates. The hard cap is a
+  // belt-and-braces guard against a future oscillating rule: every round
+  // preserves semantics, so breaking early returns a valid (merely
+  // under-optimized) program instead of hanging a build without asserts.
+  int Round = 0;
+  while (rewriteOnce(Current, Latency, Local)) {
+    ++Round;
+    assert(Round < 4096 && "peephole failed to reach a fixed point");
+    if (Round >= 4096)
       break;
+  }
   if (Stats)
     *Stats = Local;
   assert(Current.validate().empty() && "peephole produced invalid program");

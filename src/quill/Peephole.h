@@ -13,6 +13,12 @@
 /// but cannot discover the global restructurings synthesis finds (separable
 /// filters, factorizations). The ablation bench quantifies that gap.
 ///
+/// In the pass pipeline (quill/Passes.h) this runs as pass number zero,
+/// "peephole". It iterates its rules to an actual fixed point, so it is
+/// idempotent by construction. Its rotation rules use the paper's
+/// width-W-cyclic model (amounts compose mod VectorSize); the newer
+/// pipeline passes restrict themselves to width-portable rewrites.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PORCUPINE_QUILL_PEEPHOLE_H

@@ -6,6 +6,7 @@
 
 #include "quill/Program.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cctype>
 #include <cstdint>
@@ -30,6 +31,8 @@ const char *quill::opcodeName(Opcode Op) {
     return "mul-ct-pt";
   case Opcode::RotCt:
     return "rot-ct";
+  case Opcode::Relin:
+    return "relin-ct";
   }
   return "<invalid>";
 }
@@ -37,7 +40,7 @@ const char *quill::opcodeName(Opcode Op) {
 std::optional<Opcode> quill::parseOpcode(const std::string &Name) {
   for (Opcode Op : {Opcode::AddCtCt, Opcode::AddCtPt, Opcode::SubCtCt,
                     Opcode::SubCtPt, Opcode::MulCtCt, Opcode::MulCtPt,
-                    Opcode::RotCt})
+                    Opcode::RotCt, Opcode::Relin})
     if (Name == opcodeName(Op))
       return Op;
   return std::nullopt;
@@ -51,12 +54,53 @@ int Program::internConstant(const PlainConstant &C) {
   return static_cast<int>(Constants.size()) - 1;
 }
 
+std::vector<int> Program::componentDegrees() const {
+  std::vector<int> Degree(numValues(), 2);
+  if (!ExplicitRelin)
+    return Degree;
+  for (size_t K = 0; K < Instructions.size(); ++K) {
+    const Instr &I = Instructions[K];
+    int Defined = NumInputs + static_cast<int>(K);
+    // Out-of-range operands (a malformed program validate() has not yet
+    // rejected) read as degree 2 rather than out of bounds; validate()
+    // reports them as SSA violations regardless.
+    auto At = [&](int Src) {
+      return Src >= 0 && Src < Defined ? Degree[Src] : 2;
+    };
+    int D = 2;
+    switch (I.Op) {
+    case Opcode::MulCtCt:
+      D = 3; // Raw tensor product.
+      break;
+    case Opcode::AddCtCt:
+    case Opcode::SubCtCt:
+      D = std::max(At(I.Src0), At(I.Src1));
+      break;
+    case Opcode::AddCtPt:
+    case Opcode::SubCtPt:
+    case Opcode::MulCtPt:
+      D = At(I.Src0);
+      break;
+    case Opcode::RotCt:
+    case Opcode::Relin:
+      D = 2;
+      break;
+    }
+    Degree[Defined] = D;
+  }
+  return Degree;
+}
+
 std::string Program::validate() const {
   std::ostringstream Err;
   if (NumInputs < 1)
     return "program must have at least one ciphertext input";
   if (VectorSize == 0)
     return "program must set a vector size";
+  // Component degrees are only meaningful (non-2) in explicit-relin mode;
+  // componentDegrees() tolerates the malformed operands this walk has not
+  // rejected yet, so precomputing is safe.
+  std::vector<int> Degree = componentDegrees();
   for (size_t K = 0; K < Instructions.size(); ++K) {
     const Instr &I = Instructions[K];
     int Defined = NumInputs + static_cast<int>(K);
@@ -84,6 +128,27 @@ std::string Program::validate() const {
         return Err.str();
       }
     }
+    if (I.Op == Opcode::Relin && !ExplicitRelin) {
+      Err << "instruction " << K
+          << " is a relin-ct but the program is not in explicit-relin form";
+      return Err.str();
+    }
+    if (ExplicitRelin) {
+      // Degree discipline: key-switching consumers need two components.
+      if ((I.Op == Opcode::RotCt || I.Op == Opcode::MulCtCt) &&
+          Degree[I.Src0] != 2) {
+        Err << "instruction " << K << " (" << opcodeName(I.Op)
+            << ") consumes three-component value c" << I.Src0
+            << "; relinearize first";
+        return Err.str();
+      }
+      if (I.Op == Opcode::MulCtCt && Degree[I.Src1] != 2) {
+        Err << "instruction " << K << " (" << opcodeName(I.Op)
+            << ") consumes three-component value c" << I.Src1
+            << "; relinearize first";
+        return Err.str();
+      }
+    }
   }
   for (const PlainConstant &C : Constants) {
     if (C.Values.empty())
@@ -99,7 +164,10 @@ std::string Program::validate() const {
 
 std::string quill::printProgram(const Program &P) {
   std::ostringstream OS;
-  OS << "quill inputs=" << P.NumInputs << " width=" << P.VectorSize << "\n";
+  OS << "quill inputs=" << P.NumInputs << " width=" << P.VectorSize;
+  if (P.ExplicitRelin)
+    OS << " relin=explicit";
+  OS << "\n";
   for (size_t I = 0; I < P.Constants.size(); ++I) {
     OS << "const p" << I << " = [";
     const auto &Values = P.Constants[I].Values;
@@ -115,7 +183,7 @@ std::string quill::printProgram(const Program &P) {
       OS << " c" << I.Src1;
     else if (isCtPt(I.Op))
       OS << " p" << I.PtIdx;
-    else
+    else if (I.Op == Opcode::RotCt)
       OS << " " << I.Rot;
     OS << "\n";
   }
@@ -216,6 +284,15 @@ bool quill::parseProgram(const std::string &Text, Program &Out,
       }
       Out.NumInputs = static_cast<int>(Inputs);
       Out.VectorSize = static_cast<size_t>(Width);
+      // Optional relinearization-discipline marker.
+      std::string C;
+      if (Lex.next(C)) {
+        if (C != "relin=explicit") {
+          Error = Err.str() + "unknown header field '" + C + "'";
+          return false;
+        }
+        Out.ExplicitRelin = true;
+      }
       SawHeader = true;
       continue;
     }
@@ -287,6 +364,10 @@ bool quill::parseProgram(const std::string &Text, Program &Out,
     Instr I;
     I.Op = *Op;
     I.Src0 = Src0;
+    if (isUnaryCt(*Op)) {
+      Out.Instructions.push_back(I);
+      continue;
+    }
     std::string B;
     if (!Lex.next(B)) {
       Error = Err.str() + "missing second operand";

@@ -89,6 +89,15 @@ struct Program {
   int NumInputs = 1;
   /// SIMD vector width the program operates on (a batching row).
   size_t VectorSize = 0;
+  /// Relinearization discipline. When false (the default, and what
+  /// synthesis produces), mul-ct-ct implies the mandatory relinearization
+  /// and Relin instructions are illegal — the paper's model. When true the
+  /// program schedules relinearization explicitly: mul-ct-ct is the raw
+  /// tensor product (a three-component result), Relin reduces back to two
+  /// components, and validate() enforces the degree discipline (rot-ct and
+  /// mul-ct-ct operands must be two-component). The lazy-relin pass
+  /// converts to this form when it can elide or share relinearizations.
+  bool ExplicitRelin = false;
   /// Plaintext constant table.
   std::vector<PlainConstant> Constants;
   /// Instruction list; instruction k defines value NumInputs + k.
@@ -120,9 +129,17 @@ struct Program {
   int internConstant(const PlainConstant &C);
 
   /// Checks SSA well-formedness: operand ids precede definitions, table
-  /// indices in range, rotation amounts nonzero mod VectorSize. Returns an
-  /// error string, empty if valid.
+  /// indices in range, rotation amounts nonzero mod VectorSize, and the
+  /// relinearization discipline (Relin only in explicit-relin programs,
+  /// where every rot-ct/mul-ct-ct operand must be two-component). Returns
+  /// an error string, empty if valid.
   std::string validate() const;
+
+  /// Per-value ciphertext component degree under the explicit-relin
+  /// discipline: inputs and rotations are 2, a raw mul-ct-ct is 3, Relin
+  /// reduces to 2, everything else takes its operand maximum. For implicit
+  /// programs every value is 2.
+  std::vector<int> componentDegrees() const;
 };
 
 /// Renders a program in the paper's textual form.

@@ -65,6 +65,11 @@ porcupine::evalProgramSymbolic(const Program &P,
         Out.push_back(A[(J + Norm) % N]);
       break;
     }
+    case Opcode::Relin:
+      // Identity on slot values; only the ciphertext representation changes.
+      for (size_t J = 0; J < N; ++J)
+        Out.push_back(A[J]);
+      break;
     }
     Values.push_back(std::move(Out));
   }

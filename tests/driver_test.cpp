@@ -65,13 +65,15 @@ quill::Program addProgram(size_t Width = 4) {
 // Registry
 //===----------------------------------------------------------------------===//
 
-TEST(KernelRegistry, BuiltinHasTheNineKernelsInTableOrder) {
+TEST(KernelRegistry, BuiltinHasTheTenKernelsInTableOrder) {
+  // The paper's nine in Table 2 order, then the variance extension.
   const KernelRegistry &R = KernelRegistry::builtin();
-  EXPECT_EQ(R.size(), 9u);
+  EXPECT_EQ(R.size(), 10u);
   auto Names = R.names();
-  ASSERT_EQ(Names.size(), 9u);
+  ASSERT_EQ(Names.size(), 10u);
   EXPECT_EQ(Names.front(), "Box Blur");
-  EXPECT_EQ(Names.back(), "Roberts Cross");
+  EXPECT_EQ(Names[8], "Roberts Cross");
+  EXPECT_EQ(Names.back(), "Variance");
 }
 
 TEST(KernelRegistry, ExactMatchWinsOverPrefix) {
@@ -192,7 +194,7 @@ TEST(CompileOptions, StagesCanBeDisabled) {
   EXPECT_GT(Result->Cost, 0.0);
 }
 
-TEST(CompileOptions, PeepholeToggleRewritesRedundantPrograms) {
+TEST(CompileOptions, OptimizerPipelineRewritesRedundantPrograms) {
   // rot(rot(x, 1), 1) + x has a fusable rotation chain.
   quill::Program P;
   P.NumInputs = 1;
@@ -204,8 +206,25 @@ TEST(CompileOptions, PeepholeToggleRewritesRedundantPrograms) {
   Compiler C;
   auto Opt = C.optimize(P);
   ASSERT_TRUE(Opt.hasValue()) << Opt.status().toString();
-  EXPECT_GT(Opt->Stats.total(), 0);
+  EXPECT_GT(Opt->Stats.totalRewrites(), 0);
   EXPECT_LT(Opt->Program.Instructions.size(), P.Instructions.size());
+  // One stats record per pass in the default pipeline, in order.
+  ASSERT_EQ(Opt->Stats.Passes.size(), 5u);
+  EXPECT_EQ(Opt->Stats.Passes.front().Pass, "peephole");
+  EXPECT_EQ(Opt->Stats.Passes.back().Pass, "rot-dedup");
+  // The pipeline never raises cost.
+  EXPECT_LE(Opt->Stats.costAfter(), Opt->Stats.costBefore());
+}
+
+TEST(CompileOptions, UnknownPipelinePassIsRejectedUpFront) {
+  CompileOptions Opts;
+  Opts.Pipeline = "peephole,frobnicate";
+  Opts.RunSynthesis = false;
+  Compiler C(Opts);
+  auto Result = C.compile("dot product");
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_NE(Result.status().toString().find("frobnicate"),
+            std::string::npos);
 }
 
 TEST(CompileOptions, InvalidOptionsAreRejectedUpFront) {

@@ -100,14 +100,14 @@ bool sameProgram(const quill::Program &A, const quill::Program &B) {
 
 TEST(Fingerprint, StableAcrossAssignmentOrder) {
   CompileOptions A;
-  A.RunPeephole = true;
+  A.Pipeline = "peephole,cse";
   A.Synthesis.TimeoutSeconds = 7.5;
   A.Codegen.FunctionName = "serve";
 
   CompileOptions B;
   B.Codegen.FunctionName = "serve";
   B.Synthesis.TimeoutSeconds = 7.5;
-  B.RunPeephole = true;
+  B.Pipeline = "peephole,cse";
 
   EXPECT_EQ(A.canonicalKey(), B.canonicalKey());
   EXPECT_EQ(A.fingerprint(), B.fingerprint());
@@ -131,7 +131,12 @@ TEST(Fingerprint, EverySemanticFieldChangesIt) {
   O5.ExecutionSeed += 1;
   CompileOptions O6 = Base;
   O6.Latency = LatencySource::Profiled;
-  for (const CompileOptions *O : {&O1, &O2, &O3, &O4, &O5, &O6})
+  CompileOptions O7 = Base;
+  O7.Pipeline = "peephole";
+  CompileOptions O8 = Base;
+  O8.Synthesis.Latency.RelinCt += 1.0;
+  for (const CompileOptions *O :
+       {&O1, &O2, &O3, &O4, &O5, &O6, &O7, &O8})
     EXPECT_NE(O->fingerprint(), BaseFp);
   // And the kernel name is part of the pair fingerprint.
   EXPECT_NE(compileFingerprint("a", Base), compileFingerprint("b", Base));

@@ -29,7 +29,7 @@ namespace {
 constexpr uint64_t T = 65537;
 
 //===----------------------------------------------------------------------===//
-// Per-kernel equivalence (parameterized over all nine kernels)
+// Per-kernel equivalence (parameterized over every bundled kernel)
 //===----------------------------------------------------------------------===//
 
 struct KernelCase {
@@ -47,6 +47,7 @@ const KernelCase Cases[] = {
     {"Gx", gxKernel},
     {"Gy", gyKernel},
     {"RobertsCross", robertsCrossKernel},
+    {"Variance", varianceKernel},
 };
 
 class KernelParamTest : public ::testing::TestWithParam<KernelCase> {};

@@ -7,7 +7,11 @@
 #   4. run the synthesis parallel-speedup benchmark (1 thread vs 4
 #      portfolio threads over the fast-synthesizing kernels; also verifies
 #      the programs stay byte-identical across thread counts)
-#   5. write everything into one JSON document (default: BENCH_results.json
+#   5. run `porcc opt --json` over every registry kernel: per-pass
+#      optimizer statistics and cost-model cost before/after the default
+#      pipeline (host-independent; bench_compare.py fails the snapshot if
+#      any pass increases cost)
+#   6. write everything into one JSON document (default: BENCH_results.json
 #      at the repo root) so the perf trajectory can be tracked across PRs
 #      — tools/bench_compare.py diffs two such snapshots and gates CI
 #
@@ -101,6 +105,30 @@ run_serving "dot product" --runs 8 --batch 4
 run_serving "gx" --runs 8 --batch 4
 run_serving "box blur" --runs 8 --batch 4
 
+# Optimizer pipeline cost records: one `porcc opt --json` record per
+# registry kernel (names derived from `porcc list`, skipping the
+# multi-step apps). Cost-model numbers are host-independent, so the gate
+# on them is always armed.
+echo "== optimizer pipeline (porcc opt)"
+: >"$TMP/optimizer"
+"$BUILD_DIR/tools/porcc" list \
+  | sed -n '2,$p' \
+  | grep -v '(multi-step)' \
+  | sed -E 's/[[:space:]]{2,}.*$//' \
+  | while IFS= read -r KERNEL; do
+      [ -n "$KERNEL" ] || continue
+      echo "  run  porcc opt '$KERNEL' --json"
+      if "$BUILD_DIR/tools/porcc" opt "$KERNEL" --json >"$TMP/opt.one" \
+          2>"$TMP/opt.err"; then
+        [ -s "$TMP/optimizer" ] && printf ',\n' >>"$TMP/optimizer"
+        sed 's/^/    /' "$TMP/opt.one" >>"$TMP/optimizer"
+      else
+        echo "  FAIL porcc opt '$KERNEL':" >&2
+        cat "$TMP/opt.err" >&2
+        exit 1
+      fi
+    done
+
 # Synthesis parallel speedup: every record carries synthesis_ms (the
 # N-thread wall time), synthesis_ms_1thread, and synthesis_threads-equivalent
 # context, so bench history stays comparable across machine sizes. A
@@ -117,7 +145,7 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
 
 {
   printf '{\n'
-  printf '  "schema": "porcupine-bench-results/1",\n'
+  printf '  "schema": "porcupine-bench-results/2",\n'
   printf '  "generated_by": "tools/bench.sh",\n'
   printf '  "date_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "host_jobs": %s,\n' "$JOBS"
@@ -126,6 +154,9 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
   printf '\n  ],\n'
   printf '  "serving": [\n'
   cat "$TMP/servings"
+  printf '\n  ],\n'
+  printf '  "optimizer": [\n'
+  cat "$TMP/optimizer"
   printf '\n  ],\n'
   printf '  "synthesis":\n'
   sed 's/^/  /' "$TMP/synthesis"

@@ -13,6 +13,11 @@ run is the candidate. The gate:
   * synthesis speedup record (when both snapshots carry one): programs
     must still be byte-identical across thread counts ("all_identical") —
     a correctness property, never tolerated.
+  * optimizer records ("porcc opt" per bundled kernel): no pass may
+    increase cost-model cost (and none may be reverted by the manager's
+    cost guard), and a kernel's optimized cost must not regress against
+    the committed baseline. Cost-model numbers are host-independent, so
+    these gates are ALWAYS armed, even across machine classes.
 
 Everything else (figure-bench wall times, compile times, median speedup)
 is reported informationally only: those vary with runner load and core
@@ -55,6 +60,99 @@ def serving_by_kernel(doc):
         if isinstance(name, str) and isinstance(mean, (int, float)) and mean > 0:
             records[name] = rec
     return records
+
+
+def optimizer_by_kernel(doc):
+    records = {}
+    for rec in doc.get("optimizer", []):
+        name = rec.get("kernel")
+        if isinstance(name, str):
+            records[name] = rec
+    return records
+
+
+def check_optimizer(base, fresh, failures):
+    """Cost-model gates over the per-kernel optimizer records.
+
+    Host-independent (the cost model prices instructions, not wall time),
+    so unlike the latency gate this is armed on every comparison.
+    """
+    base_opt = optimizer_by_kernel(base)
+    fresh_opt = optimizer_by_kernel(fresh)
+    if not fresh_opt:
+        if base_opt:
+            failures.append(
+                "optimizer records missing from fresh run (baseline has "
+                f"{len(base_opt)}); did porcc opt break?"
+            )
+        return
+    print("optimizer cost gate (cost-model, host-independent):")
+    eps = 1e-6
+    for name, rec in sorted(fresh_opt.items()):
+        cost_before = rec.get("cost_before")
+        cost_after = rec.get("cost_after")
+        verdict = "ok"
+        for p in rec.get("passes", []):
+            pb, pa = p.get("cost_before"), p.get("cost_after")
+            if isinstance(pb, (int, float)) and isinstance(pa, (int, float)) and pa > pb + eps:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: pass '{p.get('pass')}' increased cost "
+                    f"{pb:.0f} -> {pa:.0f}"
+                )
+            if p.get("reverted"):
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: pass '{p.get('pass')}' was reverted by the "
+                    "cost guard — it proposed a cost-increasing rewrite"
+                )
+        if (
+            isinstance(cost_before, (int, float))
+            and isinstance(cost_after, (int, float))
+            and cost_after > cost_before + eps
+        ):
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: pipeline increased cost {cost_before:.0f} -> "
+                f"{cost_after:.0f}"
+            )
+        brec = base_opt.get(name)
+        if brec is not None:
+            bafter = brec.get("cost_after")
+            if (
+                isinstance(bafter, (int, float))
+                and isinstance(cost_after, (int, float))
+                and cost_after > bafter + eps
+            ):
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: optimized cost regressed vs committed "
+                    f"baseline ({bafter:.0f} -> {cost_after:.0f})"
+                )
+        # A gate that cannot read its inputs must fail, not warn — a schema
+        # drift in `porcc opt --json` would otherwise silently disarm every
+        # cost comparison while printing green.
+        if isinstance(cost_before, (int, float)) and isinstance(
+            cost_after, (int, float)
+        ):
+            print(
+                f"  {verdict:10s} {name}: cost {cost_before:.0f} -> "
+                f"{cost_after:.0f}"
+            )
+        else:
+            failures.append(
+                f"{name}: malformed optimizer record (cost_before/"
+                "cost_after missing or non-numeric)"
+            )
+            print(f"  MALFORMED  {name}: optimizer record unreadable")
+    for name in sorted(set(base_opt) - set(fresh_opt)):
+        # Same reasoning: a kernel silently vanishing from the fresh run
+        # could hide a per-kernel regression behind a missing record.
+        failures.append(
+            f"{name}: optimizer record present in baseline but missing "
+            "from fresh run"
+        )
+        print(f"  MISSING    {name}: no fresh optimizer record")
 
 
 def main():
@@ -134,6 +232,8 @@ def main():
         print(f"  {verdict:10s} {name}: {bmean:.1f}us -> {fmean:.1f}us ({ratio:.2f}x)")
     for name in sorted(set(fresh_serving) - set(base_serving)):
         print(f"  note  {name}: new kernel, no baseline yet")
+
+    check_optimizer(base, fresh, failures)
 
     synth = fresh.get("synthesis")
     if isinstance(synth, dict):

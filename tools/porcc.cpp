@@ -13,7 +13,7 @@
 ///       List the registered kernels (builtin registry) and the multi-step
 ///       applications.
 ///   porcc compile <kernel> [--json] [--from-bundle] [--timeout S]
-///                 [--no-optimize] [--explicit-rot] [--peephole]
+///                 [--no-optimize] [--explicit-rot] [--pipeline STR]
 ///                 [--function NAME] [--emit-artifact FILE]
 ///       Run the full pipeline (synthesis, analyses, parameter selection,
 ///       SEAL codegen) and print a human-readable report, or with --json a
@@ -25,6 +25,14 @@
 ///   porcc synth <kernel> [--timeout S] [--no-optimize] [--explicit-rot]
 ///       Synthesize a kernel from its bundled spec/sketch; print the Quill
 ///       program, statistics, and generated SEAL code.
+///   porcc opt <kernel|file.quill> [--baseline] [--pipeline STR]
+///             [--print-after-all] [--json]
+///       Debug the optimizer: run a pass pipeline over a bundled program
+///       (or a .quill file), printing per-pass statistics — and with
+///       --print-after-all the whole program after every pass. --json
+///       emits one machine-readable record (cost before/after, per-pass
+///       stats); tools/bench.sh collects these into the perf snapshot,
+///       where the CI gate fails any pass that increases cost-model cost.
 ///   porcc emit <kernel> [--baseline] [--function NAME]
 ///       Emit SEAL-style C++ for a bundled program.
 ///   porcc show <kernel> [--baseline]
@@ -58,7 +66,9 @@
 #include "kernels/Kernels.h"
 #include "math/ModArith.h"
 #include "quill/Analysis.h"
+#include "quill/Passes.h"
 #include "support/Json.h"
+#include "support/Random.h"
 #include "support/Timing.h"
 
 #include <algorithm>
@@ -78,15 +88,18 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: porcc <list|compile|synth|emit|show|run|bench|check> [args]\n"
+      "usage: porcc <list|compile|synth|opt|emit|show|run|bench|check> "
+      "[args]\n"
       "  porcc list\n"
       "  porcc compile <kernel> [--json] [--from-bundle] [--timeout S] "
       "[--no-optimize]\n"
-      "                [--jobs N] [--explicit-rot] [--peephole] "
+      "                [--jobs N] [--explicit-rot] [--pipeline STR] "
       "[--function NAME]\n"
       "                [--emit-artifact FILE]\n"
       "  porcc synth <kernel> [--timeout S] [--no-optimize] [--jobs N] "
       "[--explicit-rot]\n"
+      "  porcc opt <kernel|file.quill> [--baseline] [--pipeline STR]\n"
+      "            [--print-after-all] [--json]\n"
       "  porcc emit <kernel> [--baseline] [--function NAME]\n"
       "  porcc show <kernel> [--baseline]\n"
       "  porcc run <file.quill> --inputs \"1 2 3;4 5 6\" "
@@ -98,7 +111,9 @@ int usage() {
       "             [--plaintext] [--timeout S] [--jobs N]\n"
       "  porcc check <file.quill> <kernel>\n"
       "(--jobs N: synthesis portfolio threads; 0 = one per hardware "
-      "thread, 1 = sequential. Same program either way, just faster.)\n");
+      "thread, 1 = sequential. Same program either way, just faster.\n"
+      " --pipeline STR: optimizer pass list, default "
+      "'peephole,cse,constfold,lazy-relin,rot-dedup'; '' disables.)\n");
   return 2;
 }
 
@@ -153,7 +168,10 @@ driver::CompileOptions optionsFromFlags(int Argc, char **Argv) {
   // changes how fast synthesis converges.
   Opts.Synthesis.Threads = std::atoi(argValue(Argc, Argv, "--jobs", "0"));
   Opts.ExplicitRotations = hasFlag(Argc, Argv, "--explicit-rot");
-  Opts.RunPeephole = hasFlag(Argc, Argv, "--peephole");
+  // --pipeline STR: the optimizer pass pipeline (default: the full
+  // peephole,cse,constfold,lazy-relin,rot-dedup stack; "" disables).
+  if (const char *Pipe = argValue(Argc, Argv, "--pipeline", nullptr))
+    Opts.Pipeline = Pipe;
   Opts.Codegen.FunctionName = argValue(Argc, Argv, "--function", "kernel");
   return Opts;
 }
@@ -161,9 +179,9 @@ driver::CompileOptions optionsFromFlags(int Argc, char **Argv) {
 void printAnalyses(const quill::Program &P) {
   auto Mix = quill::countInstructions(P);
   std::printf("; %d instructions (%d rotations, %d ct-ct muls, %d ct-pt "
-              "muls, %d adds/subs), depth %d, mult-depth %d\n",
+              "muls, %d adds/subs, %d relins), depth %d, mult-depth %d\n",
               Mix.Total, Mix.Rotations, Mix.CtCtMuls, Mix.CtPtMuls,
-              Mix.AddsSubs, quill::programDepth(P),
+              Mix.AddsSubs, Mix.Relins, quill::programDepth(P),
               quill::programMultiplicativeDepth(P));
 }
 
@@ -262,6 +280,143 @@ int cmdSynth(int Argc, char **Argv) {
               Result->Stats.ProvenOptimal ? ", proven optimal in sketch" : "",
               Result->Stats.TimedOut ? ", timed out" : "");
   std::printf("%s", Result->SealCode.c_str());
+  return 0;
+}
+
+std::optional<quill::Program> loadProgram(const char *Path);
+
+/// `porcc opt`: run an optimizer pipeline over one program, one pass at a
+/// time, reporting per-pass statistics (and, with --print-after-all, the
+/// program after every pass). Each pass runs under its own single-pass
+/// manager so intermediate programs are observable; verification and the
+/// cost-monotonicity guard apply exactly as in a full-pipeline run.
+int cmdOpt(int Argc, char **Argv) {
+  if (!hasPositional(Argc, Argv))
+    return usage();
+  const char *Target = Argv[0];
+  bool PrintAfterAll = hasFlag(Argc, Argv, "--print-after-all");
+  bool Json = hasFlag(Argc, Argv, "--json");
+  std::string Pipeline = quill::defaultPipeline();
+  if (const char *Pipe = argValue(Argc, Argv, "--pipeline", nullptr))
+    Pipeline = Pipe;
+
+  // Resolve the program: a .quill file, or a bundled kernel by name.
+  quill::Program P;
+  std::string Name = Target;
+  if (Name.size() > 6 && Name.rfind(".quill") == Name.size() - 6) {
+    auto Loaded = loadProgram(Target);
+    if (!Loaded)
+      return 1;
+    P = std::move(*Loaded);
+  } else {
+    driver::Compiler C;
+    const KernelBundle *B = lookupKernel(C, Target);
+    if (!B)
+      return 1;
+    Name = B->Spec.name();
+    P = hasFlag(Argc, Argv, "--baseline") ? B->Baseline : B->Synthesized;
+    if (P.Instructions.empty()) {
+      std::fprintf(stderr, "error: kernel '%s' has no bundled program\n",
+                   Name.c_str());
+      return 1;
+    }
+  }
+
+  // Validate the whole pipeline string through the one real parser first,
+  // so `porcc opt` accepts and rejects exactly what `porcc compile
+  // --pipeline` does (empty segments, unknown names, stray spaces).
+  {
+    auto Whole = quill::PassManager::fromPipeline(
+        Pipeline, quill::PassManagerOptions());
+    if (!Whole)
+      return fail(Whole.status());
+  }
+  // Then split into single-pass stages so we can print between them. An
+  // empty pipeline is a valid no-op.
+  std::vector<std::string> Stages;
+  std::string Cur;
+  for (char C : Pipeline + ",") {
+    if (C == ',') {
+      if (!Cur.empty())
+        Stages.push_back(Cur);
+      Cur.clear();
+    } else if (C != ' ') {
+      Cur.push_back(C);
+    }
+  }
+
+  driver::Compiler C;
+  quill::PassManagerOptions PMO;
+  PMO.Context.Latency = C.options().Synthesis.Latency;
+  PMO.Context.PlainModulus = C.options().Synthesis.PlainModulus;
+  Rng R(1);
+  for (int E = 0; E < 3; ++E) {
+    std::vector<quill::SlotVector> Example;
+    for (int I = 0; I < P.NumInputs; ++I)
+      Example.push_back(R.vectorBelow(PMO.Context.PlainModulus,
+                                      P.VectorSize));
+    PMO.Examples.push_back(std::move(Example));
+  }
+
+  quill::CostModel Cost(PMO.Context.Latency);
+  std::vector<quill::PassRunStats> All;
+  if (!Json) {
+    std::printf("; optimizing '%s' with pipeline '%s'\n", Name.c_str(),
+                Pipeline.c_str());
+    printAnalyses(P);
+    std::printf("%s", quill::printProgram(P).c_str());
+    std::printf("; cost %.0f\n", Cost.cost(P));
+  }
+  for (const std::string &Stage : Stages) {
+    auto PM = quill::PassManager::fromPipeline(Stage, PMO);
+    if (!PM)
+      return fail(PM.status());
+    auto Stats = PM->run(P);
+    if (!Stats)
+      return fail(Stats.status());
+    for (quill::PassRunStats &S : Stats->Passes) {
+      if (!Json) {
+        std::printf("; pass %-10s rewrites %d, instrs %+d, rotations %+d, "
+                    "relins deferred %d, cost %.0f -> %.0f%s\n",
+                    S.Pass.c_str(), S.Rewrites, -S.InstructionsRemoved,
+                    -S.RotationsEliminated, S.RelinsDeferred, S.CostBefore,
+                    S.CostAfter, S.Reverted ? " (REVERTED: cost rose)" : "");
+        if (PrintAfterAll)
+          std::printf("%s", quill::printProgram(P).c_str());
+      }
+      All.push_back(std::move(S));
+    }
+  }
+
+  if (Json) {
+    double CostBefore = All.empty() ? Cost.cost(P) : All.front().CostBefore;
+    double CostAfter = All.empty() ? Cost.cost(P) : All.back().CostAfter;
+    std::printf("{\n");
+    std::printf("  \"kernel\": %s,\n", json::quote(Name).c_str());
+    std::printf("  \"pipeline\": %s,\n", json::quote(Pipeline).c_str());
+    std::printf("  \"cost_before\": %.0f,\n", CostBefore);
+    std::printf("  \"cost_after\": %.0f,\n", CostAfter);
+    std::printf("  \"passes\": [");
+    for (size_t I = 0; I < All.size(); ++I) {
+      const quill::PassRunStats &S = All[I];
+      std::printf("%s{\"pass\": %s, \"rewrites\": %d, "
+                  "\"instructions_removed\": %d, "
+                  "\"rotations_eliminated\": %d, \"relins_deferred\": %d, "
+                  "\"cost_before\": %.0f, \"cost_after\": %.0f, "
+                  "\"reverted\": %s}",
+                  I ? ", " : "", json::quote(S.Pass).c_str(), S.Rewrites,
+                  S.InstructionsRemoved, S.RotationsEliminated,
+                  S.RelinsDeferred, S.CostBefore, S.CostAfter,
+                  S.Reverted ? "true" : "false");
+    }
+    std::printf("]\n}\n");
+    return 0;
+  }
+
+  std::printf("; final program\n");
+  printAnalyses(P);
+  std::printf("%s", quill::printProgram(P).c_str());
+  std::printf("; cost %.0f\n", Cost.cost(P));
   return 0;
 }
 
@@ -589,6 +744,8 @@ int main(int Argc, char **Argv) {
     return cmdCompile(Argc - 2, Argv + 2);
   if (Cmd == "synth")
     return cmdSynth(Argc - 2, Argv + 2);
+  if (Cmd == "opt")
+    return cmdOpt(Argc - 2, Argv + 2);
   if (Cmd == "emit")
     return cmdEmitOrShow(Argc - 2, Argv + 2, /*Emit=*/true);
   if (Cmd == "show")
