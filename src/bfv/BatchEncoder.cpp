@@ -82,10 +82,16 @@ uint64_t BatchEncoder::galoisEltForRotation(int Steps) const {
     Norm += RowSize;
   if (Norm == 0)
     return 1;
-  // Left rotation by k corresponds to the automorphism x -> x^(3^k):
-  // it maps the slot holding 3^(i+k) onto the slot holding 3^i.
+  // Left rotation by k corresponds to the automorphism x -> x^(3^k): it
+  // maps the slot holding 3^(i+k) onto the slot holding 3^i. 3^k mod 2N is
+  // computed by square-and-multiply; 2N is a power of two so each reduction
+  // is a mask.
   uint64_t Elt = 1;
-  for (long I = 0; I < Norm; ++I)
-    Elt = (Elt * 3) & (M - 1);
+  uint64_t Base = 3;
+  for (uint64_t E = static_cast<uint64_t>(Norm); E != 0; E >>= 1) {
+    if (E & 1)
+      Elt = (Elt * Base) & (M - 1);
+    Base = (Base * Base) & (M - 1);
+  }
   return Elt;
 }

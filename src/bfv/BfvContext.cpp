@@ -6,6 +6,7 @@
 
 #include "bfv/BfvContext.h"
 
+#include "math/ModArith.h"
 #include "math/Primes.h"
 #include "support/Error.h"
 
@@ -32,8 +33,11 @@ CrtBasis BfvContext::makeAuxBasis(size_t N, const CrtBasis &Coeff) {
   unsigned NeedBits = 2 * Coeff.modulus().bitLength() + 8;
   for (size_t Pow = 1; Pow < N; Pow <<= 1)
     ++NeedBits;
+  // A b-bit prime is at least 2^(b-1), so ceil(NeedBits / (b-1)) primes
+  // always reach the target product (NeedBits already carries an 8-bit
+  // margin of its own).
   unsigned PrimeBits = 55;
-  unsigned Count = (NeedBits + PrimeBits - 2) / (PrimeBits - 1) + 1;
+  unsigned Count = (NeedBits + PrimeBits - 2) / (PrimeBits - 1);
   // Exclude the coefficient primes so bases stay coprime (not strictly
   // required, but keeps reasoning simple).
   std::vector<uint64_t> Exclude = Coeff.primes();
@@ -61,7 +65,10 @@ BfvContext::BfvContext(const BfvParams &Params)
       CoeffNtt(makeNttTables(N, CoeffBasis.primes())),
       PlainNtt(N, Params.PlainModulus),
       AuxBasis(makeAuxBasis(N, CoeffBasis)),
-      AuxNtt(makeNttTables(N, AuxBasis.primes())), Width(Params.DecompWidth) {
+      AuxNtt(makeNttTables(N, AuxBasis.primes())),
+      PlainBasis({Params.PlainModulus}), CoeffToAux(CoeffBasis, AuxBasis),
+      AuxToCoeff(AuxBasis, CoeffBasis), CoeffToPlain(CoeffBasis, PlainBasis),
+      Width(Params.DecompWidth) {
   assert((N & (N - 1)) == 0 && N >= 8 && "poly degree must be a power of two");
   if (!isPrime(T) || (T - 1) % (2 * N) != 0)
     fatalError("plain modulus must be a prime = 1 mod 2N for batching");
@@ -80,6 +87,46 @@ BfvContext::BfvContext(const BfvParams &Params)
     for (uint64_t P : CoeffBasis.primes())
       DigitScales[D].push_back(Scale.modWord(P));
   }
+
+  // RNS key-switch gadget: each coefficient prime's residue splits into
+  // base-2^w sub-digits, keyed against 2^(d*w) * (Q/q_i) * [(Q/q_i)^-1]_{q_i}
+  // mod Q. Digit values must embed directly as residues of every prime.
+  for (size_t I = 0; I < CoeffBasis.count(); ++I) {
+    uint64_t Qi = CoeffBasis.primes()[I];
+    unsigned PrimeBits = 0;
+    for (uint64_t V = Qi; V != 0; V >>= 1)
+      ++PrimeBits;
+    unsigned PrimeDigits = (PrimeBits + Width - 1) / Width;
+    BigInt Punct = CoeffBasis.puncturedProducts()[I];
+    BigInt Keyed = Punct.mulWord(CoeffBasis.invPunctured()[I]);
+    for (unsigned D = 0; D < PrimeDigits; ++D) {
+      RnsGadgetDigit Digit;
+      Digit.SourcePrime = I;
+      Digit.Shift = D * Width;
+      BigInt G = Keyed.shiftLeft(Digit.Shift);
+      BigInt GQuot, GRem;
+      G.divMod(CoeffBasis.modulus(), GQuot, GRem);
+      for (uint64_t P : CoeffBasis.primes())
+        Digit.ScaleModPrimes.push_back(GRem.modWord(P));
+      RnsGadget.push_back(std::move(Digit));
+    }
+  }
+
+  // Scalar tables for the RNS multiply scale-and-round.
+  for (uint64_t P : AuxBasis.primes()) {
+    uint64_t TMod = T % P;
+    TModAux.push_back(TMod);
+    TModAuxShoup.push_back(shoupPrecompute(TMod, P));
+    uint64_t QInv = invMod(CoeffBasis.modulus().modWord(P), P);
+    InvQModAux.push_back(QInv);
+    InvQModAuxShoup.push_back(shoupPrecompute(QInv, P));
+  }
+  for (uint64_t P : CoeffBasis.primes()) {
+    uint64_t TMod = T % P;
+    TModPrimes.push_back(TMod);
+    TModPrimesShoup.push_back(shoupPrecompute(TMod, P));
+  }
+  InvQModT = invMod(CoeffBasis.modulus().modWord(T), T);
 }
 
 unsigned BfvContext::maxSecureCoeffBits(size_t PolyDegree) {

@@ -41,8 +41,13 @@ struct BfvParams {
   /// Bit sizes of the RNS primes whose product is the ciphertext modulus Q.
   std::vector<unsigned> CoeffPrimeBits = {45, 45, 45};
   /// Key-switching digit width in bits (trade-off: smaller = less noise per
-  /// switch, more NTTs).
-  unsigned DecompWidth = 16;
+  /// switch, more NTTs). 48 covers every standard coefficient prime, so the
+  /// RNS gadget degenerates to one digit per prime — the classic per-prime
+  /// decomposition with digit_i = x mod q_i. Per-switch noise is bounded by
+  /// the prime size (~2^45 worst case), which sits far below the
+  /// multiplication noise that actually drives the budget; in exchange each
+  /// key switch runs one NTT set per prime instead of two or three.
+  unsigned DecompWidth = 48;
 };
 
 /// Immutable parameter context with derived tables.
@@ -78,9 +83,48 @@ public:
   unsigned decompWidth() const { return Width; }
   unsigned decompDigitCount() const { return Digits; }
   /// (2^(d * width)) mod q_i for digit d and prime i, indexed [d][i].
+  /// Gadget of the BigInt key-switch path (canonical-lift base-2^w digits).
   const std::vector<std::vector<uint64_t>> &digitScaleModPrimes() const {
     return DigitScales;
   }
+
+  /// One digit of the RNS key-switch gadget: residue x_i of source prime i,
+  /// shifted right by Shift and masked to decompWidth() bits, keyed against
+  /// the gadget constant 2^Shift * (Q/q_i) * [(Q/q_i)^-1]_{q_i} mod Q
+  /// (stored as residues over the coefficient primes).
+  struct RnsGadgetDigit {
+    size_t SourcePrime;
+    unsigned Shift;
+    std::vector<uint64_t> ScaleModPrimes;
+  };
+  /// The full RNS gadget: per-prime residues split into base-2^w sub-digits,
+  /// so digit magnitude (and thus key-switch noise) matches the BigInt path
+  /// while decomposition needs no wide integers.
+  const std::vector<RnsGadgetDigit> &rnsGadget() const { return RnsGadget; }
+
+  /// Fast base conversions between the coefficient and auxiliary bases
+  /// (the RNS multiply hot path).
+  const RnsBaseConverter &coeffToAux() const { return CoeffToAux; }
+  const RnsBaseConverter &auxToCoeff() const { return AuxToCoeff; }
+  /// Conversion from the coefficient basis onto the single-prime basis {t},
+  /// used by RNS decryption.
+  const RnsBaseConverter &coeffToPlain() const { return CoeffToPlain; }
+
+  /// t mod p_j over the auxiliary primes, with Shoup pairs.
+  const std::vector<uint64_t> &plainModAux() const { return TModAux; }
+  const std::vector<uint64_t> &plainModAuxShoup() const { return TModAuxShoup; }
+  /// Q^-1 mod p_j over the auxiliary primes, with Shoup pairs.
+  const std::vector<uint64_t> &invQModAux() const { return InvQModAux; }
+  const std::vector<uint64_t> &invQModAuxShoup() const {
+    return InvQModAuxShoup;
+  }
+  /// Shoup pairs for multiplying coefficient-basis residues by t.
+  const std::vector<uint64_t> &plainModPrimes() const { return TModPrimes; }
+  const std::vector<uint64_t> &plainModPrimesShoup() const {
+    return TModPrimesShoup;
+  }
+  /// Q^-1 mod t.
+  uint64_t invQModPlain() const { return InvQModT; }
 
   /// Total bits in Q; the budget ceiling for noise.
   unsigned coeffModulusBits() const { return CoeffBasis.modulus().bitLength(); }
@@ -97,11 +141,23 @@ private:
   NttTables PlainNtt;
   CrtBasis AuxBasis;
   std::vector<NttTables> AuxNtt;
+  CrtBasis PlainBasis;
+  RnsBaseConverter CoeffToAux;
+  RnsBaseConverter AuxToCoeff;
+  RnsBaseConverter CoeffToPlain;
   BigInt Delta;
   std::vector<uint64_t> DeltaModPrimes;
   unsigned Width;
   unsigned Digits;
   std::vector<std::vector<uint64_t>> DigitScales;
+  std::vector<RnsGadgetDigit> RnsGadget;
+  std::vector<uint64_t> TModAux;
+  std::vector<uint64_t> TModAuxShoup;
+  std::vector<uint64_t> InvQModAux;
+  std::vector<uint64_t> InvQModAuxShoup;
+  std::vector<uint64_t> TModPrimes;
+  std::vector<uint64_t> TModPrimesShoup;
+  uint64_t InvQModT = 0;
 
   static CrtBasis makeCoeffBasis(const BfvParams &Params);
   static CrtBasis makeAuxBasis(size_t N, const CrtBasis &Coeff);

@@ -24,8 +24,13 @@ namespace porcupine {
 /// Decrypts ciphertexts and measures their noise.
 class Decryptor {
 public:
-  Decryptor(const BfvContext &Ctx, SecretKey Sk)
-      : Ctx(Ctx), Sk(std::move(Sk)) {}
+  /// \p UseRnsPath selects the word-residue decryption (the default); pass
+  /// false for the wide-integer reference path, kept as a differential
+  /// oracle. Both produce identical plaintexts on any decryptable
+  /// ciphertext (the ciphertext modulus is odd, so the t/Q rounding has no
+  /// ties for the paths to resolve differently).
+  Decryptor(const BfvContext &Ctx, SecretKey Sk, bool UseRnsPath = true)
+      : Ctx(Ctx), Sk(std::move(Sk)), UseRns(UseRnsPath) {}
 
   /// Decrypts \p Ct (any component count) to a plaintext.
   Plaintext decrypt(const Ciphertext &Ct) const;
@@ -38,8 +43,10 @@ public:
 private:
   const BfvContext &Ctx;
   SecretKey Sk;
+  bool UseRns;
 
   /// Evaluates c(s) = c0 + c1*s + c2*s^2 + ... in R_Q, coefficient form.
+  /// Accepts components in either domain.
   RingPoly evaluateAtSecret(const Ciphertext &Ct) const;
 };
 

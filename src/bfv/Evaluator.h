@@ -20,12 +20,35 @@
 #include "bfv/Keys.h"
 #include "bfv/Plaintext.h"
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
 namespace porcupine {
 
-/// Stateless (except for the context) homomorphic operator suite.
+/// Homomorphic operator suite. Stateless except for the context and a
+/// bounded cache of NTT-form plaintexts (so kernels that multiply by the
+/// same constants every call pay the plaintext NTT once).
+///
+/// The hot paths (ciphertext multiply, key switching, decryption) run
+/// RNS-native by default: every per-coefficient step works on 64-bit
+/// residues, with fast base conversion in place of CRT lifts. Passing
+/// UseRnsHotPath = false selects the original wide-integer reference path,
+/// kept alive as a differential-testing oracle.
+///
+/// Ciphertexts may be in either coefficient or NTT form (all components of
+/// one ciphertext always share a form). Operations that are cheap in
+/// evaluation form (add/sub, plaintext multiply) keep or move results
+/// toward NTT form so chains of them skip transforms; multiply, Galois
+/// rotation, and key switching normalize back to coefficient form at their
+/// boundaries.
 class Evaluator {
 public:
-  explicit Evaluator(const BfvContext &Ctx) : Ctx(Ctx), Encoder(Ctx) {}
+  explicit Evaluator(const BfvContext &Ctx, bool UseRnsHotPath = true)
+      : Ctx(Ctx), Encoder(Ctx), UseRns(UseRnsHotPath) {}
+
+  /// Whether the RNS hot path (vs the BigInt oracle) is active.
+  bool usesRnsHotPath() const { return UseRns; }
 
   /// Slot-wise ciphertext addition; operands may have 2 or 3 components.
   Ciphertext add(const Ciphertext &A, const Ciphertext &B) const;
@@ -69,11 +92,33 @@ public:
 private:
   const BfvContext &Ctx;
   BatchEncoder Encoder;
+  bool UseRns;
+
+  struct PlainCacheEntry {
+    std::vector<uint64_t> Coeffs;
+    std::shared_ptr<const RingPoly> NttForm;
+  };
+  mutable std::mutex PlainCacheMutex;
+  mutable std::unordered_map<uint64_t, PlainCacheEntry> PlainCache;
 
   /// Key-switching workhorse: returns (d0, d1) such that
-  /// d0 + d1*s ~= P * s' where Key switches s' -> s.
+  /// d0 + d1*s ~= P * s' where Key switches s' -> s. Dispatches on the
+  /// key's gadget kind; results are in coefficient form.
   std::pair<RingPoly, RingPoly> keySwitch(const RingPoly &P,
                                           const KeySwitchKey &Key) const;
+  std::pair<RingPoly, RingPoly> keySwitchRns(const RingPoly &P,
+                                             const KeySwitchKey &Key) const;
+  std::pair<RingPoly, RingPoly> keySwitchBigInt(const RingPoly &P,
+                                                const KeySwitchKey &Key) const;
+
+  /// The two tensor-and-round implementations behind multiply().
+  Ciphertext multiplyRns(const Ciphertext &A, const Ciphertext &B) const;
+  Ciphertext multiplyBigInt(const Ciphertext &A, const Ciphertext &B) const;
+
+  /// Rounds one tensor component held in the auxiliary basis by t/Q and
+  /// returns it reduced into the coefficient basis (RNS multiply step 3).
+  RingPoly scaleToRingRns(
+      const std::vector<std::vector<uint64_t>> &TensorAux) const;
 
   /// Exact negacyclic convolution of two R_Q elements over the integers
   /// (centered lifts), returned as wide-integer coefficients.
@@ -82,6 +127,12 @@ private:
 
   /// Embeds a centered plaintext polynomial into RNS form.
   RingPoly plainToRing(const Plaintext &P) const;
+
+  /// NTT form of plainToRing(P), served from the bounded cache.
+  std::shared_ptr<const RingPoly> plainNttForm(const Plaintext &P) const;
+
+  /// Delta * P embedded in RNS form (the addPlain/subPlain addend).
+  RingPoly deltaScaledPlain(const Plaintext &P) const;
 };
 
 } // namespace porcupine

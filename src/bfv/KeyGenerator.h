@@ -32,16 +32,19 @@ public:
   PublicKey createPublicKey();
 
   /// Creates relinearization keys (s^2 -> s).
-  RelinKeys createRelinKeys();
+  RelinKeys createRelinKeys(GadgetKind Kind = GadgetKind::RnsPerPrime);
 
   /// Creates Galois keys for the requested row-rotation steps (and the
   /// column swap if \p IncludeColumnSwap). Steps use BatchEncoder
   /// conventions: positive = rotate rows left.
   GaloisKeys createGaloisKeys(const std::vector<int> &Steps,
-                              bool IncludeColumnSwap = false);
+                              bool IncludeColumnSwap = false,
+                              GadgetKind Kind = GadgetKind::RnsPerPrime);
 
-  /// Creates a key-switching key from \p SourceSecret to the held secret.
-  KeySwitchKey createKeySwitchKey(const RingPoly &SourceSecret);
+  /// Creates a key-switching key from \p SourceSecret to the held secret,
+  /// keyed for \p Kind's decomposition gadget.
+  KeySwitchKey createKeySwitchKey(const RingPoly &SourceSecret,
+                                  GadgetKind Kind = GadgetKind::RnsPerPrime);
 
 private:
   const BfvContext &Ctx;

@@ -35,11 +35,24 @@ struct PublicKey {
   RingPoly Pk1;
 };
 
+/// Which gadget a key-switching key was generated for. The decomposition of
+/// a ciphertext component at switch time must match the gadget the key
+/// embeds, so keys carry the tag and the evaluator dispatches on it.
+enum class GadgetKind {
+  /// Base-2^w digits of the canonical BigInt lift (the original path).
+  PowerOfTwo,
+  /// Per-RNS-prime residues, each split into base-2^w sub-digits
+  /// (BfvContext::rnsGadget()); no wide integers at switch time.
+  RnsPerPrime,
+};
+
 /// One key-switching key: for each decomposition digit d, the pair
-/// (-(a_d*s + e_d) + 2^(d*w) * s', a_d), both stored in NTT form.
+/// (-(a_d*s + e_d) + g_d * s', a_d), both stored in NTT form, where g_d is
+/// the d-th gadget constant of \p Kind.
 struct KeySwitchKey {
   std::vector<RingPoly> K0;
   std::vector<RingPoly> K1;
+  GadgetKind Kind = GadgetKind::RnsPerPrime;
 
   bool empty() const { return K0.empty(); }
 };

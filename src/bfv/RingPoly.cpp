@@ -19,6 +19,12 @@ RingPoly RingPoly::zero(const BfvContext &Ctx) {
   return P;
 }
 
+RingPoly RingPoly::zero(const BfvContext &Ctx, bool InNttForm) {
+  RingPoly P = zero(Ctx);
+  P.Ntt = InNttForm;
+  return P;
+}
+
 RingPoly RingPoly::sampleUniform(const BfvContext &Ctx, Rng &R) {
   RingPoly P = zero(Ctx);
   for (size_t I = 0; I < P.Residues.size(); ++I) {
@@ -144,12 +150,12 @@ RingPoly RingPoly::multiply(const BfvContext &Ctx, const RingPoly &A,
   RingPoly Out = zero(Ctx);
   Out.Ntt = true;
   for (size_t I = 0; I < Out.Residues.size(); ++I) {
-    uint64_t Q = Ctx.coeffBasis().primes()[I];
+    const BarrettReducer &Red = Ctx.coeffNtt()[I].reducer();
     auto &O = Out.Residues[I];
     const auto &X = FA.Residues[I];
     const auto &Y = FB.Residues[I];
     for (size_t J = 0; J < O.size(); ++J)
-      O[J] = mulMod(X[J], Y[J], Q);
+      O[J] = Red.mulMod(X[J], Y[J]);
   }
   Out.fromNtt(Ctx);
   return Out;
@@ -160,11 +166,23 @@ void RingPoly::fmaNtt(const BfvContext &Ctx, const RingPoly &A,
   assert(Ntt && A.Ntt && B.Ntt && "fmaNtt requires NTT form");
   for (size_t I = 0; I < Residues.size(); ++I) {
     uint64_t Q = Ctx.coeffBasis().primes()[I];
+    const BarrettReducer &Red = Ctx.coeffNtt()[I].reducer();
     auto &O = Residues[I];
     const auto &X = A.Residues[I];
     const auto &Y = B.Residues[I];
     for (size_t J = 0; J < O.size(); ++J)
-      O[J] = addMod(O[J], mulMod(X[J], Y[J], Q), Q);
+      O[J] = addMod(O[J], Red.mulMod(X[J], Y[J]), Q);
+  }
+}
+
+void RingPoly::mulAssignNtt(const BfvContext &Ctx, const RingPoly &RHS) {
+  assert(Ntt && RHS.Ntt && "mulAssignNtt requires NTT form");
+  for (size_t I = 0; I < Residues.size(); ++I) {
+    const BarrettReducer &Red = Ctx.coeffNtt()[I].reducer();
+    auto &O = Residues[I];
+    const auto &X = RHS.Residues[I];
+    for (size_t J = 0; J < O.size(); ++J)
+      O[J] = Red.mulMod(O[J], X[J]);
   }
 }
 

@@ -35,6 +35,10 @@ public:
   /// The all-zero element in coefficient form.
   static RingPoly zero(const BfvContext &Ctx);
 
+  /// The all-zero element with the form flag set directly: zero is a fixed
+  /// point of the NTT, so no transform is ever needed.
+  static RingPoly zero(const BfvContext &Ctx, bool InNttForm);
+
   /// Uniformly random element (the "a" component of keys).
   static RingPoly sampleUniform(const BfvContext &Ctx, Rng &R);
 
@@ -65,9 +69,28 @@ public:
   std::vector<uint64_t> &residues(size_t I) { return Residues[I]; }
   const std::vector<uint64_t> &residues(size_t I) const { return Residues[I]; }
 
+  /// All residue vectors, indexed [prime][coefficient] — the layout the
+  /// RnsBaseConverter consumes and produces. The mutable overload exists so
+  /// converter output can be written in place; callers must keep every
+  /// vector at length N and values reduced.
+  const std::vector<std::vector<uint64_t>> &allResidues() const {
+    return Residues;
+  }
+  std::vector<std::vector<uint64_t>> &allResidues() { return Residues; }
+
   /// In-place domain conversions.
   void toNtt(const BfvContext &Ctx);
   void fromNtt(const BfvContext &Ctx);
+
+  /// Idempotent conversions: no-ops when already in the requested form.
+  void ensureNtt(const BfvContext &Ctx) {
+    if (!Ntt)
+      toNtt(Ctx);
+  }
+  void ensureCoeff(const BfvContext &Ctx) {
+    if (Ntt)
+      fromNtt(Ctx);
+  }
 
   /// Element-wise ring operations (both operands in the same domain).
   void addAssign(const BfvContext &Ctx, const RingPoly &RHS);
@@ -82,8 +105,12 @@ public:
                            const RingPoly &B);
 
   /// Pointwise multiply-accumulate in NTT form: *this += A * B. All three
-  /// must be in NTT form.
+  /// must be in NTT form. Operands may alias *this.
   void fmaNtt(const BfvContext &Ctx, const RingPoly &A, const RingPoly &B);
+
+  /// Pointwise multiply in NTT form: *this *= RHS. Both must be in NTT
+  /// form; RHS may alias *this.
+  void mulAssignNtt(const BfvContext &Ctx, const RingPoly &RHS);
 
   /// Multiplies by the per-prime scalar table \p ScalarModPrime
   /// (ScalarModPrime[i] applies to prime i); works in either domain.

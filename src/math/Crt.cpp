@@ -59,3 +59,97 @@ BigInt CrtBasis::reconstructCentered(
     X -= Q;
   return X;
 }
+
+RnsBaseConverter::RnsBaseConverter(const CrtBasis &From, const CrtBasis &To)
+    : SrcPrimes(From.primes()), TgtPrimes(To.primes()),
+      InvPunct(From.invPunctured()) {
+  size_t K = SrcPrimes.size();
+  InvPunctShoup.resize(K);
+  InvSrcPrime.resize(K);
+  for (size_t I = 0; I < K; ++I) {
+    InvPunctShoup[I] = shoupPrecompute(InvPunct[I], SrcPrimes[I]);
+    InvSrcPrime[I] = 1.0 / static_cast<double>(SrcPrimes[I]);
+  }
+
+  PunctModTgt.resize(TgtPrimes.size());
+  TgtRed.reserve(TgtPrimes.size());
+  for (size_t J = 0; J < TgtPrimes.size(); ++J) {
+    uint64_t T = TgtPrimes[J];
+    PunctModTgt[J].resize(K);
+    for (size_t I = 0; I < K; ++I)
+      PunctModTgt[J][I] = From.puncturedProducts()[I].modWord(T);
+    TgtRed.emplace_back(T);
+  }
+
+  AlphaQModTgt.resize(K + 1);
+  for (size_t A = 0; A <= K; ++A) {
+    AlphaQModTgt[A].resize(TgtPrimes.size());
+    for (size_t J = 0; J < TgtPrimes.size(); ++J) {
+      uint64_t QModT = From.modulus().modWord(TgtPrimes[J]);
+      AlphaQModTgt[A][J] = mulMod(A % TgtPrimes[J], QModT, TgtPrimes[J]);
+    }
+  }
+}
+
+template <bool Exact>
+void RnsBaseConverter::convertImpl(
+    const std::vector<std::vector<uint64_t>> &In,
+    std::vector<std::vector<uint64_t>> &Out) const {
+  size_t K = SrcPrimes.size();
+  assert(In.size() == K && "source residue count mismatch");
+  size_t N = In[0].size();
+  Out.resize(TgtPrimes.size());
+  for (auto &V : Out)
+    V.assign(N, 0);
+
+  // Scratch for the per-coefficient CRT coefficients c_i.
+  std::vector<uint64_t> C(K);
+  for (size_t Coeff = 0; Coeff < N; ++Coeff) {
+    // c_i = [x_i * (Q/q_i)^-1]_{q_i}; x/Q = frac(sum_i c_i / q_i).
+    uint64_t Alpha;
+    if (Exact) {
+      // 64-bit fixed point: floor(c_i * 2^64 / q_i) underestimates each
+      // term by < 1 ulp, so the rounded sum is exact unless the true value
+      // sits within k*2^-64 of a half-integer boundary.
+      unsigned __int128 FracSum = 0;
+      for (size_t I = 0; I < K; ++I) {
+        C[I] = mulModShoup(In[I][Coeff], InvPunct[I], InvPunctShoup[I],
+                           SrcPrimes[I]);
+        FracSum += (static_cast<unsigned __int128>(C[I]) << 64) / SrcPrimes[I];
+      }
+      Alpha = static_cast<uint64_t>((FracSum + (1ull << 63)) >> 64);
+    } else {
+      double V = 0.0;
+      for (size_t I = 0; I < K; ++I) {
+        C[I] = mulModShoup(In[I][Coeff], InvPunct[I], InvPunctShoup[I],
+                           SrcPrimes[I]);
+        V += static_cast<double>(C[I]) * InvSrcPrime[I];
+      }
+      Alpha = static_cast<uint64_t>(V + 0.5);
+    }
+    assert(Alpha <= K && "alpha outside [0, k]");
+
+    for (size_t J = 0; J < TgtPrimes.size(); ++J) {
+      uint64_t T = TgtPrimes[J];
+      const auto &Punct = PunctModTgt[J];
+      // c_i < 2^62 and punct < 2^62, so k <= 16 products fit a 128-bit
+      // accumulator with room to spare; one Barrett reduce replaces k
+      // modular multiplies.
+      unsigned __int128 Acc = 0;
+      for (size_t I = 0; I < K; ++I)
+        Acc += static_cast<unsigned __int128>(C[I]) * Punct[I];
+      Out[J][Coeff] = subMod(TgtRed[J].reduce(Acc), AlphaQModTgt[Alpha][J], T);
+    }
+  }
+}
+
+void RnsBaseConverter::convert(const std::vector<std::vector<uint64_t>> &In,
+                               std::vector<std::vector<uint64_t>> &Out) const {
+  convertImpl<false>(In, Out);
+}
+
+void RnsBaseConverter::convertExact(
+    const std::vector<std::vector<uint64_t>> &In,
+    std::vector<std::vector<uint64_t>> &Out) const {
+  convertImpl<true>(In, Out);
+}

@@ -17,6 +17,7 @@
 #define PORCUPINE_MATH_CRT_H
 
 #include "math/BigInt.h"
+#include "math/ModArith.h"
 
 #include <cstdint>
 #include <vector>
@@ -47,6 +48,13 @@ public:
   /// Reconstructs the centered representative in (-Q/2, Q/2].
   BigInt reconstructCentered(const std::vector<uint64_t> &Residues) const;
 
+  /// (Q / q_i) mod q_i inverse table, used by the fast base converter.
+  const std::vector<uint64_t> &invPunctured() const { return InvPunctured; }
+  /// Q / q_i as wide integers.
+  const std::vector<BigInt> &puncturedProducts() const {
+    return PuncturedProducts;
+  }
+
 private:
   std::vector<uint64_t> Primes;
   BigInt Q;
@@ -55,6 +63,62 @@ private:
   std::vector<BigInt> PuncturedProducts;
   /// InvPunctured[i] = (Q / q_i)^-1 mod q_i.
   std::vector<uint64_t> InvPunctured;
+};
+
+/// Fast base conversion between RNS bases (the BEHZ/HPS building block):
+/// given the residues of x over a source basis Q = prod q_i, produces the
+/// residues of the *centered* representative [x]_Q in (-Q/2, Q/2] over a
+/// target basis — one word multiply per (source prime, target prime) pair
+/// and no wide integers.
+///
+/// The lift x = sum_i c_i * (Q/q_i) - alpha * Q needs the integer
+/// alpha = round(sum_i c_i / q_i), which convert() estimates in double
+/// precision (error ~2^-50 relative). An estimate that lands on the wrong
+/// side of a rounding boundary shifts the result by exactly Q — harmless in
+/// the BFV multiply pipeline, where a +-Q perturbation of a lift changes
+/// the final ciphertext only by scheme noise far below the decryption
+/// threshold (see Evaluator.cpp). Decryption, whose output must be exact,
+/// uses convertExact(): fixed-point accumulation that is correct whenever
+/// the value is more than ~k*2^-64 * Q away from a boundary.
+class RnsBaseConverter {
+public:
+  RnsBaseConverter(const CrtBasis &From, const CrtBasis &To);
+
+  /// Converts per-source-prime residue vectors (all of length \p N equal to
+  /// In[i].size()) into per-target-prime residue vectors. Out is resized.
+  void convert(const std::vector<std::vector<uint64_t>> &In,
+               std::vector<std::vector<uint64_t>> &Out) const;
+
+  /// As convert(), but computes alpha in 64-bit fixed point: exact except
+  /// within ~k ulps of a Q/2 boundary. Costs one 128/64 division per
+  /// (coefficient, source prime); reserved for decryption.
+  void convertExact(const std::vector<std::vector<uint64_t>> &In,
+                    std::vector<std::vector<uint64_t>> &Out) const;
+
+  size_t sourceCount() const { return SrcPrimes.size(); }
+  size_t targetCount() const { return TgtPrimes.size(); }
+
+private:
+  std::vector<uint64_t> SrcPrimes;
+  std::vector<uint64_t> TgtPrimes;
+  /// InvPunct[i] = (Q/q_i)^-1 mod q_i with Shoup pair.
+  std::vector<uint64_t> InvPunct;
+  std::vector<uint64_t> InvPunctShoup;
+  /// 1.0 / q_i for the floating-point alpha estimate.
+  std::vector<double> InvSrcPrime;
+  /// PunctModTgt[j][i] = (Q/q_i) mod t_j (target-major for locality in the
+  /// inner accumulation loop). The per-coefficient sum accumulates in 128
+  /// bits — k products below 2^117 each — and reduces once per target prime
+  /// through TgtRed.
+  std::vector<std::vector<uint64_t>> PunctModTgt;
+  std::vector<BarrettReducer> TgtRed;
+  /// AlphaQModTgt[a][j] = (a * Q) mod t_j for a in [0, k]; alpha of a
+  /// centered lift always lands in that range.
+  std::vector<std::vector<uint64_t>> AlphaQModTgt;
+
+  template <bool Exact>
+  void convertImpl(const std::vector<std::vector<uint64_t>> &In,
+                   std::vector<std::vector<uint64_t>> &Out) const;
 };
 
 } // namespace porcupine

@@ -46,6 +46,87 @@ inline uint64_t mulMod(uint64_t A, uint64_t B, uint64_t Q) {
   return static_cast<uint64_t>(static_cast<unsigned __int128>(A) * B % Q);
 }
 
+/// Shoup precomputation for a fixed multiplicand \p W < \p P:
+/// floor(W * 2^64 / P). Pairing W with this word makes mulModShoup cost two
+/// machine multiplies and no division.
+inline uint64_t shoupPrecompute(uint64_t W, uint64_t P) {
+  assert(W < P && "Shoup constant must be reduced");
+  return static_cast<uint64_t>((static_cast<unsigned __int128>(W) << 64) / P);
+}
+
+/// Computes (X * W) mod P given the Shoup pair (W, WShoup). Requires W < P
+/// and P < 2^63; X may be any 64-bit value.
+inline uint64_t mulModShoup(uint64_t X, uint64_t W, uint64_t WShoup,
+                            uint64_t P) {
+  uint64_t Approx = static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(X) * WShoup) >> 64);
+  uint64_t R = X * W - Approx * P;
+  return R >= P ? R - P : R;
+}
+
+/// mulModShoup without the final conditional correction: the result lies in
+/// [0, 2P). The workhorse of lazy-reduction NTT butterflies (Harvey's
+/// formulation), where values are allowed to drift up to 4P between
+/// reductions and P < 2^62 guarantees no 64-bit overflow.
+inline uint64_t mulModShoupLazy(uint64_t X, uint64_t W, uint64_t WShoup,
+                                uint64_t P) {
+  uint64_t Approx = static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(X) * WShoup) >> 64);
+  return X * W - Approx * P;
+}
+
+/// Barrett reduction of 128-bit values modulo a fixed odd word modulus
+/// P < 2^62 (every NTT prime qualifies). Unlike mulModShoup neither operand
+/// needs to be fixed, so this serves the pointwise products of NTT-domain
+/// convolutions where both sides vary per slot. Construction costs one
+/// 128-bit division; each reduce() is four multiplies and no division.
+class BarrettReducer {
+public:
+  BarrettReducer() = default;
+  explicit BarrettReducer(uint64_t P) : P(P) {
+    assert(P > 1 && (P & 1) != 0 && P < (1ull << 62) &&
+           "Barrett modulus must be odd and leave headroom");
+    // For odd P, floor((2^128 - 1) / P) == floor(2^128 / P).
+    unsigned __int128 Ratio = static_cast<unsigned __int128>(-1) / P;
+    R0 = static_cast<uint64_t>(Ratio);
+    R1 = static_cast<uint64_t>(Ratio >> 64);
+  }
+
+  uint64_t modulus() const { return P; }
+
+  /// Reduces any 128-bit value modulo P.
+  uint64_t reduce(unsigned __int128 Z) const {
+    uint64_t Z0 = static_cast<uint64_t>(Z);
+    uint64_t Z1 = static_cast<uint64_t>(Z >> 64);
+    // Quotient estimate: high 64 bits of (Z * floor(2^128/P)) >> 128,
+    // accumulated without 128-bit overflow. The estimate is off by at most
+    // two, corrected below.
+    uint64_t Carry = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Z0) * R0) >> 64);
+    unsigned __int128 U = static_cast<unsigned __int128>(Z0) * R1 + Carry;
+    unsigned __int128 V =
+        static_cast<unsigned __int128>(Z1) * R0 + static_cast<uint64_t>(U);
+    uint64_t QHat = Z1 * R1 + static_cast<uint64_t>(U >> 64) +
+                    static_cast<uint64_t>(V >> 64);
+    uint64_t R = Z0 - QHat * P;
+    if (R >= P)
+      R -= P;
+    if (R >= P)
+      R -= P;
+    return R;
+  }
+
+  /// (A * B) mod P without the division of the generic mulMod.
+  uint64_t mulMod(uint64_t A, uint64_t B) const {
+    return reduce(static_cast<unsigned __int128>(A) * B);
+  }
+
+private:
+  uint64_t P = 0;
+  uint64_t R0 = 0;
+  uint64_t R1 = 0;
+};
+
 /// Raises \p Base to \p Exp modulo \p Q by square-and-multiply.
 uint64_t powMod(uint64_t Base, uint64_t Exp, uint64_t Q);
 

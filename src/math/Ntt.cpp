@@ -28,23 +28,7 @@ static size_t reverseBits(size_t X, unsigned Bits) {
   return R;
 }
 
-/// Shoup precomputation: floor(W * 2^64 / P), enabling a modular multiply by
-/// the fixed constant W with two machine multiplies and no division.
-static uint64_t shoupPrecompute(uint64_t W, uint64_t P) {
-  return static_cast<uint64_t>((static_cast<unsigned __int128>(W) << 64) / P);
-}
-
-/// Computes (X * W) mod P given the Shoup pair (W, WShoup). Requires X < P
-/// and W < P.
-static inline uint64_t mulModShoup(uint64_t X, uint64_t W, uint64_t WShoup,
-                                   uint64_t P) {
-  uint64_t Approx = static_cast<uint64_t>(
-      (static_cast<unsigned __int128>(X) * WShoup) >> 64);
-  uint64_t R = X * W - Approx * P;
-  return R >= P ? R - P : R;
-}
-
-NttTables::NttTables(size_t N, uint64_t P) : N(N), P(P) {
+NttTables::NttTables(size_t N, uint64_t P) : N(N), P(P), Red(P) {
   LogN = log2Exact(N);
   assert(P < (1ull << 62) && "NTT modulus must leave headroom for Shoup");
   assert((P - 1) % (2 * N) == 0 && "prime is not NTT-friendly for this N");
@@ -72,7 +56,11 @@ NttTables::NttTables(size_t N, uint64_t P) : N(N), P(P) {
 void NttTables::forwardTransform(std::vector<uint64_t> &Values) const {
   assert(Values.size() == N && "length mismatch");
   // Cooley-Tukey butterflies with the negacyclic twist absorbed into the
-  // twiddle table (Longa-Naehrig / SEAL formulation).
+  // twiddle table (Longa-Naehrig / SEAL formulation), using Harvey's lazy
+  // reduction: values drift in [0, 4P) between stages (P < 2^62 leaves the
+  // headroom) and each butterfly spends one conditional subtract instead of
+  // three.
+  uint64_t TwoP = 2 * P;
   size_t T = N;
   for (size_t M = 1; M < N; M <<= 1) {
     T >>= 1;
@@ -81,18 +69,30 @@ void NttTables::forwardTransform(std::vector<uint64_t> &Values) const {
       uint64_t SShoup = PsiBitRevShoup[M + I];
       size_t J1 = 2 * I * T;
       for (size_t J = J1; J < J1 + T; ++J) {
+        // Invariant: inputs < 4P; U drops below 2P, V lands in [0, 2P), so
+        // both outputs stay below 4P.
         uint64_t U = Values[J];
-        uint64_t V = mulModShoup(Values[J + T], S, SShoup, P);
-        Values[J] = addMod(U, V, P);
-        Values[J + T] = subMod(U, V, P);
+        if (U >= TwoP)
+          U -= TwoP;
+        uint64_t V = mulModShoupLazy(Values[J + T], S, SShoup, P);
+        Values[J] = U + V;
+        Values[J + T] = U + TwoP - V;
       }
     }
+  }
+  for (auto &V : Values) {
+    if (V >= TwoP)
+      V -= TwoP;
+    if (V >= P)
+      V -= P;
   }
 }
 
 void NttTables::inverseTransform(std::vector<uint64_t> &Values) const {
   assert(Values.size() == N && "length mismatch");
-  // Gentleman-Sande butterflies.
+  // Gentleman-Sande butterflies, lazy: values stay below 2P throughout and
+  // the final 1/N scaling performs the full reduction.
+  uint64_t TwoP = 2 * P;
   size_t T = 1;
   for (size_t M = N; M > 1; M >>= 1) {
     size_t J1 = 0;
@@ -101,10 +101,15 @@ void NttTables::inverseTransform(std::vector<uint64_t> &Values) const {
       uint64_t S = InvPsiBitRev[H + I];
       uint64_t SShoup = InvPsiBitRevShoup[H + I];
       for (size_t J = J1; J < J1 + T; ++J) {
+        // Invariant: inputs < 2P; the sum reduces below 2P, the lazy
+        // product lands in [0, 2P).
         uint64_t U = Values[J];
         uint64_t V = Values[J + T];
-        Values[J] = addMod(U, V, P);
-        Values[J + T] = mulModShoup(subMod(U, V, P), S, SShoup, P);
+        uint64_t Sum = U + V;
+        if (Sum >= TwoP)
+          Sum -= TwoP;
+        Values[J] = Sum;
+        Values[J + T] = mulModShoupLazy(U + TwoP - V, S, SShoup, P);
       }
       J1 += 2 * T;
     }
@@ -121,7 +126,7 @@ NttTables::multiply(const std::vector<uint64_t> &A,
   forwardTransform(FA);
   forwardTransform(FB);
   for (size_t I = 0; I < N; ++I)
-    FA[I] = mulMod(FA[I], FB[I], P);
+    FA[I] = Red.mulMod(FA[I], FB[I]);
   inverseTransform(FA);
   return FA;
 }
@@ -134,10 +139,14 @@ porcupine::naiveNegacyclicMultiply(const std::vector<uint64_t> &A,
   assert(B.size() == N && "length mismatch");
   std::vector<uint64_t> Out(N, 0);
   for (size_t I = 0; I < N; ++I) {
-    if (A[I] == 0)
+    // Operands arrive as reduced residues; reduce once per row instead of
+    // re-reducing both factors inside the N^2 inner loop.
+    uint64_t AI = A[I] % P;
+    if (AI == 0)
       continue;
+    uint64_t AShoup = shoupPrecompute(AI, P);
     for (size_t J = 0; J < N; ++J) {
-      uint64_t Prod = mulMod(A[I] % P, B[J] % P, P);
+      uint64_t Prod = mulModShoup(B[J], AI, AShoup, P);
       size_t K = I + J;
       if (K < N)
         Out[K] = addMod(Out[K], Prod, P);

@@ -15,6 +15,8 @@
 #ifndef PORCUPINE_MATH_NTT_H
 #define PORCUPINE_MATH_NTT_H
 
+#include "math/ModArith.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -46,6 +48,10 @@ public:
   std::vector<uint64_t> multiply(const std::vector<uint64_t> &A,
                                  const std::vector<uint64_t> &B) const;
 
+  /// Barrett reducer for this prime, shared with callers doing their own
+  /// pointwise products in the evaluation domain.
+  const BarrettReducer &reducer() const { return Red; }
+
 private:
   size_t N;
   unsigned LogN;
@@ -59,6 +65,9 @@ private:
   std::vector<uint64_t> InvPsiBitRevShoup;
   uint64_t NInv;
   uint64_t NInvShoup;
+  /// Division-free pointwise reduction mod P for the multiply() product
+  /// loop (both factors vary per slot, so Shoup pairs do not apply).
+  BarrettReducer Red;
 };
 
 /// Reference O(N^2) negacyclic convolution used as a test oracle.

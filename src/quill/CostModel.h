@@ -26,21 +26,25 @@
 namespace porcupine {
 namespace quill {
 
-/// Per-opcode latencies in microseconds.
+/// Per-opcode latencies in microseconds. The defaults are rounded medians
+/// from bench_bfv_microbench on the 1-core CI runner class with the
+/// RNS-native evaluator (see the "microbench" section of the committed
+/// BENCH_results.json); LatencyProfiler re-measures them at runtime when a
+/// live profile is requested.
 struct LatencyTable {
-  double AddCtCt = 20.0;
-  double AddCtPt = 15.0;
-  double SubCtCt = 20.0;
-  double SubCtPt = 15.0;
+  double AddCtCt = 100.0;
+  double AddCtPt = 120.0;
+  double SubCtCt = 100.0;
+  double SubCtPt = 120.0;
   /// Includes the mandatory relinearization (the paper's model, and how
   /// implicit-relin programs are priced).
-  double MulCtCt = 15000.0;
-  double MulCtPt = 800.0;
-  double RotCt = 2500.0;
+  double MulCtCt = 7000.0;
+  double MulCtPt = 400.0;
+  double RotCt = 1500.0;
   /// One relinearization (a key switch, comparable to a rotation). In
   /// explicit-relin programs mul-ct-ct is priced raw (mulCtCtRaw()) and
   /// each Relin instruction adds this.
-  double RelinCt = 2500.0;
+  double RelinCt = 1500.0;
 
   /// The raw tensor-product multiply without its relinearization.
   double mulCtCtRaw() const {

@@ -534,4 +534,96 @@ TEST(BigInt, MulWordAgainstRepeatedAddition) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Precomputed-constant reduction (the NTT / base-conversion hot paths)
+//===----------------------------------------------------------------------===//
+
+/// A random odd modulus below 2^62 (the headroom both Barrett and Shoup
+/// reduction require).
+static uint64_t randomOddModulus(Rng &R) {
+  return (R.below((1ull << 62) - 3) + 3) | 1;
+}
+
+TEST(ModArith, BarrettReducerMatchesInt128) {
+  Rng R(44);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    uint64_t P = randomOddModulus(R);
+    BarrettReducer Red(P);
+    // Any 128-bit value must reduce correctly, including the extremes.
+    unsigned __int128 Z =
+        (static_cast<unsigned __int128>(R.next()) << 64) | R.next();
+    EXPECT_EQ(Red.reduce(Z), static_cast<uint64_t>(Z % P));
+    EXPECT_EQ(Red.reduce(0), 0u);
+    EXPECT_EQ(Red.reduce(static_cast<unsigned __int128>(-1)),
+              static_cast<uint64_t>(static_cast<unsigned __int128>(-1) % P));
+
+    uint64_t A = R.below(P), B = R.below(P);
+    EXPECT_EQ(Red.mulMod(A, B),
+              static_cast<uint64_t>(static_cast<unsigned __int128>(A) * B % P));
+  }
+}
+
+TEST(ModArith, ShoupMulMatchesInt128) {
+  Rng R(45);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    uint64_t P = randomOddModulus(R);
+    uint64_t W = R.below(P);
+    uint64_t WShoup = shoupPrecompute(W, P);
+    // Shoup reduction is correct for an arbitrary 64-bit other operand.
+    uint64_t X = R.next();
+    unsigned __int128 Wide = static_cast<unsigned __int128>(X) * W;
+    EXPECT_EQ(mulModShoup(X, W, WShoup, P), static_cast<uint64_t>(Wide % P));
+
+    // The lazy variant skips the final correction: congruent mod P and
+    // strictly below 2P.
+    uint64_t Lazy = mulModShoupLazy(X, W, WShoup, P);
+    EXPECT_LT(Lazy, 2 * P);
+    EXPECT_EQ(Lazy % P, static_cast<uint64_t>(Wide % P));
+  }
+}
+
+TEST(Crt, FastBaseConversionMatchesBigIntReference) {
+  // Convert residues of random values between two unrelated NTT-prime
+  // bases and compare against exact BigInt centering. Values are kept away
+  // from Q/2 (top bit of the range clear) so the double-precision alpha
+  // estimate of convert() cannot legitimately differ either.
+  std::vector<uint64_t> SrcPrimes, TgtPrimes;
+  for (int I = 0; I < 3; ++I)
+    SrcPrimes.push_back(generateNttPrime(40, 2048, SrcPrimes));
+  std::vector<uint64_t> Exclude = SrcPrimes;
+  for (int I = 0; I < 2; ++I) {
+    TgtPrimes.push_back(generateNttPrime(50, 2048, Exclude));
+    Exclude.push_back(TgtPrimes.back());
+  }
+  CrtBasis Src(SrcPrimes), Tgt(TgtPrimes);
+  RnsBaseConverter Conv(Src, Tgt);
+
+  Rng R(46);
+  size_t N = 128;
+  std::vector<BigInt> Values;
+  std::vector<std::vector<uint64_t>> In(SrcPrimes.size());
+  for (auto &V : In)
+    V.resize(N);
+  for (size_t C = 0; C < N; ++C) {
+    // ~117-bit modulus; build a value below 2^110 << Q/2.
+    BigInt X = (BigInt::fromU64(R.next()).shiftLeft(46) +
+                BigInt::fromU64(R.next())) ;
+    auto Res = Src.decompose(X);
+    for (size_t I = 0; I < SrcPrimes.size(); ++I)
+      In[I][C] = Res[I];
+    Values.push_back(std::move(X));
+  }
+
+  std::vector<std::vector<uint64_t>> Fast, Exact;
+  Conv.convert(In, Fast);
+  Conv.convertExact(In, Exact);
+  for (size_t C = 0; C < N; ++C) {
+    auto Expected = Tgt.decompose(Values[C]);
+    for (size_t J = 0; J < TgtPrimes.size(); ++J) {
+      EXPECT_EQ(Exact[J][C], Expected[J]) << "coeff " << C << " prime " << J;
+      EXPECT_EQ(Fast[J][C], Expected[J]) << "coeff " << C << " prime " << J;
+    }
+  }
+}
+
 } // namespace

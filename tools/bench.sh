@@ -11,7 +11,12 @@
 #      optimizer statistics and cost-model cost before/after the default
 #      pipeline (host-independent; bench_compare.py fails the snapshot if
 #      any pass increases cost)
-#   6. write everything into one JSON document (default: BENCH_results.json
+#   6. run the BFV primitive microbenchmark (bench_bfv_microbench): per-op
+#      microsecond medians for the homomorphic instruction set —
+#      bench_compare.py gates mul/relin/rotate against the baseline on the
+#      same machine class, and the numbers anchor the synthesis cost
+#      model's latency table (quill/CostModel.h)
+#   7. write everything into one JSON document (default: BENCH_results.json
 #      at the repo root) so the perf trajectory can be tracked across PRs
 #      — tools/bench_compare.py diffs two such snapshots and gates CI
 #
@@ -129,6 +134,16 @@ echo "== optimizer pipeline (porcc opt)"
       fi
     done
 
+# BFV primitive microbenchmark: per-op median latencies straight from the
+# evaluator, no compiler in the loop. Emits one JSON object.
+echo "== bfv microbench"
+if ! "$BUILD_DIR/bench/bench_bfv_microbench" --repeats 25 \
+    >"$TMP/microbench" 2>"$TMP/microbench.err"; then
+  echo "  FAIL bench_bfv_microbench:" >&2
+  cat "$TMP/microbench.err" >&2
+  exit 1
+fi
+
 # Synthesis parallel speedup: every record carries synthesis_ms (the
 # N-thread wall time), synthesis_ms_1thread, and synthesis_threads-equivalent
 # context, so bench history stays comparable across machine sizes. A
@@ -145,7 +160,7 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
 
 {
   printf '{\n'
-  printf '  "schema": "porcupine-bench-results/2",\n'
+  printf '  "schema": "porcupine-bench-results/3",\n'
   printf '  "generated_by": "tools/bench.sh",\n'
   printf '  "date_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "host_jobs": %s,\n' "$JOBS"
@@ -158,6 +173,9 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
   printf '  "optimizer": [\n'
   cat "$TMP/optimizer"
   printf '\n  ],\n'
+  printf '  "microbench":\n'
+  sed 's/^/  /' "$TMP/microbench"
+  printf '  ,\n'
   printf '  "synthesis":\n'
   sed 's/^/  /' "$TMP/synthesis"
   printf '}\n'

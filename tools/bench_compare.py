@@ -18,6 +18,11 @@ run is the candidate. The gate:
     cost guard), and a kernel's optimized cost must not regress against
     the committed baseline. Cost-model numbers are host-independent, so
     these gates are ALWAYS armed, even across machine classes.
+  * microbench record (bench_bfv_microbench per-op medians): the hot-path
+    ops — ciphertext multiply, relinearization, rotation — must not
+    regress by more than the tolerance. Gated like serving latency (same
+    machine class only), but a fresh snapshot silently missing the
+    microbench section when the baseline has one always fails.
 
 Everything else (figure-bench wall times, compile times, median speedup)
 is reported informationally only: those vary with runner load and core
@@ -155,6 +160,51 @@ def check_optimizer(base, fresh, failures):
         print(f"  MISSING    {name}: no fresh optimizer record")
 
 
+# Hot-path primitives the tentpole optimized; everything else in ops_us
+# (encrypt, NTT, base conversion, ...) is reported informationally.
+MICROBENCH_GATED_OPS = ("mul_ct_ct", "relin", "rotate")
+
+
+def check_microbench(base, fresh, tolerance, latency_gates, failures):
+    """Per-op latency gate over the BFV primitive microbenchmark."""
+    base_ops = (base.get("microbench") or {}).get("ops_us") or {}
+    fresh_ops = (fresh.get("microbench") or {}).get("ops_us") or {}
+    if not fresh_ops:
+        if base_ops:
+            # Missing-section failures stay armed across host classes: a
+            # vanished record is a tooling break, not a slow machine.
+            failures.append(
+                "microbench section missing from fresh run (baseline has "
+                "one); did bench_bfv_microbench break?"
+            )
+        return
+    if not base_ops:
+        print("microbench: new section, no baseline yet")
+        return
+    print(f"microbench per-op latency (tolerance {tolerance:.2f}x):")
+    for op in MICROBENCH_GATED_OPS:
+        bval, fval = base_ops.get(op), fresh_ops.get(op)
+        if not isinstance(bval, (int, float)) or bval <= 0:
+            print(f"  note  {op}: no usable baseline value, skipped")
+            continue
+        if not isinstance(fval, (int, float)) or fval <= 0:
+            failures.append(f"microbench {op}: missing from fresh ops_us")
+            print(f"  MISSING    {op}: no fresh value")
+            continue
+        ratio = fval / bval
+        verdict = "ok"
+        if ratio > tolerance:
+            if latency_gates:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"microbench {op}: {bval:.1f}us -> {fval:.1f}us "
+                    f"({ratio:.2f}x > {tolerance:.2f}x)"
+                )
+            else:
+                verdict = "WARN"
+        print(f"  {verdict:10s} {op}: {bval:.1f}us -> {fval:.1f}us ({ratio:.2f}x)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_results.json")
@@ -234,6 +284,7 @@ def main():
         print(f"  note  {name}: new kernel, no baseline yet")
 
     check_optimizer(base, fresh, failures)
+    check_microbench(base, fresh, args.tolerance, latency_gates, failures)
 
     synth = fresh.get("synthesis")
     if isinstance(synth, dict):
