@@ -150,7 +150,7 @@ unsigned BfvContext::maxSecureCoeffBits(size_t PolyDegree) {
   }
 }
 
-BfvContext BfvContext::forMultDepth(unsigned Depth) {
+BfvParams BfvContext::paramsForMultDepth(unsigned Depth) {
   // Rough budget model for t = 65537: fresh ciphertexts start with
   // ~log2(Q) - 27 bits of invariant-noise budget and each ct-ct multiply
   // consumes ~30-35 bits. Pick the smallest standard (N, Q) pair that
@@ -166,5 +166,9 @@ BfvContext BfvContext::forMultDepth(unsigned Depth) {
     Params.PolyDegree = 8192;
     Params.CoeffPrimeBits = {44, 44, 44, 43, 43}; // 218 bits.
   }
-  return BfvContext(Params);
+  return Params;
+}
+
+BfvContext BfvContext::forMultDepth(unsigned Depth) {
+  return BfvContext(paramsForMultDepth(Depth));
 }

@@ -59,6 +59,12 @@ public:
   /// \p Depth, using the HE-standard 128-bit-security N/log2(Q) pairs.
   static BfvContext forMultDepth(unsigned Depth);
 
+  /// The parameters forMultDepth(\p Depth) would select, without paying
+  /// context construction (CRT bases, NTT tables). Callers that only need
+  /// the ring dimension — e.g. the serving tier sizing cross-request
+  /// batches by the row width N/2 — stay cheap.
+  static BfvParams paramsForMultDepth(unsigned Depth);
+
   size_t polyDegree() const { return N; }
   /// Usable SIMD vector length (one batching row).
   size_t slotCount() const { return N / 2; }

@@ -378,7 +378,10 @@ Evaluator::keySwitchRns(const RingPoly &P, const KeySwitchKey &Key) const {
   for (size_t D = 0; D < Gadget.size(); ++D) {
     const auto &Digit = Gadget[D];
     const auto &SrcRes = Src.residues(Digit.SourcePrime);
-    RingPoly DigitPoly = RingPoly::zero(Ctx);
+    // Fill and transform one residue at a time: the forward NTT runs while
+    // the freshly written residue is still cache-hot, instead of
+    // materializing every residue and re-walking them all in toNtt().
+    RingPoly DigitPoly = RingPoly::zero(Ctx, /*InNttForm=*/true);
     for (size_t I = 0; I < Ctx.coeffBasis().count(); ++I) {
       auto &Res = DigitPoly.residues(I);
       uint64_t Ql = Ctx.coeffBasis().primes()[I];
@@ -387,8 +390,8 @@ Evaluator::keySwitchRns(const RingPoly &P, const KeySwitchKey &Key) const {
         uint64_t V = (SrcRes[J] >> Digit.Shift) & Mask;
         Res[J] = V < Ql ? V : Red.reduce(V);
       }
+      Ctx.coeffNtt()[I].forwardTransform(Res);
     }
-    DigitPoly.toNtt(Ctx);
     Acc0.fmaNtt(Ctx, DigitPoly, Key.K0[D]);
     Acc1.fmaNtt(Ctx, DigitPoly, Key.K1[D]);
   }

@@ -22,6 +22,7 @@
 
 #include "driver/Engine.h"
 
+#include "bfv/BfvContext.h"
 #include "driver/Artifact.h"
 #include "quill/Analysis.h"
 
@@ -218,6 +219,58 @@ Expected<std::vector<ExecuteOutcome>> CompiledKernel::executeMany(
   return Outcomes;
 }
 
+size_t CompiledKernel::packedRowWidth() const {
+  int Depth = quill::programMultiplicativeDepth(Result.Program);
+  return BfvContext::paramsForMultDepth(Depth < 0 ? 0
+                                                  : static_cast<unsigned>(Depth))
+             .PolyDegree /
+         2;
+}
+
+Expected<ExecuteOutcome> CompiledKernel::executePacked(
+    const std::vector<std::vector<uint64_t>> &PackedInputs) const {
+  const quill::Program &P = Result.Program;
+  if (static_cast<int>(PackedInputs.size()) != P.NumInputs)
+    return Status::error("execute",
+                         "kernel '" + Result.KernelName + "' takes " +
+                             std::to_string(P.NumInputs) +
+                             " input vector(s) but got " +
+                             std::to_string(PackedInputs.size()));
+  const size_t Row = packedRowWidth();
+  for (const std::vector<uint64_t> &V : PackedInputs)
+    if (V.size() > Row)
+      return Status::error("execute",
+                           "packed input of width " +
+                               std::to_string(V.size()) +
+                               " exceeds the batching row of " +
+                               std::to_string(Row) + " slots");
+  auto Lease = acquireRuntime();
+  if (!Lease)
+    return Lease.status();
+  Runtime &RT = Lease->runtime();
+  assert(RT.context().slotCount() == Row &&
+         "packedRowWidth disagrees with the instantiated parameters");
+  std::vector<Ciphertext> Enc;
+  Enc.reserve(PackedInputs.size());
+  for (const std::vector<uint64_t> &V : PackedInputs) {
+    // Runtime::encrypt packs any vector up to the slot count; shorter rows
+    // zero-fill, exactly like the per-request path zero-pads.
+    auto Ct = RT.encrypt(V);
+    if (!Ct)
+      return Ct.status();
+    Enc.push_back(Ct.take());
+  }
+  auto Ct = RT.run(P, Enc);
+  if (!Ct)
+    return Ct.status();
+  ExecuteOutcome Out;
+  Out.Outputs = RT.decrypt(*Ct, Row);
+  Out.Encrypted = true;
+  Out.NoiseBudgetBits = RT.noiseBudget(*Ct);
+  Out.PolyDegree = RT.context().polyDegree();
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Engine: cache
 //===----------------------------------------------------------------------===//
@@ -236,17 +289,43 @@ Engine::compileAsync(const std::string &KernelName) {
   return compileAsync(KernelName, EOpts.Defaults);
 }
 
+Engine::~Engine() {
+  // Drain before members die: queued tasks touch the cache and fulfil
+  // their promises, so every outstanding future resolves here.
+  if (AsyncPool)
+    AsyncPool->shutdown();
+}
+
+ThreadPool &Engine::asyncPool() {
+  std::call_once(AsyncPoolOnce, [this] {
+    AsyncPool = std::make_unique<ThreadPool>(
+        EOpts.AsyncCompileThreads ? EOpts.AsyncCompileThreads : 1);
+  });
+  return *AsyncPool;
+}
+
 std::future<Expected<Engine::KernelHandle>>
 Engine::compileAsync(const std::string &KernelName,
                      const CompileOptions &Opts) {
-  // std::async with the async policy: the compile starts immediately on
-  // its own thread and runs through getImpl, i.e. the exact cache path —
-  // misses coalesce with every concurrent get()/compileAsync() of the
-  // same key, hits resolve at once, failures surface through the future.
-  return std::async(std::launch::async,
-                    [this, KernelName, Opts] {
-                      return getImpl(KernelName, Opts);
-                    });
+  // The compile runs on the Engine's bounded pool through getImpl, i.e.
+  // the exact cache path — misses coalesce with every concurrent
+  // get()/compileAsync() of the same key, hits resolve at once, failures
+  // surface through the future. A pool task blocking on a coalesced miss
+  // is safe: the slot's owner is, by construction, a thread already
+  // executing (it created the slot mid-getImpl), never a later queue
+  // entry, so the wait always terminates.
+  auto Prom = std::make_shared<std::promise<Expected<KernelHandle>>>();
+  std::future<Expected<KernelHandle>> Fut = Prom->get_future();
+  bool Queued = asyncPool().submit([this, Prom, KernelName, Opts](unsigned) {
+    Prom->set_value(getImpl(KernelName, Opts));
+  });
+  if (!Queued)
+    // Only possible once destruction has begun; resolve rather than leave
+    // a broken promise.
+    Prom->set_value(
+        Status::error("engine", "engine is shutting down; compile of '" +
+                                    KernelName + "' was dropped"));
+  return Fut;
 }
 
 Expected<Engine::KernelHandle> Engine::getImpl(const std::string &KernelName,

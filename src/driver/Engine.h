@@ -46,6 +46,7 @@
 #define PORCUPINE_DRIVER_ENGINE_H
 
 #include "driver/Driver.h"
+#include "support/ThreadPool.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -95,6 +96,24 @@ public:
   Expected<std::vector<ExecuteOutcome>>
   executeMany(const std::vector<std::vector<std::vector<uint64_t>>> &Batch,
               bool Encrypted = true) const;
+
+  /// Packed evaluation for cross-request batching (driver/Batcher.h): one
+  /// vector per program input, each up to packedRowWidth() slots wide, laid
+  /// out by the caller with one independent request per VectorSize window.
+  /// The program runs ONCE over the full row — BFV operations act on every
+  /// slot of the batching row regardless of the program's VectorSize — so
+  /// one encrypted call serves packedRowWidth()/VectorSize requests. The
+  /// outcome's Outputs carry the full decrypted row for the caller to
+  /// slice. Always encrypted; only sound for programs Batcher::BatchPlan
+  /// judged batchable (splat constants, masked-slot validation).
+  /// Thread-safe.
+  Expected<ExecuteOutcome>
+  executePacked(const std::vector<std::vector<uint64_t>> &PackedInputs) const;
+
+  /// The batching-row width (N/2) of the parameters encrypted execution
+  /// instantiates for this kernel's multiplicative depth. Cheap: no
+  /// context is built.
+  size_t packedRowWidth() const;
 
   /// Upper bound on concurrently checked-out Runtimes (pool capacity).
   size_t runtimePoolSize() const { return PoolSize; }
@@ -182,6 +201,10 @@ struct EngineOptions {
   size_t RuntimePoolSize = 4;
   /// Options applied by get(name); get(name, options) overrides per call.
   CompileOptions Defaults;
+  /// Worker threads backing compileAsync() (one shared pool per Engine,
+  /// created on first use). Bounds background-compile concurrency instead
+  /// of spawning one OS thread per call. Clamped >= 1.
+  unsigned AsyncCompileThreads = 2;
 };
 
 /// Thread-safe compile-once / run-many front end: a fingerprinted LRU
@@ -204,6 +227,10 @@ public:
       EOpts.RuntimePoolSize = 1;
   }
 
+  /// Runs every queued compileAsync() task to completion (resolving its
+  /// future) and joins the pool before the cache is torn down.
+  ~Engine();
+
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
 
@@ -219,15 +246,19 @@ public:
 
   /// Non-blocking get(): returns immediately with a future that resolves
   /// to the same handle (or failure) a synchronous get() would produce.
-  /// The compile runs on its own thread through the identical cache path,
-  /// so concurrent compileAsync()/get() calls for one (kernel, options)
-  /// pair coalesce onto a single compile — kicking off a compileAsync()
-  /// and then calling get() from a serving thread never synthesizes
-  /// twice. A cached kernel resolves the future (almost) immediately.
+  /// The compile runs on a small per-Engine support::ThreadPool
+  /// (EngineOptions::AsyncCompileThreads workers) through the identical
+  /// cache path, so concurrent compileAsync()/get() calls for one
+  /// (kernel, options) pair coalesce onto a single compile — kicking off
+  /// a compileAsync() and then calling get() from a serving thread never
+  /// synthesizes twice — and a burst of calls queues FIFO instead of
+  /// spawning a thread each. A cached kernel resolves the future (almost)
+  /// immediately.
   ///
-  /// Lifetime: the returned future owns the worker thread's shared state
-  /// and must not outlive this Engine unresolved — wait on (or destroy,
-  /// which joins) every pending future before destroying the Engine.
+  /// Lifetime: ~Engine() drains the pool, so every returned future is
+  /// resolved by the time destruction finishes; futures may safely
+  /// outlive the Engine, but get() on them after that only yields
+  /// already-computed results.
   std::future<Expected<KernelHandle>>
   compileAsync(const std::string &KernelName);
   std::future<Expected<KernelHandle>>
@@ -277,9 +308,14 @@ private:
   KernelHandle insertReady(const std::string &Key, KernelHandle K);
   /// Drops LRU entries beyond capacity. Caller holds CacheMutex.
   void evictOverCapacity();
+  /// The lazily created compileAsync() pool.
+  ThreadPool &asyncPool();
 
   EngineOptions EOpts;
   const kernels::KernelRegistry *Registry = nullptr;
+
+  std::once_flag AsyncPoolOnce;
+  std::unique_ptr<ThreadPool> AsyncPool;
 
   mutable std::mutex CacheMutex;
   LruList Lru; ///< Front = most recently used.

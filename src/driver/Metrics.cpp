@@ -1,0 +1,101 @@
+//===- driver/Metrics.cpp - Serving-tier metrics primitives ---------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace porcupine;
+using namespace porcupine::driver;
+
+double LatencyHistogram::boundary(size_t I) {
+  // Upper bound of bucket I: 2^(I/4) microseconds. Bucket NumBuckets-1 is
+  // the unbounded overflow bucket; report its lower edge for quantiles.
+  return std::pow(2.0, static_cast<double>(I) / 4.0);
+}
+
+void LatencyHistogram::observe(uint64_t Us) {
+  // Smallest I with 2^(I/4) >= Us, i.e. I = ceil(4 * log2(Us)).
+  size_t Idx = 0;
+  if (Us > 1) {
+    double L = std::log2(static_cast<double>(Us));
+    Idx = static_cast<size_t>(std::ceil(4.0 * L));
+    if (Idx >= NumBuckets)
+      Idx = NumBuckets - 1;
+  }
+  std::lock_guard<std::mutex> L(M);
+  ++Buckets[Idx];
+  ++Count;
+  SumUs += Us;
+}
+
+double LatencyHistogram::quantileLocked(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  double Target = Q * static_cast<double>(Count);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    if (static_cast<double>(Cum + Buckets[I]) >= Target) {
+      double Lo = I == 0 ? 0.0 : boundary(I - 1);
+      double Hi = boundary(I);
+      double Frac =
+          (Target - static_cast<double>(Cum)) / static_cast<double>(Buckets[I]);
+      return Lo + Frac * (Hi - Lo);
+    }
+    Cum += Buckets[I];
+  }
+  return boundary(NumBuckets - 1);
+}
+
+LatencySnapshot LatencyHistogram::snapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  LatencySnapshot S;
+  S.Count = Count;
+  S.SumUs = SumUs;
+  S.P50Us = quantileLocked(0.50);
+  S.P95Us = quantileLocked(0.95);
+  S.P99Us = quantileLocked(0.99);
+  return S;
+}
+
+void driver::promHeader(std::string &Out, const std::string &Name,
+                        const std::string &Help, const char *Type) {
+  Out += "# HELP " + Name + " " + Help + "\n";
+  Out += "# TYPE " + Name + " ";
+  Out += Type;
+  Out += "\n";
+}
+
+void driver::promSample(std::string &Out, const std::string &Name,
+                        const std::string &Labels, double Value) {
+  Out += Name;
+  if (!Labels.empty())
+    Out += "{" + Labels + "}";
+  char Buf[64];
+  if (Value == std::floor(Value) && std::fabs(Value) < 1e15)
+    std::snprintf(Buf, sizeof(Buf), " %.0f\n", Value);
+  else
+    std::snprintf(Buf, sizeof(Buf), " %.6g\n", Value);
+  Out += Buf;
+}
+
+std::string driver::promEscape(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    if (C == '\\' || C == '"')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}

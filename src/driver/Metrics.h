@@ -1,0 +1,74 @@
+//===- driver/Metrics.h - Serving-tier metrics primitives -------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small metrics primitives for the serving tier (driver/Server.h): a
+/// thread-safe log-bucketed latency histogram with quantile estimation,
+/// and helpers for emitting the Prometheus text exposition format. Kept
+/// dependency-free and separate from Server so benches and tests can use
+/// the histogram directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_DRIVER_METRICS_H
+#define PORCUPINE_DRIVER_METRICS_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace porcupine {
+namespace driver {
+
+/// Point-in-time summary of one latency distribution (microseconds).
+struct LatencySnapshot {
+  uint64_t Count = 0;
+  uint64_t SumUs = 0;
+  double P50Us = 0;
+  double P95Us = 0;
+  double P99Us = 0;
+};
+
+/// Thread-safe latency histogram with logarithmic buckets at ratio 2^(1/4)
+/// (~19% relative width), covering 1us .. ~36s. Quantiles interpolate
+/// linearly inside the landing bucket, so the estimate's relative error is
+/// bounded by the bucket ratio — plenty for p50/p95/p99 serving metrics
+/// while observe() stays O(log buckets) with no allocation.
+class LatencyHistogram {
+public:
+  void observe(uint64_t Us);
+  LatencySnapshot snapshot() const;
+
+private:
+  /// 101 boundaries at 2^(I/4) us: the last is ~2^25 us (~34s); anything
+  /// slower lands in the overflow bucket.
+  static constexpr size_t NumBuckets = 102;
+  static double boundary(size_t I);
+  double quantileLocked(double Q) const;
+
+  mutable std::mutex M;
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t SumUs = 0;
+};
+
+/// Appends "# HELP name help" and "# TYPE name type" lines.
+void promHeader(std::string &Out, const std::string &Name,
+                const std::string &Help, const char *Type);
+/// Appends one sample line: name{labels} value. \p Labels is the raw
+/// comma-separated label body without braces ("" = no labels). Integral
+/// values print without an exponent; others use shortest-round-trip %g.
+void promSample(std::string &Out, const std::string &Name,
+                const std::string &Labels, double Value);
+/// Escapes a label value (backslash, quote, newline) per the text format.
+std::string promEscape(const std::string &V);
+
+} // namespace driver
+} // namespace porcupine
+
+#endif // PORCUPINE_DRIVER_METRICS_H

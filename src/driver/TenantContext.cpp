@@ -1,0 +1,86 @@
+//===- driver/TenantContext.cpp - Per-tenant isolation --------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/TenantContext.h"
+
+using namespace porcupine;
+using namespace porcupine::driver;
+
+static uint64_t fnv1a(const std::string &S, uint64_t Basis) {
+  uint64_t H = Basis;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t driver::tenantSeed(const std::string &TenantId) {
+  uint64_t H = fnv1a(TenantId, 14695981039346656037ull);
+  // Seed 0 means "default" elsewhere in the driver; keep tenants off it.
+  return H ? H : 0x9e3779b97f4a7c15ull;
+}
+
+unsigned driver::tenantShard(const std::string &TenantId, unsigned NumShards) {
+  if (NumShards <= 1)
+    return 0;
+  // A different basis than tenantSeed() so shard placement and key
+  // material are uncorrelated hash outputs of the same id.
+  return static_cast<unsigned>(fnv1a(TenantId, 0xcbf29ce484222325ull ^
+                                                   0x5bd1e995u) %
+                               NumShards);
+}
+
+std::shared_ptr<const TenantContext>
+TenantContextCache::get(const std::string &TenantId,
+                        const CompileOptions &Base) {
+  // '\x1f' cannot appear in a canonical key's syntax unescaped, so the
+  // composite key is unambiguous (same convention as the Engine cache).
+  const std::string Key = TenantId + '\x1f' + Base.canonicalKey();
+
+  std::lock_guard<std::mutex> L(M);
+  auto It = ByKey.find(Key);
+  if (It != ByKey.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second);
+    ++Hits;
+    return It->second->second;
+  }
+  ++Misses;
+  auto Ctx = std::make_shared<TenantContext>();
+  Ctx->TenantId = TenantId;
+  Ctx->Seed = tenantSeed(TenantId);
+  Ctx->Opts = Base;
+  Ctx->Opts.ExecutionSeed = Ctx->Seed;
+  Ctx->OptionsKey = Ctx->Opts.canonicalKey();
+  Lru.emplace_front(Key, std::move(Ctx));
+  ByKey[Key] = Lru.begin();
+  while (ByKey.size() > Capacity) {
+    ByKey.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Evictions;
+  }
+  return Lru.front().second;
+}
+
+size_t TenantContextCache::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return ByKey.size();
+}
+
+uint64_t TenantContextCache::hits() const {
+  std::lock_guard<std::mutex> L(M);
+  return Hits;
+}
+
+uint64_t TenantContextCache::misses() const {
+  std::lock_guard<std::mutex> L(M);
+  return Misses;
+}
+
+uint64_t TenantContextCache::evictions() const {
+  std::lock_guard<std::mutex> L(M);
+  return Evictions;
+}

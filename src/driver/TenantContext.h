@@ -1,0 +1,94 @@
+//===- driver/TenantContext.h - Per-tenant isolation ------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-tenant key and context isolation for the serving tier. Every tenant
+/// executes under CompileOptions whose ExecutionSeed is derived from the
+/// tenant id, so two tenants never share BFV secret keys, Engine cache
+/// entries, or compile fingerprints — the seed feeds both key generation
+/// and the (kernel, options) fingerprint. TenantContextCache keeps the
+/// most recently used tenants' derived options behind an LRU keyed by
+/// tenant id + the base options' canonical key; a tenant whose base
+/// parameters change (different plaintext modulus, pipeline, ...) gets a
+/// fresh entry instead of silently reusing stale options.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_DRIVER_TENANTCONTEXT_H
+#define PORCUPINE_DRIVER_TENANTCONTEXT_H
+
+#include "driver/Driver.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace porcupine {
+namespace driver {
+
+/// FNV-1a hash of \p TenantId, mapped away from 0 (the seed the rest of
+/// the driver reserves as "default"); stable across processes so a
+/// tenant's keys are reproducible from its id alone.
+uint64_t tenantSeed(const std::string &TenantId);
+
+/// Deterministic tenant -> shard assignment over \p NumShards (>= 1).
+/// Hash-based, so placement survives restarts and is identical on every
+/// replica; intentionally independent of tenantSeed() so neither leaks
+/// structure into the other.
+unsigned tenantShard(const std::string &TenantId, unsigned NumShards);
+
+/// Immutable per-tenant execution context: the base CompileOptions with
+/// the tenant-derived ExecutionSeed applied.
+struct TenantContext {
+  std::string TenantId;
+  uint64_t Seed = 0;
+  /// Base options + tenant seed; governs compilation, key generation, and
+  /// the Engine cache fingerprint.
+  CompileOptions Opts;
+  /// canonicalKey() of \p Opts — distinct per tenant, used by tests and
+  /// metrics to pin isolation.
+  std::string OptionsKey;
+};
+
+/// Thread-safe LRU cache of TenantContexts keyed by tenant id + the base
+/// options' canonical key. Entries are shared_ptr-owned, so a context
+/// stays valid for holders after eviction (mirroring Engine's handle
+/// semantics).
+class TenantContextCache {
+public:
+  explicit TenantContextCache(size_t Capacity)
+      : Capacity(Capacity ? Capacity : 1) {}
+
+  /// The tenant's context under \p Base, derived and cached on miss.
+  std::shared_ptr<const TenantContext> get(const std::string &TenantId,
+                                           const CompileOptions &Base);
+
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+private:
+  using Entry = std::pair<std::string, std::shared_ptr<const TenantContext>>;
+
+  const size_t Capacity;
+  mutable std::mutex M;
+  std::list<Entry> Lru; ///< Front = most recently used.
+  std::map<std::string, std::list<Entry>::iterator> ByKey;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace driver
+} // namespace porcupine
+
+#endif // PORCUPINE_DRIVER_TENANTCONTEXT_H

@@ -25,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <thread>
 
@@ -634,6 +635,146 @@ TEST(ProgramRoundTrip, ParserRejectsHostileInputWithoutThrowing) {
       "quill inputs=1 width=4\nc1 = rot-ct c0 -1\nreturn c1\n", P, Error))
       << Error;
   EXPECT_EQ(P.Instructions[0].Rot, -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction under load and async compilation (serving-tier prerequisites)
+//===----------------------------------------------------------------------===//
+
+/// An "a + b" bundle whose *spec* carries \p Name — the Engine cache keys
+/// on the spec name, so distinct names occupy distinct cache entries.
+KernelBundle namedAddBundle(const std::string &Name) {
+  KernelBundle B;
+  DataLayout Layout;
+  Layout.Description = "slotwise a + b";
+  B.Spec = makeKernelSpec(Name, 2, 4, Layout,
+                          [](const auto &In, auto Konst) {
+                            (void)Konst;
+                            std::decay_t<decltype(In[0])> Out;
+                            for (size_t I = 0; I < 4; ++I)
+                              Out.push_back(In[0][I] + In[1][I]);
+                            return Out;
+                          });
+  B.Sketch = addSketch();
+  B.Synthesized = addProgram();
+  return B;
+}
+
+TEST(Engine, EvictionUnderConcurrentExecuteKeepsHeldHandlesValid) {
+  // Capacity-1 cache with two kernels: every get() of one evicts the
+  // other. Worker threads hammer encrypted execute() on handles they hold
+  // while the main thread forces continuous eviction churn — held handles
+  // must stay valid and correct throughout (shared_ptr ownership, not
+  // cache residency, governs lifetime).
+  KernelRegistry R;
+  ASSERT_TRUE(R.add("add a", namedAddBundle("add a")).ok());
+  ASSERT_TRUE(R.add("add b", namedAddBundle("add b")).ok());
+  Engine E(EngineOptions{1, 2, bundledOptions()}, &R);
+
+  auto KA = E.get("add a");
+  auto KB = E.get("add b"); // Evicts "add a" immediately.
+  ASSERT_TRUE(KA.hasValue()) << KA.status().toString();
+  ASSERT_TRUE(KB.hasValue()) << KB.status().toString();
+
+  constexpr int Threads = 2;
+  constexpr int CallsPerThread = 4;
+  std::vector<std::string> Errors(Threads);
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Pool;
+  for (int Ti = 0; Ti < Threads; ++Ti) {
+    Pool.emplace_back([&, Ti] {
+      // Each thread executes on the handle the OTHER thread's gets keep
+      // evicting.
+      const CompiledKernel &K = Ti % 2 ? **KB : **KA;
+      for (int C = 0; C < CallsPerThread; ++C) {
+        uint64_t Base = static_cast<uint64_t>(Ti * 100 + C * 10);
+        std::vector<std::vector<uint64_t>> In = {
+            {Base + 1, Base + 2, Base + 3, Base + 4}, {5, 6, 7, 8}};
+        auto Out = K.execute(In, /*Encrypted=*/true);
+        if (!Out) {
+          Errors[Ti] = Out.status().toString();
+          return;
+        }
+        if (Out->Outputs != quill::interpret(K.program(), In, T)) {
+          Errors[Ti] = "thread " + std::to_string(Ti) + " call " +
+                       std::to_string(C) + " decrypted the wrong result";
+          return;
+        }
+      }
+    });
+  }
+  // Eviction churn concurrent with the executions above.
+  std::thread Churn([&] {
+    int Flip = 0;
+    while (!Done.load(std::memory_order_relaxed))
+      E.get(++Flip % 2 ? "add a" : "add b");
+  });
+  for (std::thread &Th : Pool)
+    Th.join();
+  Done.store(true);
+  Churn.join();
+  for (int Ti = 0; Ti < Threads; ++Ti)
+    EXPECT_EQ(Errors[Ti], "") << "thread " << Ti;
+  EXPECT_EQ(E.size(), 1u); // Capacity was honored throughout.
+  EXPECT_GT(E.stats().Evictions, 0u);
+}
+
+TEST(Engine, CompileAsyncBurstDrainsThroughTheBoundedPool) {
+  // More queued compiles than pool threads (2): the bounded ThreadPool
+  // must drain them all without spawning a thread per request, and
+  // coalescing must still collapse duplicate keys onto one compile.
+  KernelRegistry R = addRegistry();
+  EngineOptions EO{8, 1, bundledOptions()};
+  EO.AsyncCompileThreads = 2;
+  Engine E(EO, &R);
+
+  std::vector<std::future<Expected<Engine::KernelHandle>>> Futs;
+  for (int I = 0; I < 8; ++I) {
+    CompileOptions Opts = bundledOptions();
+    Opts.ExecutionSeed = static_cast<uint64_t>(I % 4 + 1); // 4 distinct keys.
+    Futs.push_back(E.compileAsync("my add", Opts));
+  }
+  std::vector<Engine::KernelHandle> Handles;
+  for (auto &F : Futs) {
+    auto K = F.get();
+    ASSERT_TRUE(K.hasValue()) << K.status().toString();
+    Handles.push_back(*K);
+  }
+  // Duplicate seeds resolved to the same cached kernel.
+  EXPECT_EQ(Handles[0], Handles[4]);
+  EXPECT_NE(Handles[0], Handles[1]);
+  EXPECT_EQ(E.size(), 4u);
+  EXPECT_EQ(E.stats().Compiles, 4u);
+
+  auto Out = Handles[0]->execute({{1, 2, 3, 4}, {10, 20, 30, 40}},
+                                 /*Encrypted=*/false);
+  ASSERT_TRUE(Out.hasValue());
+  EXPECT_EQ(Out->Outputs, (std::vector<uint64_t>{11, 22, 33, 44}));
+}
+
+TEST(Engine, DestructionResolvesEveryPendingAsyncFuture) {
+  // Futures returned by compileAsync may outlive the Engine; destruction
+  // must leave each one resolved (value or error), never abandoned.
+  KernelRegistry R = addRegistry();
+  std::vector<std::future<Expected<Engine::KernelHandle>>> Futs;
+  {
+    EngineOptions EO{8, 1, bundledOptions()};
+    EO.AsyncCompileThreads = 1;
+    Engine E(EO, &R);
+    for (int I = 0; I < 4; ++I) {
+      CompileOptions Opts = bundledOptions();
+      Opts.ExecutionSeed = static_cast<uint64_t>(I + 1);
+      Futs.push_back(E.compileAsync("my add", Opts));
+    }
+  } // ~Engine: shuts the pool down after running queued tasks.
+  for (auto &F : Futs) {
+    ASSERT_TRUE(F.valid());
+    auto K = F.get(); // Must not hang or throw broken_promise.
+    if (K.hasValue())
+      EXPECT_TRUE(*K != nullptr);
+    else
+      EXPECT_FALSE(K.status().ok());
+  }
 }
 
 } // namespace

@@ -16,6 +16,10 @@
 #      bench_compare.py gates mul/relin/rotate against the baseline on the
 #      same machine class, and the numbers anchor the synthesis cost
 #      model's latency table (quill/CostModel.h)
+#   6b. run the serving-tier load harness (bench_serving_load): closed- and
+#      open-loop request streams through driver::Server, batched vs
+#      one-request-per-ciphertext, with p50/p95/p99 — bench_compare.py
+#      gates the batching speedup and batched p99
 #   7. write everything into one JSON document (default: BENCH_results.json
 #      at the repo root) so the perf trajectory can be tracked across PRs
 #      — tools/bench_compare.py diffs two such snapshots and gates CI
@@ -64,13 +68,14 @@ now_ms() {
 }
 
 # One figure/ablation bench binary, timed. Appends a JSON entry to
-# $TMP/benches.
+# $TMP/benches. A missing binary is a broken build product, not a skip:
+# silently emitting partial JSON would let the perf gate pass vacuously.
 run_bench() {
   NAME=$1
   BIN="$BUILD_DIR/bench/$NAME"
   if [ ! -x "$BIN" ]; then
-    echo "  skip $NAME (not built)"
-    return 0
+    echo "bench.sh: FAIL — bench binary '$NAME' not built at $BIN" >&2
+    exit 1
   fi
   echo "  run  $NAME"
   START=$(now_ms)
@@ -134,6 +139,19 @@ echo "== optimizer pipeline (porcc opt)"
       fi
     done
 
+# Serving-tier load harness: closed- and open-loop request streams through
+# driver::Server, batched vs one-request-per-ciphertext. The binary itself
+# enforces the batching bar (>= 3x throughput at no worse p99) via its
+# exit code; bench_compare.py additionally gates the recorded numbers.
+echo "== serving load (bench_serving_load)"
+if ! "$BUILD_DIR/bench/bench_serving_load" --requests 96 --clients 8 \
+    >"$TMP/serving_load" 2>"$TMP/serving_load.err"; then
+  echo "  FAIL bench_serving_load:" >&2
+  cat "$TMP/serving_load.err" >&2
+  exit 1
+fi
+sed -n 's/^/  /p' "$TMP/serving_load.err"
+
 # BFV primitive microbenchmark: per-op median latencies straight from the
 # evaluator, no compiler in the loop. Emits one JSON object.
 echo "== bfv microbench"
@@ -160,7 +178,7 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
 
 {
   printf '{\n'
-  printf '  "schema": "porcupine-bench-results/3",\n'
+  printf '  "schema": "porcupine-bench-results/4",\n'
   printf '  "generated_by": "tools/bench.sh",\n'
   printf '  "date_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "host_jobs": %s,\n' "$JOBS"
@@ -173,6 +191,9 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
   printf '  "optimizer": [\n'
   cat "$TMP/optimizer"
   printf '\n  ],\n'
+  printf '  "serving_load":\n'
+  sed 's/^/  /' "$TMP/serving_load"
+  printf '  ,\n'
   printf '  "microbench":\n'
   sed 's/^/  /' "$TMP/microbench"
   printf '  ,\n'

@@ -23,6 +23,10 @@ run is the candidate. The gate:
     regress by more than the tolerance. Gated like serving latency (same
     machine class only), but a fresh snapshot silently missing the
     microbench section when the baseline has one always fails.
+  * serving_load record (bench_serving_load): the cross-request batching
+    speedup must stay >= 1.5x (always armed; < 3x warns against the
+    acceptance bar), batched-mode p99 follows the latency rules, and a
+    missing section when the baseline has one always fails.
 
 Everything else (figure-bench wall times, compile times, median speedup)
 is reported informationally only: those vary with runner load and core
@@ -205,6 +209,78 @@ def check_microbench(base, fresh, tolerance, latency_gates, failures):
         print(f"  {verdict:10s} {op}: {bval:.1f}us -> {fval:.1f}us ({ratio:.2f}x)")
 
 
+def check_serving_load(base, fresh, tolerance, latency_gates, failures):
+    """Serving-tier load gate (bench_serving_load's "serving_load" section).
+
+    Two properties:
+      * the batching speedup (batched vs one-request-per-ciphertext
+        saturated throughput) is host-independent enough to always gate:
+        < 1.5x fails — batching has effectively stopped working; < 3.0x
+        (the tentpole's acceptance bar) warns;
+      * batched-mode p99 follows the usual latency rules — gated within a
+        host class, warn-only across classes.
+    A fresh snapshot silently missing the section when the baseline has
+    one always fails: a vanished record is a tooling break, not noise.
+    """
+    base_load = base.get("serving_load") or {}
+    fresh_load = fresh.get("serving_load") or {}
+    if not fresh_load:
+        if base_load:
+            failures.append(
+                "serving_load section missing from fresh run (baseline has "
+                "one); did bench_serving_load break?"
+            )
+        return
+    speedup = fresh_load.get("batching_speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append(
+            "serving_load: batching_speedup missing or non-numeric"
+        )
+        print("serving_load: MALFORMED (no batching_speedup)")
+        return
+    verdict = "ok"
+    if speedup < 1.5:
+        verdict = "REGRESSION"
+        failures.append(
+            f"serving_load: batching speedup {speedup:.2f}x < 1.5x — "
+            "cross-request batching has effectively stopped working"
+        )
+    elif speedup < 3.0:
+        verdict = "WARN"
+        print(
+            f"  WARN  serving_load: batching speedup {speedup:.2f}x below "
+            "the 3x acceptance bar (not gated until < 1.5x)"
+        )
+    print(f"serving_load batching speedup: {verdict} ({speedup:.2f}x)")
+    modes = fresh_load.get("modes") or {}
+    base_modes = base_load.get("modes") or {}
+    bmode = (base_modes.get("closed_batched") or {}).get("p99_us")
+    fmode = (modes.get("closed_batched") or {}).get("p99_us")
+    if (
+        isinstance(bmode, (int, float))
+        and bmode > 0
+        and isinstance(fmode, (int, float))
+        and fmode > 0
+    ):
+        ratio = fmode / bmode
+        verdict = "ok"
+        if ratio > tolerance:
+            if latency_gates:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"serving_load closed_batched p99: {bmode:.0f}us -> "
+                    f"{fmode:.0f}us ({ratio:.2f}x > {tolerance:.2f}x)"
+                )
+            else:
+                verdict = "WARN"
+        print(
+            f"  {verdict:10s} closed_batched p99: {bmode:.0f}us -> "
+            f"{fmode:.0f}us ({ratio:.2f}x)"
+        )
+    elif bmode is None:
+        print("  note  serving_load: new section, no p99 baseline yet")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_results.json")
@@ -285,6 +361,7 @@ def main():
 
     check_optimizer(base, fresh, failures)
     check_microbench(base, fresh, args.tolerance, latency_gates, failures)
+    check_serving_load(base, fresh, args.tolerance, latency_gates, failures)
 
     synth = fresh.get("synthesis")
     if isinstance(synth, dict):

@@ -63,6 +63,7 @@
 #include "driver/Artifact.h"
 #include "driver/Driver.h"
 #include "driver/Engine.h"
+#include "driver/Server.h"
 #include "kernels/Kernels.h"
 #include "math/ModArith.h"
 #include "quill/Analysis.h"
@@ -88,7 +89,7 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: porcc <list|compile|synth|opt|emit|show|run|bench|check> "
+      "usage: porcc <list|compile|synth|opt|emit|show|run|bench|serve|check> "
       "[args]\n"
       "  porcc list\n"
       "  porcc compile <kernel> [--json] [--from-bundle] [--timeout S] "
@@ -109,6 +110,8 @@ int usage() {
       "  porcc bench <kernel> [--runs N] [--batch N] [--pool N] "
       "[--synthesize]\n"
       "             [--plaintext] [--timeout S] [--jobs N]\n"
+      "  porcc serve <kernel> [--requests N] [--tenants N] [--max-batch N]\n"
+      "             [--queue N] [--shards N] [--synthesize]\n"
       "  porcc check <file.quill> <kernel>\n"
       "(--jobs N: synthesis portfolio threads; 0 = one per hardware "
       "thread, 1 = sequential. Same program either way, just faster.\n"
@@ -705,6 +708,101 @@ int cmdBench(int Argc, char **Argv) {
   return 0;
 }
 
+/// `porcc serve`: smoke-drives the multi-tenant serving tier (driver::Server)
+/// end to end — admission, cross-request batching, per-tenant keys — and
+/// prints a JSON summary plus the Prometheus metrics dump on stderr.
+int cmdServe(int Argc, char **Argv) {
+  if (!hasPositional(Argc, Argv))
+    return usage();
+  int Requests = std::atoi(argValue(Argc, Argv, "--requests", "16"));
+  int Tenants = std::atoi(argValue(Argc, Argv, "--tenants", "2"));
+  int MaxBatch = std::atoi(argValue(Argc, Argv, "--max-batch", "16"));
+  int Queue = std::atoi(argValue(Argc, Argv, "--queue", "256"));
+  int Shards = std::atoi(argValue(Argc, Argv, "--shards", "1"));
+  if (Requests < 1 || Tenants < 1 || MaxBatch < 1 || Queue < 1 ||
+      Shards < 0) {
+    std::fprintf(stderr, "error: serve flags must be positive "
+                         "(--shards may be 0 = hardware cores)\n");
+    return 1;
+  }
+
+  driver::ServerOptions SO;
+  SO.NumShards = static_cast<unsigned>(Shards);
+  SO.QueueCapacity = static_cast<size_t>(Queue);
+  SO.MaxBatch = static_cast<size_t>(MaxBatch);
+  SO.Engine.Defaults = optionsFromFlags(Argc, Argv);
+  SO.Engine.Defaults.RunSynthesis = hasFlag(Argc, Argv, "--synthesize");
+  driver::Server S(SO);
+
+  auto B = S.registry().find(Argv[0]);
+  if (!B)
+    return fail(B.status());
+  const KernelSpec &Spec = (*B)->Spec;
+  uint64_t T = SO.Engine.Defaults.Synthesis.PlainModulus;
+
+  // Deterministic synthetic traffic round-robined over the tenants, all
+  // submitted up front so the batcher actually sees concurrent requests.
+  Stopwatch Wall;
+  std::vector<std::future<Expected<driver::Response>>> Futs;
+  size_t Rejected = 0;
+  for (int I = 0; I < Requests; ++I) {
+    driver::Request R;
+    R.Kernel = Spec.name();
+    R.Tenant = "tenant-" + std::to_string(I % Tenants);
+    for (int In = 0; In < Spec.numInputs(); ++In) {
+      std::vector<uint64_t> V(Spec.vectorSize());
+      for (size_t Slot = 0; Slot < V.size(); ++Slot)
+        V[Slot] = (static_cast<uint64_t>(I) * 31 +
+                   static_cast<uint64_t>(In) * 13 + Slot * 7 + 1) %
+                  std::min<uint64_t>(T, 251);
+      R.Inputs.push_back(std::move(V));
+    }
+    auto F = S.submit(std::move(R));
+    if (F)
+      Futs.push_back(std::move(*F));
+    else {
+      ++Rejected;
+      std::fprintf(stderr, "reject: %s\n", F.status().toString().c_str());
+    }
+  }
+  size_t Served = 0, Failed = 0, Batched = 0;
+  double SumUs = 0, MaxUs = 0;
+  for (auto &F : Futs) {
+    auto R = F.get();
+    if (!R) {
+      ++Failed;
+      std::fprintf(stderr, "fail: %s\n", R.status().toString().c_str());
+      continue;
+    }
+    ++Served;
+    if (R->Batched)
+      ++Batched;
+    SumUs += static_cast<double>(R->TotalUs);
+    MaxUs = std::max(MaxUs, static_cast<double>(R->TotalUs));
+  }
+  double WallMs = Wall.micros() / 1000.0;
+
+  std::fprintf(stderr, "%s", S.metricsText().c_str());
+  std::printf("{\n");
+  std::printf("  \"kernel\": %s,\n", json::quote(Spec.name()).c_str());
+  std::printf("  \"requests\": %d,\n", Requests);
+  std::printf("  \"tenants\": %d,\n", Tenants);
+  std::printf("  \"shards\": %u,\n", S.numShards());
+  std::printf("  \"max_batch\": %d,\n", MaxBatch);
+  std::printf("  \"served\": %zu,\n", Served);
+  std::printf("  \"failed\": %zu,\n", Failed + Rejected);
+  std::printf("  \"batched\": %zu,\n", Batched);
+  std::printf("  \"wall_ms\": %.1f,\n", WallMs);
+  std::printf("  \"throughput_rps\": %.1f,\n",
+              WallMs > 0 ? 1000.0 * static_cast<double>(Served) / WallMs
+                         : 0.0);
+  std::printf("  \"mean_latency_us\": %.0f,\n",
+              Served ? SumUs / static_cast<double>(Served) : 0.0);
+  std::printf("  \"max_latency_us\": %.0f\n", MaxUs);
+  std::printf("}\n");
+  return Served == Futs.size() && Rejected == 0 ? 0 : 1;
+}
+
 int cmdCheck(int Argc, char **Argv) {
   if (!hasPositional(Argc, Argv, 0) || !hasPositional(Argc, Argv, 1))
     return usage();
@@ -754,6 +852,8 @@ int main(int Argc, char **Argv) {
     return cmdRun(Argc - 2, Argv + 2);
   if (Cmd == "bench")
     return cmdBench(Argc - 2, Argv + 2);
+  if (Cmd == "serve")
+    return cmdServe(Argc - 2, Argv + 2);
   if (Cmd == "check")
     return cmdCheck(Argc - 2, Argv + 2);
   return usage();
