@@ -164,6 +164,7 @@ Compiler::optimizeWith(const quill::Program &P,
   quill::PassManagerOptions PMO;
   PMO.Context.Latency = Latency;
   PMO.Context.PlainModulus = Opts.Synthesis.PlainModulus;
+  PMO.Context.EqSat = Opts.EqSat;
   // Deterministic verification examples: the pass manager re-interprets
   // the program on these after every pass and rejects any behavioral
   // change. Seeded from the synthesis seed so compiles are reproducible.
@@ -539,6 +540,15 @@ std::string porcupine::driver::toJson(const CompileResult &R) {
     J += ", \"cost_before\": " + num(PS.CostBefore, "%.0f");
     J += ", \"cost_after\": " + num(PS.CostAfter, "%.0f");
     J += ", \"reverted\": " + std::string(PS.Reverted ? "true" : "false");
+    // Saturation stats appear only on eqsat entries, so records for the
+    // default pipeline — including the porcc_compile_dot_product.json
+    // expected file — are byte-stable.
+    if (PS.HasEqSat)
+      J += ", \"eqsat\": {\"classes\": " + std::to_string(PS.EqSatClasses) +
+           ", \"nodes\": " + std::to_string(PS.EqSatNodes) +
+           ", \"iterations\": " + std::to_string(PS.EqSatIterations) +
+           ", \"saturated\": " +
+           std::string(PS.EqSatSaturated ? "true" : "false") + "}";
     J += "}";
   }
   J += "]},\n";

@@ -97,6 +97,15 @@ struct CompileOptions {
   /// optimization entirely.
   std::string Pipeline = quill::defaultPipeline();
 
+  /// Budgets for the `eqsat` pass when the pipeline includes it
+  /// (quill::EqSatBudgets: iteration / node / wall-clock caps). The
+  /// iteration and node budgets are fingerprinted; the wall-clock budget
+  /// enters canonicalKey() only when armed (> 0) — disabled (the
+  /// default), saturation is iteration-bounded and deterministic, so the
+  /// field cannot change what a compile produces (the same rule that
+  /// keeps Synthesis.Threads out of the key).
+  quill::EqSatBudgets EqSat;
+
   /// Cost/latency source for synthesis and the reported cost estimate.
   LatencySource Latency = LatencySource::Defaults;
   /// Median window for Profiled latency measurement.

@@ -15,11 +15,19 @@
 ///
 /// Extending CompileOptions? Add the new field here in alphabetical
 /// position, or identical compiles under different values of that field
-/// will incorrectly share a cache entry. The one deliberate exclusion is
-/// Synthesis.Threads: the portfolio search's deterministic tie-break makes
-/// the compiled program byte-identical for every thread count, so keying
-/// on it would only split the cache across performance-equivalent entries
-/// (and invalidate artifacts whenever a deployment retunes its --jobs).
+/// will incorrectly share a cache entry. Two deliberate exclusions follow
+/// one rule — a knob that provably cannot change the compiled program
+/// stays out of the key:
+///   * Synthesis.Threads: the portfolio search's deterministic tie-break
+///     makes the synthesized program byte-identical for every thread
+///     count, so keying on it would only split the cache across
+///     performance-equivalent entries (and invalidate artifacts whenever
+///     a deployment retunes its --jobs);
+///   * EqSat.TimeBudgetMs while disabled (<= 0): saturation is then
+///     iteration/node-bounded and clock-free, so the extracted program is
+///     identical across runs and hosts. An *armed* budget (> 0) can stop
+///     saturation mid-way and change the result, so positive values ARE
+///     keyed (the field renders exactly when positive — injective).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -88,6 +96,14 @@ std::string CompileOptions::canonicalKey() const {
   // forge neighboring fields.
   addField(K, "codegen.function", json::quote(Codegen.FunctionName));
   addField(K, "emit_seal_code", EmitSealCode);
+  addField(K, "eqsat.max_iterations", EqSat.MaxIterations);
+  addField(K, "eqsat.max_nodes", EqSat.MaxNodes);
+  // The eqsat wall-clock budget is keyed only when armed: disabled
+  // (<= 0), saturation is iteration-bounded and deterministic, so the
+  // field cannot change the compiled program. Injective regardless — the
+  // field name appears exactly when the value is positive.
+  if (EqSat.TimeBudgetMs > 0.0)
+    addField(K, "eqsat.time_budget_ms", EqSat.TimeBudgetMs);
   addField(K, "execution.seed", ExecutionSeed);
   addField(K, "explicit_rotations", ExplicitRotations);
   addField(K, "explicit_rotations.max_components",

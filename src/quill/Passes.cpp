@@ -8,6 +8,7 @@
 
 #include "quill/Analysis.h"
 #include "quill/Peephole.h"
+#include "quill/eqsat/Saturate.h"
 #include "math/ModArith.h"
 
 #include <algorithm>
@@ -588,7 +589,8 @@ const char *quill::defaultPipeline() {
 }
 
 std::vector<std::string> quill::knownPassNames() {
-  return {"peephole", "cse", "constfold", "lazy-relin", "rot-dedup"};
+  return {"peephole", "cse", "constfold", "lazy-relin", "rot-dedup",
+          "eqsat"};
 }
 
 std::unique_ptr<Pass> quill::createPass(const std::string &Name) {
@@ -602,6 +604,8 @@ std::unique_ptr<Pass> quill::createPass(const std::string &Name) {
     return std::make_unique<LazyRelinPass>();
   if (Name == "rot-dedup")
     return std::make_unique<RotDedupPass>();
+  if (Name == "eqsat")
+    return eqsat::createEqSatPass();
   return nullptr;
 }
 
@@ -626,8 +630,12 @@ Expected<PassManager> PassManager::fromPipeline(const std::string &Pipeline,
     if (Name.empty()) {
       if (Pipeline.empty())
         return PM; // The empty pipeline.
-      return Status::error("optimizer",
-                           "empty pass name in pipeline '" + Pipeline + "'");
+      std::string Known;
+      for (const std::string &N : knownPassNames())
+        Known += (Known.empty() ? "" : ", ") + N;
+      return Status::error("optimizer", "empty pass name in pipeline '" +
+                                            Pipeline +
+                                            "'; known passes: " + Known);
     }
     std::unique_ptr<Pass> P = createPass(Name);
     if (!P) {
@@ -679,6 +687,10 @@ Expected<PipelineStats> PassManager::run(Program &P) {
 
     Program Snapshot = P;
     S.Rewrites = Cur->run(P, Opts.Context);
+    // Pass-specific stats (eqsat's saturation state) surface even when
+    // the pass commits nothing — "saturated, nothing cheaper" and
+    // "budget-stopped" must stay distinguishable in the reports.
+    Cur->annotateStats(S);
     if (S.Rewrites == 0) {
       Stats.Passes.push_back(std::move(S));
       continue;

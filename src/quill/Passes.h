@@ -34,11 +34,20 @@
 ///              rotations and rewrites op(rot(x,a), rot(y,a)) into
 ///              rot(op(x,y), a), shrinking both the instruction stream and
 ///              the Galois key set requiredRotations() reports.
+///   eqsat      Equality-saturation superoptimizer (src/quill/eqsat/): all
+///              of the above axioms as an e-graph saturation instead of
+///              greedy ordered rewrites, extracted by CostModel with a
+///              relin-aware scoring term. Budgeted via PassContext::EqSat;
+///              commits only strict cost improvements. Not in the default
+///              pipeline — opt in with "...,eqsat".
 ///
 /// All passes are deterministic and idempotent (a second run returns 0
-/// rewrites), so any pipeline is a no-op on its own output. Unlike the
-/// width-W-cyclic peephole, the four new passes only apply rewrites that
-/// are also exact on wider ciphertext rows (width portability).
+/// rewrites), so any pipeline is a no-op on its own output; eqsat is
+/// idempotent whenever its budgets let saturation reach a fixpoint (the
+/// defaults do on every bundled kernel — a budget-stopped run may still
+/// find more on a rerun). Unlike the width-W-cyclic peephole and eqsat,
+/// the four other passes only apply rewrites that are also exact on wider
+/// ciphertext rows (width portability).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +66,26 @@
 namespace porcupine {
 namespace quill {
 
+/// Budgets bounding the `eqsat` pass's saturation loop (src/quill/eqsat/).
+/// Defined here rather than in the eqsat headers so PassContext and
+/// driver::CompileOptions can carry them without a layering cycle. The
+/// defaults saturate every bundled kernel with room to spare.
+struct EqSatBudgets {
+  /// Maximum saturation iterations (full rule sweeps). <= 0 makes the
+  /// pass a no-op.
+  int MaxIterations = 8;
+  /// Stop iterating once the e-graph holds this many live e-nodes.
+  int MaxNodes = 20000;
+  /// Wall-clock budget in milliseconds, checked between iterations.
+  /// <= 0 (the default) disables the clock entirely: saturation is then
+  /// bounded by iterations/nodes only and the extracted program is
+  /// byte-identical across runs, hosts, and thread counts. Accordingly
+  /// CompileOptions::canonicalKey() fingerprints this field only when it
+  /// is armed (> 0) — the same rule that keeps Synthesis.Threads out of
+  /// compile-cache keys.
+  double TimeBudgetMs = 0.0;
+};
+
 /// Everything a pass may consult besides the program itself.
 struct PassContext {
   /// Prices rewrite decisions (e.g. strength reduction) and the manager's
@@ -64,7 +93,11 @@ struct PassContext {
   LatencyTable Latency;
   /// Plaintext modulus for constant folding and example verification.
   uint64_t PlainModulus = 65537;
+  /// Saturation budgets for the `eqsat` pass (ignored by the others).
+  EqSatBudgets EqSat;
 };
+
+struct PassRunStats;
 
 /// One rewrite pass. Implementations must be deterministic, idempotent,
 /// and semantics-preserving under the Interpreter.
@@ -75,6 +108,10 @@ public:
   /// Rewrites \p P in place; returns the number of rule applications
   /// (0 means \p P was left untouched).
   virtual int run(Program &P, const PassContext &Ctx) = 0;
+  /// Called by the manager right after run() so a pass can surface
+  /// pass-specific statistics (the eqsat pass reports its saturation
+  /// state here — even when it commits nothing). Default: no extra stats.
+  virtual void annotateStats(PassRunStats &S) const { (void)S; }
 };
 
 /// The default pipeline string driver::CompileOptions ships with.
@@ -107,6 +144,17 @@ struct PassRunStats {
   /// pre-pass program (RejectedCost holds the increase for diagnostics).
   bool Reverted = false;
   double RejectedCost = 0.0;
+  /// Saturation statistics, filled via Pass::annotateStats() by the eqsat
+  /// pass only (HasEqSat marks presence; all zero for the classical
+  /// passes). Reported even when the pass commits no rewrite, so tooling
+  /// can tell "saturated, nothing cheaper" from "budget-stopped".
+  bool HasEqSat = false;
+  int EqSatIterations = 0;
+  int EqSatClasses = 0;
+  int EqSatNodes = 0;
+  /// True when the rule set reached a fixpoint within the budgets; false
+  /// when an iteration/node/time budget stopped saturation early.
+  bool EqSatSaturated = false;
 };
 
 /// Per-pass statistics for one pipeline run.

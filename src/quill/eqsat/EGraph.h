@@ -1,0 +1,167 @@
+//===- quill/eqsat/EGraph.h - E-graph over Quill IR -------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free e-graph (egg-style) over Quill IR, the core of
+/// the `eqsat` equality-saturation pass. An e-graph represents a set of
+/// equivalent terms compactly: e-classes are union-find sets of e-nodes,
+/// e-nodes are operators over e-class ids, and a hashcons map deduplicates
+/// structurally identical e-nodes so congruent terms share storage
+/// (CSE-by-construction). After merges, rebuild() restores the two
+/// invariants every read depends on:
+///
+///   * canonical children — every stored e-node refers to e-classes by
+///     their canonical (union-find root) id;
+///   * congruence closure — two e-nodes that become structurally identical
+///     after canonicalization live in the same e-class.
+///
+/// Determinism: all containers are ordered (std::map / sorted vectors),
+/// canonical roots are the *smallest* class id in a merged set, and node
+/// lists are sorted after every rebuild, so iteration order — and
+/// therefore everything Rules.cpp and Extract.cpp derive from it — is
+/// identical on every run and thread count.
+///
+/// Normalization at insertion time keeps the graph small:
+///   * commutative ct-ct operands (add, mul) are stored sorted;
+///   * rotation amounts are reduced mod the vector width, and a
+///     rotate-by-zero collapses to its operand's class;
+///   * plaintext constants are interned as residues mod t, so constants
+///     equal mod t share one table index.
+///
+/// Unlike the classical passes (Passes.h) the e-graph reasons about one
+/// concrete vector width: rotation arithmetic is width-W-cyclic, like the
+/// peephole, not width-portable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_QUILL_EQSAT_EGRAPH_H
+#define PORCUPINE_QUILL_EQSAT_EGRAPH_H
+
+#include "quill/Program.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace quill {
+namespace eqsat {
+
+/// One e-node: an operator over e-class ids. `Kind` is -1 for an input
+/// leaf (Payload = input index) or the int value of a quill::Opcode.
+/// Children A (always, for ops) and B (ct-ct ops) are e-class ids;
+/// Payload holds the input index, the plaintext-table index (ct-pt ops),
+/// or the left-rotation amount in [1, W) (rot-ct).
+struct ENode {
+  int Kind = -1;
+  int A = -1;
+  int B = -1;
+  int Payload = 0;
+
+  bool isInput() const { return Kind < 0; }
+  Opcode op() const { return static_cast<Opcode>(Kind); }
+
+  bool operator==(const ENode &R) const {
+    return Kind == R.Kind && A == R.A && B == R.B && Payload == R.Payload;
+  }
+  bool operator<(const ENode &R) const {
+    if (Kind != R.Kind)
+      return Kind < R.Kind;
+    if (A != R.A)
+      return A < R.A;
+    if (B != R.B)
+      return B < R.B;
+    return Payload < R.Payload;
+  }
+};
+
+/// The e-graph. Construct with the program's vector width and plaintext
+/// modulus; add terms bottom-up with the add*() builders (each returns the
+/// canonical e-class id of the term); assert equalities with merge(); call
+/// rebuild() after a batch of merges before reading node lists again.
+class EGraph {
+public:
+  EGraph(size_t Width, uint64_t Modulus) : Width(Width), Modulus(Modulus) {}
+
+  size_t width() const { return Width; }
+  uint64_t modulus() const { return Modulus; }
+
+  /// Interns a plaintext constant (values reduced to residues mod t, so
+  /// constants equal mod t share an index) and returns its table index.
+  int internConstant(const PlainConstant &C);
+  const PlainConstant &constant(int Idx) const { return Constants[Idx]; }
+  size_t numConstants() const { return Constants.size(); }
+  /// The splat residue of constant \p Idx, or nullopt for full vectors.
+  std::optional<uint64_t> splatOf(int Idx) const;
+
+  /// Term builders. Each canonicalizes, consults the hashcons, and returns
+  /// the canonical class id (allocating a fresh singleton class for a
+  /// never-seen node). addRot() reduces the amount mod the width and
+  /// returns the operand's class unchanged for a net rotation of zero.
+  int addInput(int Index);
+  int addCtCt(Opcode Op, int A, int B);
+  int addCtPt(Opcode Op, int A, int ConstIdx);
+  int addRot(int A, int Amount);
+
+  /// Canonical (union-find root) id of \p Class.
+  int find(int Class) const;
+
+  /// Asserts two classes are equal. Returns true when they were distinct
+  /// (the graph changed and needs a rebuild()). The canonical root of the
+  /// merged class is the smaller of the two roots (determinism).
+  bool merge(int A, int B);
+
+  /// Restores canonical children and congruence closure after merges.
+  /// Idempotent; cheap when nothing is dirty.
+  void rebuild();
+
+  /// Live canonical class ids, ascending. Requires a rebuilt graph.
+  std::vector<int> classIds() const;
+  /// The (sorted, deduplicated) e-nodes of canonical class \p Class.
+  /// Requires a rebuilt graph.
+  const std::vector<ENode> &nodes(int Class) const {
+    return ClassNodes[find(Class)];
+  }
+
+  /// Live class / node counts. Require a rebuilt graph.
+  size_t numClasses() const;
+  size_t numNodes() const;
+
+  /// Bumped whenever the graph structurally changes (new node allocated or
+  /// two distinct classes merged). A saturation iteration that leaves
+  /// version() unchanged has reached a fixpoint.
+  uint64_t version() const { return Version; }
+
+  /// Invariant check for tests: every stored node canonical, every class's
+  /// node list sorted and unique, and no two distinct classes containing a
+  /// structurally identical node. Returns false and fills \p Why (when
+  /// non-null) on violation. Requires a rebuilt graph.
+  bool checkInvariants(std::string *Why = nullptr) const;
+
+private:
+  int addNode(ENode N);
+  ENode canonicalize(ENode N) const;
+
+  size_t Width;
+  uint64_t Modulus;
+  // Union-find over class ids; mutable for path-halving in const find().
+  mutable std::vector<int> Parent;
+  // Node lists per class id; only canonical roots hold nodes after a
+  // rebuild (merge moves the loser's nodes into the winner).
+  std::vector<std::vector<ENode>> ClassNodes;
+  std::map<ENode, int> Hashcons;
+  std::vector<PlainConstant> Constants;
+  std::map<std::vector<int64_t>, int> ConstIndex;
+  uint64_t Version = 0;
+  bool Dirty = false;
+};
+
+} // namespace eqsat
+} // namespace quill
+} // namespace porcupine
+
+#endif // PORCUPINE_QUILL_EQSAT_EGRAPH_H

@@ -1,0 +1,70 @@
+//===- quill/eqsat/Extract.h - Cost-model extraction ------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extraction: pick the cheapest program the (saturated) e-graph contains
+/// under the paper's compound cost model cost(p) = latency(p)*(1+mdepth(p))
+/// (quill::CostModel).
+///
+/// The selector runs a bottom-up fixpoint: each e-class tracks its best
+/// (latency, mult-depth) candidate, relaxed until no class improves, with
+/// the pass count capped at the class count — the cycle guard; identity
+/// merges (x+0 == x) give e-graphs self-referential classes, and a
+/// relaxation that kept improving past that bound could only be chasing a
+/// cycle. Candidates are ranked by the paper cost of their subtree with
+/// deterministic tie-breaks (lower latency, then lower depth, then ENode
+/// order), and emission memoizes one value per class, so shared
+/// subexpressions come out as a DAG, not a duplicated tree.
+///
+/// Relin placement enters at scoring time, not in the graph: extracted
+/// programs are implicit-relin; relinAwareCost() prices one as if the
+/// lazy-relin pass had already sunk/elided relinearizations (muls raw, one
+/// RelinCt per mul whose result transitively feeds a rotation or
+/// multiply). The eqsat pass extracts under both the implicit table and an
+/// optimistic all-relins-elided table, scores both candidates
+/// relin-aware, and commits the winner — the "extraction-time relin-count
+/// term" that lets saturation trade rotation structure against relin
+/// placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_QUILL_EQSAT_EXTRACT_H
+#define PORCUPINE_QUILL_EQSAT_EXTRACT_H
+
+#include "quill/CostModel.h"
+#include "quill/eqsat/EGraph.h"
+
+namespace porcupine {
+namespace quill {
+namespace eqsat {
+
+/// The extracted program (implicit-relin form). Valid is false when the
+/// root class has no finite-cost term (cannot happen for a graph built
+/// from a well-formed program) or the emission cycle guard tripped.
+struct ExtractionResult {
+  Program Prog;
+  bool Valid = false;
+};
+
+/// Extracts the cheapest term of \p Root from a rebuilt \p G under
+/// \p Latency. \p NumInputs and the graph's width shape the emitted
+/// program's header.
+ExtractionResult extract(const EGraph &G, int Root, int NumInputs,
+                         const LatencyTable &Latency);
+
+/// Paper cost of \p P with lazy relinearization priced in: for an
+/// implicit-relin program, muls cost mulCtCtRaw() plus one RelinCt for
+/// each mul whose result (transitively through add/sub/ct-pt ops) feeds a
+/// rotation or multiply — exactly the relins the lazy-relin pass will
+/// materialize. Explicit-relin programs are priced as-is (their relins are
+/// already placed).
+double relinAwareCost(const Program &P, const LatencyTable &Latency);
+
+} // namespace eqsat
+} // namespace quill
+} // namespace porcupine
+
+#endif // PORCUPINE_QUILL_EQSAT_EXTRACT_H

@@ -1,0 +1,471 @@
+//===- tests/eqsat_test.cpp - Equality-saturation superoptimizer ----------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// quill::eqsat: e-graph structural invariants (hashcons, union-find,
+/// rebuild-based congruence closure), rewrite-rule soundness via the
+/// interpreter on seeded random programs, extraction never losing to the
+/// greedy default pipeline on any bundled kernel (and strictly winning on
+/// at least one — the global mult-depth trade the one-directional passes
+/// cannot see), and the determinism contract: with the wall-clock budget
+/// disabled, extraction is byte-identical across repeated runs, across
+/// budget settings that both reach saturation, and across synthesis
+/// thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "quill/eqsat/EGraph.h"
+#include "quill/eqsat/Extract.h"
+#include "quill/eqsat/Rules.h"
+#include "quill/eqsat/Saturate.h"
+
+#include "driver/Driver.h"
+#include "kernels/Kernels.h"
+#include "quill/Analysis.h"
+#include "quill/Interpreter.h"
+#include "quill/Passes.h"
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+using namespace porcupine;
+using namespace porcupine::quill;
+using namespace porcupine::quill::eqsat;
+
+namespace {
+
+constexpr uint64_t T = 65537;
+
+std::string invariants(const EGraph &G) {
+  std::string Why;
+  return G.checkInvariants(&Why) ? std::string() : Why;
+}
+
+//===----------------------------------------------------------------------===//
+// E-graph structural invariants
+//===----------------------------------------------------------------------===//
+
+TEST(EGraph, HashconsDeduplicates) {
+  EGraph G(/*Width=*/8, T);
+  int X = G.addInput(0);
+  int Y = G.addInput(1);
+  EXPECT_NE(X, Y);
+  EXPECT_EQ(G.addInput(0), X);
+  int S1 = G.addCtCt(Opcode::AddCtCt, X, Y);
+  int S2 = G.addCtCt(Opcode::AddCtCt, X, Y);
+  EXPECT_EQ(S1, S2);
+  // AddCtCt is interned commutatively (sorted operands), so the mirrored
+  // node lands in the same class without any rule firing.
+  EXPECT_EQ(G.addCtCt(Opcode::AddCtCt, Y, X), S1);
+  // SubCtCt is not commutative: operand order must distinguish classes.
+  EXPECT_NE(G.addCtCt(Opcode::SubCtCt, X, Y), G.addCtCt(Opcode::SubCtCt, Y, X));
+  EXPECT_EQ(invariants(G), "");
+}
+
+TEST(EGraph, RotationNormalizesModWidth) {
+  EGraph G(/*Width=*/4, T);
+  int X = G.addInput(0);
+  // rot by 0 (mod W) is the identity: no node, same class back.
+  EXPECT_EQ(G.addRot(X, 0), X);
+  EXPECT_EQ(G.addRot(X, 4), X);
+  EXPECT_EQ(G.addRot(X, -8), X);
+  // Cyclic: -1 == 3 (mod 4), 5 == 1 (mod 4).
+  EXPECT_EQ(G.addRot(X, -1), G.addRot(X, 3));
+  EXPECT_EQ(G.addRot(X, 5), G.addRot(X, 1));
+  EXPECT_NE(G.addRot(X, 1), G.addRot(X, 2));
+  EXPECT_EQ(invariants(G), "");
+}
+
+TEST(EGraph, RebuildRestoresCongruenceClosure) {
+  EGraph G(/*Width=*/8, T);
+  int A = G.addInput(0);
+  int B = G.addInput(1);
+  int FA = G.addCtCt(Opcode::MulCtCt, A, A);
+  int FB = G.addCtCt(Opcode::MulCtCt, B, B);
+  EXPECT_NE(G.find(FA), G.find(FB));
+  // Assert a == b; congruence must propagate f(a) == f(b) on rebuild.
+  ASSERT_TRUE(G.merge(A, B));
+  G.rebuild();
+  EXPECT_EQ(G.find(A), G.find(B));
+  EXPECT_EQ(G.find(FA), G.find(FB));
+  EXPECT_EQ(invariants(G), "");
+}
+
+TEST(EGraph, NestedCongruencePropagates) {
+  EGraph G(/*Width=*/8, T);
+  int A = G.addInput(0);
+  int B = G.addInput(1);
+  int C = G.addInput(2);
+  // g(f(a), c) vs g(f(b), c): two levels of congruence from one merge.
+  int FA = G.addRot(A, 1);
+  int FB = G.addRot(B, 1);
+  int GA = G.addCtCt(Opcode::AddCtCt, FA, C);
+  int GB = G.addCtCt(Opcode::AddCtCt, FB, C);
+  ASSERT_TRUE(G.merge(A, B));
+  G.rebuild();
+  EXPECT_EQ(G.find(GA), G.find(GB));
+  EXPECT_EQ(invariants(G), "");
+}
+
+TEST(EGraph, MergeIsIdempotentAndVersioned) {
+  EGraph G(/*Width=*/8, T);
+  int A = G.addInput(0);
+  int B = G.addInput(1);
+  uint64_t V0 = G.version();
+  ASSERT_TRUE(G.merge(A, B));
+  EXPECT_GT(G.version(), V0);
+  uint64_t V1 = G.version();
+  // Re-merging an already-unified pair must not claim a change.
+  EXPECT_FALSE(G.merge(A, B));
+  EXPECT_EQ(G.version(), V1);
+}
+
+//===----------------------------------------------------------------------===//
+// Rule soundness on seeded random programs
+//===----------------------------------------------------------------------===//
+
+/// Random well-formed straight-line program (mirrors quill_property_test).
+Program randomProgram(Rng &R, size_t Width, int NumInstrs) {
+  Program P;
+  P.NumInputs = 1 + static_cast<int>(R.below(3));
+  P.VectorSize = Width;
+  P.internConstant(PlainConstant{{static_cast<int64_t>(R.below(7)) - 3}});
+  std::vector<int64_t> Vec(Width);
+  for (auto &V : Vec)
+    V = static_cast<int64_t>(R.below(11)) - 5;
+  P.internConstant(PlainConstant{Vec});
+  for (int K = 0; K < NumInstrs; ++K) {
+    int NumVals = P.numValues();
+    int A = static_cast<int>(R.below(NumVals));
+    int B = static_cast<int>(R.below(NumVals));
+    int Pt = static_cast<int>(R.below(P.Constants.size()));
+    switch (R.below(7)) {
+    case 0:
+      P.append(Instr::ctCt(Opcode::AddCtCt, A, B));
+      break;
+    case 1:
+      P.append(Instr::ctCt(Opcode::SubCtCt, A, B));
+      break;
+    case 2:
+      P.append(Instr::ctCt(Opcode::MulCtCt, A, B));
+      break;
+    case 3:
+      P.append(Instr::ctPt(Opcode::AddCtPt, A, Pt));
+      break;
+    case 4:
+      P.append(Instr::ctPt(Opcode::SubCtPt, A, Pt));
+      break;
+    case 5:
+      P.append(Instr::ctPt(Opcode::MulCtPt, A, Pt));
+      break;
+    case 6: {
+      int Amount = static_cast<int>(R.below(2 * Width - 1)) -
+                   static_cast<int>(Width - 1);
+      if (Amount % static_cast<int>(Width) == 0)
+        Amount = 1;
+      P.append(Instr::rot(A, Amount));
+      break;
+    }
+    }
+  }
+  return P;
+}
+
+std::vector<SlotVector> randomInputs(Rng &R, const Program &P) {
+  std::vector<SlotVector> Inputs;
+  for (int I = 0; I < P.NumInputs; ++I)
+    Inputs.push_back(R.vectorBelow(T, P.VectorSize));
+  return Inputs;
+}
+
+class EqSatRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqSatRandomTest, SaturateExtractPreservesBehavior) {
+  const uint64_t Seed = testSeed(7000 + GetParam());
+  SeedReporter Report(Seed);
+  Rng R(Seed);
+  Program P = randomProgram(R, 4 + 4 * (GetParam() % 2), 6 + GetParam() % 7);
+  ASSERT_EQ(P.validate(), "");
+
+  BuiltGraph B = buildEGraph(P, T);
+  EXPECT_EQ(invariants(B.Graph), "");
+  EqSatBudgets Budgets;
+  Budgets.MaxIterations = 4;
+  Budgets.MaxNodes = 4000;
+  saturate(B.Graph, Budgets);
+  EXPECT_EQ(invariants(B.Graph), "");
+
+  LatencyTable Lat;
+  ExtractionResult E = extract(B.Graph, B.Root, P.NumInputs, Lat);
+  ASSERT_TRUE(E.Valid);
+  ASSERT_EQ(E.Prog.validate(), "");
+  // Every rewrite rule is a mod-t identity: the extracted program must
+  // agree with the original on arbitrary inputs.
+  for (int Trial = 0; Trial < 3; ++Trial) {
+    auto Inputs = randomInputs(R, P);
+    EXPECT_EQ(interpret(P, Inputs, T), interpret(E.Prog, Inputs, T))
+        << "saturated extraction changed behavior";
+  }
+}
+
+TEST_P(EqSatRandomTest, SingleRuleSweepKeepsInvariants) {
+  const uint64_t Seed = testSeed(8000 + GetParam());
+  SeedReporter Report(Seed);
+  Rng R(Seed);
+  Program P = randomProgram(R, 4, 8);
+  BuiltGraph B = buildEGraph(P, T);
+  for (int Sweep = 0; Sweep < 3; ++Sweep) {
+    runRuleIteration(B.Graph);
+    std::string Why = invariants(B.Graph);
+    ASSERT_EQ(Why, "") << "after sweep " << Sweep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqSatRandomTest, ::testing::Range(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Extraction vs the greedy default pipeline (every bundled kernel)
+//===----------------------------------------------------------------------===//
+
+PassManagerOptions managerOptions(const Program &P, unsigned Seed = 7) {
+  PassManagerOptions O;
+  O.Context.PlainModulus = T;
+  Rng R(Seed);
+  for (int E = 0; E < 3; ++E) {
+    std::vector<SlotVector> Example;
+    for (int I = 0; I < P.NumInputs; ++I)
+      Example.push_back(R.vectorBelow(T, P.VectorSize));
+    O.Examples.push_back(std::move(Example));
+  }
+  return O;
+}
+
+Program runPipeline(const Program &P, const std::string &Pipeline,
+                    const EqSatBudgets *Budgets = nullptr) {
+  Program Q = P;
+  auto O = managerOptions(P);
+  if (Budgets)
+    O.Context.EqSat = *Budgets;
+  auto PM = PassManager::fromPipeline(Pipeline, O);
+  EXPECT_TRUE(PM.hasValue()) << PM.status().toString();
+  auto Stats = PM->run(Q);
+  EXPECT_TRUE(Stats.hasValue()) << Stats.status().toString();
+  return Q;
+}
+
+std::string eqsatPipeline() {
+  return std::string(defaultPipeline()) + ",eqsat";
+}
+
+TEST(EqSatExtraction, NeverLosesToGreedyOnAnyBundledKernel) {
+  // The acceptance bar: over every bundled kernel, appending eqsat to the
+  // default pipeline never raises cost-model cost, and the e-graph finds
+  // at least one strict win the greedy passes cannot (variance: the
+  // mulpt-by-4 strength-reduces to (2x)^2, dropping a mult-depth level).
+  CostModel Cost;
+  int StrictWins = 0;
+  for (const auto &B : kernels::allKernels()) {
+    const Program &P = B.Synthesized;
+    if (P.Instructions.empty())
+      continue;
+    Program Greedy = runPipeline(P, defaultPipeline());
+    Program Super = runPipeline(P, eqsatPipeline());
+    double CG = Cost.cost(Greedy);
+    double CS = Cost.cost(Super);
+    EXPECT_LE(CS, CG + 1e-9)
+        << B.Spec.name() << ": eqsat extraction lost to the greedy pipeline";
+    EXPECT_EQ(Super.validate(), "") << B.Spec.name();
+    // Behavior must be untouched regardless of cost.
+    Rng R(911);
+    for (int Trial = 0; Trial < 3; ++Trial) {
+      auto Inputs = randomInputs(R, P);
+      EXPECT_EQ(interpret(P, Inputs, T), interpret(Super, Inputs, T))
+          << B.Spec.name();
+    }
+    if (CS < CG - 1e-9)
+      ++StrictWins;
+  }
+  EXPECT_GE(StrictWins, 1)
+      << "eqsat must strictly beat the greedy pipeline on >= 1 kernel";
+}
+
+TEST(EqSatExtraction, VarianceStrictWinDropsAMultDepthLevel) {
+  // The marquee win: n*sum(x^2) multiplies by the splat constant 4, one
+  // full multiplicative level under cost = latency * (1 + mdepth). The
+  // e-graph proves 4*sum(x^2) == sum((2x)^2) (doubling is an addition)
+  // and extraction takes the global trade.
+  for (const auto &B : kernels::allKernels()) {
+    if (B.Spec.name() != "Variance")
+      continue;
+    Program Greedy = runPipeline(B.Synthesized, defaultPipeline());
+    Program Super = runPipeline(B.Synthesized, eqsatPipeline());
+    CostModel Cost;
+    EXPECT_LT(Cost.cost(Super), Cost.cost(Greedy) - 1e-9);
+    EXPECT_LT(programMultiplicativeDepth(Super),
+              programMultiplicativeDepth(Greedy));
+    return;
+  }
+  ADD_FAILURE() << "Variance kernel missing from the registry";
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and idempotence
+//===----------------------------------------------------------------------===//
+
+/// Kernels whose e-graphs reach saturation under the default budgets
+/// (empirically: the small-width and stencil kernels; dot product, L2,
+/// and variance stop on the iteration/node budget instead).
+std::vector<std::string> saturatingKernels() {
+  return {"Box Blur", "Hamming Distance", "Linear Regression",
+          "Polynomial Regression", "Gx"};
+}
+
+TEST(EqSatDeterminism, RepeatedRunsExtractByteIdenticalPrograms) {
+  // TimeBudgetMs = 0 (default): no clock anywhere in the loop, so two
+  // runs over the same program must extract the same bytes — including
+  // on kernels that stop on the node budget rather than saturating.
+  for (const auto &B : kernels::allKernels()) {
+    const Program &P = B.Synthesized;
+    if (P.Instructions.empty())
+      continue;
+    Program R1 = runPipeline(P, eqsatPipeline());
+    Program R2 = runPipeline(P, eqsatPipeline());
+    EXPECT_EQ(printProgram(R1), printProgram(R2)) << B.Spec.name();
+  }
+}
+
+TEST(EqSatDeterminism, SaturatingBudgetsAgreeOnExtraction) {
+  // Any two budget settings that both reach saturation see the same final
+  // e-graph, so extraction must be byte-identical. (Budgets that stop
+  // early are keyed into the compile fingerprint precisely because this
+  // property does NOT hold for them.)
+  for (const auto &Name : saturatingKernels()) {
+    Program P;
+    for (const auto &B : kernels::allKernels())
+      if (B.Spec.name() == Name) {
+        P = B.Synthesized;
+        break;
+      }
+    ASSERT_FALSE(P.Instructions.empty()) << Name;
+    EqSatBudgets Small;
+    Small.MaxIterations = 8;
+    EqSatBudgets Large;
+    Large.MaxIterations = 32;
+    Large.MaxNodes = 200000;
+    Program A = runPipeline(P, eqsatPipeline(), &Small);
+    Program B = runPipeline(P, eqsatPipeline(), &Large);
+    EXPECT_EQ(printProgram(A), printProgram(B)) << Name;
+  }
+}
+
+TEST(EqSatDeterminism, SaturatedPassIsIdempotent) {
+  // When saturation completes, the committed program is the global
+  // optimum the graph contains — running the pass again must change
+  // nothing (the manager's cost guard would catch a regression; this
+  // checks full fixpoint, not just cost).
+  for (const auto &Name : saturatingKernels()) {
+    for (const auto &B : kernels::allKernels()) {
+      if (B.Spec.name() != Name)
+        continue;
+      Program Once = runPipeline(B.Synthesized, eqsatPipeline());
+      Program Twice = runPipeline(Once, "eqsat");
+      EXPECT_EQ(printProgram(Once), printProgram(Twice)) << Name;
+    }
+  }
+}
+
+TEST(EqSatDeterminism, ByteIdenticalAcrossSynthesisThreadCounts) {
+  // The PR-4 thread rule extended to eqsat: Synthesis.Threads is not in
+  // the compile fingerprint, so the optimized program must be identical
+  // whatever the thread count — eqsat is single-threaded and clock-free,
+  // but this pins the end-to-end driver contract.
+  driver::CompileOptions Opts;
+  Opts.RunSynthesis = false;
+  Opts.Pipeline = eqsatPipeline();
+  Opts.ExecutionSeed = 5;
+  std::string Printed[2];
+  int ThreadCounts[2] = {1, 4};
+  for (int I = 0; I < 2; ++I) {
+    Opts.Synthesis.Threads = ThreadCounts[I];
+    driver::Compiler C(Opts);
+    auto R = C.compile("variance");
+    ASSERT_TRUE(R.hasValue()) << R.status().toString();
+    Printed[I] = printProgram(R->Program);
+  }
+  EXPECT_EQ(Printed[0], Printed[1]);
+  // And the fingerprints collapse to one cache entry, as documented.
+  driver::CompileOptions F1 = Opts, F4 = Opts;
+  F1.Synthesis.Threads = 1;
+  F4.Synthesis.Threads = 4;
+  EXPECT_EQ(F1.fingerprint(), F4.fingerprint());
+}
+
+TEST(EqSatDeterminism, ArmedTimeBudgetIsFingerprinted) {
+  driver::CompileOptions Off, Armed, Iters;
+  Armed.EqSat.TimeBudgetMs = 50.0;
+  Iters.EqSat.MaxIterations = 16;
+  // Disabled clock budget: excluded from the key (deterministic result).
+  EXPECT_EQ(Off.fingerprint(), driver::CompileOptions().fingerprint());
+  // Armed clock budget and iteration budgets: semantically relevant.
+  EXPECT_NE(Off.fingerprint(), Armed.fingerprint());
+  EXPECT_NE(Off.fingerprint(), Iters.fingerprint());
+}
+
+//===----------------------------------------------------------------------===//
+// Stats surfacing
+//===----------------------------------------------------------------------===//
+
+TEST(EqSatStats, SaturationStatsReachPassRunStats) {
+  for (const auto &B : kernels::allKernels()) {
+    if (B.Spec.name() != "Box Blur")
+      continue;
+    Program P = B.Synthesized;
+    auto PM = PassManager::fromPipeline("eqsat", managerOptions(P));
+    ASSERT_TRUE(PM.hasValue());
+    auto Stats = PM->run(P);
+    ASSERT_TRUE(Stats.hasValue());
+    ASSERT_EQ(Stats->Passes.size(), 1u);
+    const PassRunStats &S = Stats->Passes.front();
+    EXPECT_TRUE(S.HasEqSat);
+    EXPECT_GT(S.EqSatClasses, 0);
+    EXPECT_GT(S.EqSatNodes, 0);
+    EXPECT_GT(S.EqSatIterations, 0);
+    // Box blur's e-graph is small: the default budgets saturate it.
+    EXPECT_TRUE(S.EqSatSaturated);
+    return;
+  }
+  ADD_FAILURE() << "Box Blur kernel missing from the registry";
+}
+
+TEST(EqSatStats, NodeBudgetStopIsReportedNotSaturated) {
+  for (const auto &B : kernels::allKernels()) {
+    if (B.Spec.name() != "Variance")
+      continue;
+    Program P = B.Synthesized;
+    auto O = managerOptions(P);
+    O.Context.EqSat.MaxNodes = 64; // trip the budget almost immediately
+    auto PM = PassManager::fromPipeline("eqsat", O);
+    ASSERT_TRUE(PM.hasValue());
+    auto Stats = PM->run(P);
+    ASSERT_TRUE(Stats.hasValue());
+    const PassRunStats &S = Stats->Passes.front();
+    EXPECT_TRUE(S.HasEqSat);
+    EXPECT_FALSE(S.EqSatSaturated);
+    return;
+  }
+  ADD_FAILURE() << "Variance kernel missing from the registry";
+}
+
+TEST(EqSatStats, UnknownPassDiagnosticListsKnownNames) {
+  auto PM = PassManager::fromPipeline("peephole,,cse", PassManagerOptions());
+  ASSERT_FALSE(PM.hasValue());
+  std::string Msg = PM.status().toString();
+  // The empty-stage diagnostic now enumerates the registry, so a typo'd
+  // pipeline tells the user what would have been accepted.
+  EXPECT_NE(Msg.find("known passes:"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("eqsat"), std::string::npos) << Msg;
+}
+
+} // namespace

@@ -115,28 +115,36 @@ run_serving "dot product" --runs 8 --batch 4
 run_serving "gx" --runs 8 --batch 4
 run_serving "box blur" --runs 8 --batch 4
 
-# Optimizer pipeline cost records: one `porcc opt --json` record per
+# Optimizer pipeline cost records: two `porcc opt --json` records per
 # registry kernel (names derived from `porcc list`, skipping the
-# multi-step apps). Cost-model numbers are host-independent, so the gate
-# on them is always armed.
+# multi-step apps) — one under the default pipeline, one with the eqsat
+# superoptimizer appended. Each record carries its pipeline string, so
+# bench_compare.py can key on (kernel, pipeline), gate that no pass ever
+# raises cost, and gate that eqsat never loses to the default pipeline.
+# Cost-model numbers are host-independent, so these gates are always
+# armed.
 echo "== optimizer pipeline (porcc opt)"
 : >"$TMP/optimizer"
+EQSAT_PIPELINE="peephole,cse,constfold,lazy-relin,rot-dedup,eqsat"
 "$BUILD_DIR/tools/porcc" list \
   | sed -n '2,$p' \
   | grep -v '(multi-step)' \
   | sed -E 's/[[:space:]]{2,}.*$//' \
   | while IFS= read -r KERNEL; do
       [ -n "$KERNEL" ] || continue
-      echo "  run  porcc opt '$KERNEL' --json"
-      if "$BUILD_DIR/tools/porcc" opt "$KERNEL" --json >"$TMP/opt.one" \
-          2>"$TMP/opt.err"; then
-        [ -s "$TMP/optimizer" ] && printf ',\n' >>"$TMP/optimizer"
-        sed 's/^/    /' "$TMP/opt.one" >>"$TMP/optimizer"
-      else
-        echo "  FAIL porcc opt '$KERNEL':" >&2
-        cat "$TMP/opt.err" >&2
-        exit 1
-      fi
+      for PIPEARGS in "" "--pipeline $EQSAT_PIPELINE"; do
+        echo "  run  porcc opt '$KERNEL' --json $PIPEARGS"
+        # shellcheck disable=SC2086  # intentional word-split of the flag
+        if "$BUILD_DIR/tools/porcc" opt "$KERNEL" --json $PIPEARGS \
+            >"$TMP/opt.one" 2>"$TMP/opt.err"; then
+          [ -s "$TMP/optimizer" ] && printf ',\n' >>"$TMP/optimizer"
+          sed 's/^/    /' "$TMP/opt.one" >>"$TMP/optimizer"
+        else
+          echo "  FAIL porcc opt '$KERNEL' $PIPEARGS:" >&2
+          cat "$TMP/opt.err" >&2
+          exit 1
+        fi
+      done
     done
 
 # Serving-tier load harness: closed- and open-loop request streams through

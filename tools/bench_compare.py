@@ -71,13 +71,81 @@ def serving_by_kernel(doc):
     return records
 
 
+DEFAULT_PIPELINE = "peephole,cse,constfold,lazy-relin,rot-dedup"
+EQSAT_PIPELINE = DEFAULT_PIPELINE + ",eqsat"
+
+
 def optimizer_by_kernel(doc):
+    """Index optimizer records by (kernel, pipeline).
+
+    bench.sh records each kernel under more than one pipeline (default and
+    default+eqsat), so kernel name alone is no longer a unique key. Old
+    snapshots always carried the pipeline string too, so this stays
+    backward compatible; a record somehow missing it indexes under "".
+    """
     records = {}
     for rec in doc.get("optimizer", []):
         name = rec.get("kernel")
+        pipe = rec.get("pipeline")
         if isinstance(name, str):
-            records[name] = rec
+            records[(name, pipe if isinstance(pipe, str) else "")] = rec
     return records
+
+
+def check_eqsat(fresh_opt, failures):
+    """Superoptimizer gate: eqsat must never lose to the default pipeline.
+
+    For every kernel the fresh snapshot records under both pipelines, the
+    eqsat run's final cost must be <= the default run's (the pass commits
+    only strict improvements, so a loss means extraction or the cost model
+    broke), and at least one kernel must show a strict win — eqsat
+    silently becoming a no-op everywhere is a regression in disguise.
+    Cost-model numbers are host-independent: always armed. Skipped only
+    when the fresh snapshot has no eqsat records at all (pre-eqsat
+    snapshot under comparison).
+    """
+    eps = 1e-6
+    pairs = []
+    for (name, pipe), rec in sorted(fresh_opt.items()):
+        if pipe != EQSAT_PIPELINE:
+            continue
+        base_rec = fresh_opt.get((name, DEFAULT_PIPELINE))
+        if base_rec is not None:
+            pairs.append((name, base_rec, rec))
+    if not pairs:
+        return
+    print("eqsat superoptimizer gate (vs default pipeline, same snapshot):")
+    wins = 0
+    for name, drec, erec in pairs:
+        dcost, ecost = drec.get("cost_after"), erec.get("cost_after")
+        if not isinstance(dcost, (int, float)) or not isinstance(
+            ecost, (int, float)
+        ):
+            failures.append(
+                f"{name}: eqsat comparison unreadable (cost_after missing)"
+            )
+            print(f"  MALFORMED  {name}")
+            continue
+        if ecost > dcost + eps:
+            failures.append(
+                f"{name}: eqsat pipeline RAISED cost over the default "
+                f"({dcost:.0f} -> {ecost:.0f}) — extraction or cost model "
+                "is broken"
+            )
+            print(f"  REGRESSION {name}: {dcost:.0f} -> {ecost:.0f}")
+        elif ecost < dcost - eps:
+            wins += 1
+            print(
+                f"  WIN        {name}: {dcost:.0f} -> {ecost:.0f} "
+                f"({100.0 * (dcost - ecost) / dcost:.1f}% cheaper)"
+            )
+        else:
+            print(f"  ok         {name}: {dcost:.0f} (no change)")
+    if wins == 0:
+        failures.append(
+            "eqsat: no kernel improved over the default pipeline — the "
+            "superoptimizer has become a universal no-op"
+        )
 
 
 def check_optimizer(base, fresh, failures):
@@ -97,7 +165,13 @@ def check_optimizer(base, fresh, failures):
         return
     print("optimizer cost gate (cost-model, host-independent):")
     eps = 1e-6
-    for name, rec in sorted(fresh_opt.items()):
+    for (name, pipe), rec in sorted(fresh_opt.items()):
+        if pipe == EQSAT_PIPELINE:
+            label = name + " [+eqsat]"
+        elif pipe and pipe != DEFAULT_PIPELINE:
+            label = f"{name} [{pipe}]"
+        else:
+            label = name
         cost_before = rec.get("cost_before")
         cost_after = rec.get("cost_after")
         verdict = "ok"
@@ -106,13 +180,13 @@ def check_optimizer(base, fresh, failures):
             if isinstance(pb, (int, float)) and isinstance(pa, (int, float)) and pa > pb + eps:
                 verdict = "REGRESSION"
                 failures.append(
-                    f"{name}: pass '{p.get('pass')}' increased cost "
+                    f"{label}: pass '{p.get('pass')}' increased cost "
                     f"{pb:.0f} -> {pa:.0f}"
                 )
             if p.get("reverted"):
                 verdict = "REGRESSION"
                 failures.append(
-                    f"{name}: pass '{p.get('pass')}' was reverted by the "
+                    f"{label}: pass '{p.get('pass')}' was reverted by the "
                     "cost guard — it proposed a cost-increasing rewrite"
                 )
         if (
@@ -122,10 +196,10 @@ def check_optimizer(base, fresh, failures):
         ):
             verdict = "REGRESSION"
             failures.append(
-                f"{name}: pipeline increased cost {cost_before:.0f} -> "
+                f"{label}: pipeline increased cost {cost_before:.0f} -> "
                 f"{cost_after:.0f}"
             )
-        brec = base_opt.get(name)
+        brec = base_opt.get((name, pipe))
         if brec is not None:
             bafter = brec.get("cost_after")
             if (
@@ -135,7 +209,7 @@ def check_optimizer(base, fresh, failures):
             ):
                 verdict = "REGRESSION"
                 failures.append(
-                    f"{name}: optimized cost regressed vs committed "
+                    f"{label}: optimized cost regressed vs committed "
                     f"baseline ({bafter:.0f} -> {cost_after:.0f})"
                 )
         # A gate that cannot read its inputs must fail, not warn — a schema
@@ -145,23 +219,25 @@ def check_optimizer(base, fresh, failures):
             cost_after, (int, float)
         ):
             print(
-                f"  {verdict:10s} {name}: cost {cost_before:.0f} -> "
+                f"  {verdict:10s} {label}: cost {cost_before:.0f} -> "
                 f"{cost_after:.0f}"
             )
         else:
             failures.append(
-                f"{name}: malformed optimizer record (cost_before/"
+                f"{label}: malformed optimizer record (cost_before/"
                 "cost_after missing or non-numeric)"
             )
-            print(f"  MALFORMED  {name}: optimizer record unreadable")
-    for name in sorted(set(base_opt) - set(fresh_opt)):
+            print(f"  MALFORMED  {label}: optimizer record unreadable")
+    for name, pipe in sorted(set(base_opt) - set(fresh_opt)):
         # Same reasoning: a kernel silently vanishing from the fresh run
         # could hide a per-kernel regression behind a missing record.
         failures.append(
-            f"{name}: optimizer record present in baseline but missing "
-            "from fresh run"
+            f"{name} (pipeline '{pipe}'): optimizer record present in "
+            "baseline but missing from fresh run"
         )
-        print(f"  MISSING    {name}: no fresh optimizer record")
+        print(f"  MISSING    {name}: no fresh optimizer record for "
+              f"pipeline '{pipe}'")
+    check_eqsat(fresh_opt, failures)
 
 
 # Hot-path primitives the tentpole optimized; everything else in ops_us

@@ -100,7 +100,8 @@ int usage() {
       "  porcc synth <kernel> [--timeout S] [--no-optimize] [--jobs N] "
       "[--explicit-rot]\n"
       "  porcc opt <kernel|file.quill> [--baseline] [--pipeline STR]\n"
-      "            [--print-after-all] [--json]\n"
+      "            [--print-after-all] [--json] [--eqsat-iters N]\n"
+      "            [--eqsat-nodes N] [--eqsat-time-ms MS]\n"
       "  porcc emit <kernel> [--baseline] [--function NAME]\n"
       "  porcc show <kernel> [--baseline]\n"
       "  porcc run <file.quill> --inputs \"1 2 3;4 5 6\" "
@@ -116,7 +117,11 @@ int usage() {
       "(--jobs N: synthesis portfolio threads; 0 = one per hardware "
       "thread, 1 = sequential. Same program either way, just faster.\n"
       " --pipeline STR: optimizer pass list, default "
-      "'peephole,cse,constfold,lazy-relin,rot-dedup'; '' disables.)\n");
+      "'peephole,cse,constfold,lazy-relin,rot-dedup'; '' disables;\n"
+      "   append ',eqsat' for the equality-saturation superoptimizer.\n"
+      " --eqsat-iters/--eqsat-nodes/--eqsat-time-ms: eqsat saturation "
+      "budgets\n"
+      "   (defaults 8 / 20000 / 0 = no clock, fully deterministic).)\n");
   return 2;
 }
 
@@ -175,6 +180,15 @@ driver::CompileOptions optionsFromFlags(int Argc, char **Argv) {
   // peephole,cse,constfold,lazy-relin,rot-dedup stack; "" disables).
   if (const char *Pipe = argValue(Argc, Argv, "--pipeline", nullptr))
     Opts.Pipeline = Pipe;
+  // eqsat saturation budgets (only consulted when the pipeline contains
+  // the eqsat pass). The time budget defaults to 0 = disabled so compiles
+  // stay deterministic; see CompileOptions::EqSat.
+  Opts.EqSat.MaxIterations =
+      std::atoi(argValue(Argc, Argv, "--eqsat-iters", "8"));
+  Opts.EqSat.MaxNodes =
+      std::atoi(argValue(Argc, Argv, "--eqsat-nodes", "20000"));
+  Opts.EqSat.TimeBudgetMs =
+      std::atof(argValue(Argc, Argv, "--eqsat-time-ms", "0"));
   Opts.Codegen.FunctionName = argValue(Argc, Argv, "--function", "kernel");
   return Opts;
 }
@@ -352,6 +366,12 @@ int cmdOpt(int Argc, char **Argv) {
   quill::PassManagerOptions PMO;
   PMO.Context.Latency = C.options().Synthesis.Latency;
   PMO.Context.PlainModulus = C.options().Synthesis.PlainModulus;
+  PMO.Context.EqSat.MaxIterations =
+      std::atoi(argValue(Argc, Argv, "--eqsat-iters", "8"));
+  PMO.Context.EqSat.MaxNodes =
+      std::atoi(argValue(Argc, Argv, "--eqsat-nodes", "20000"));
+  PMO.Context.EqSat.TimeBudgetMs =
+      std::atof(argValue(Argc, Argv, "--eqsat-time-ms", "0"));
   Rng R(1);
   for (int E = 0; E < 3; ++E) {
     std::vector<quill::SlotVector> Example;
@@ -384,6 +404,13 @@ int cmdOpt(int Argc, char **Argv) {
                     S.Pass.c_str(), S.Rewrites, -S.InstructionsRemoved,
                     -S.RotationsEliminated, S.RelinsDeferred, S.CostBefore,
                     S.CostAfter, S.Reverted ? " (REVERTED: cost rose)" : "");
+        if (PrintAfterAll && S.HasEqSat)
+          std::printf("; eqsat e-graph: %d classes, %d nodes, %d "
+                      "iteration%s, %s\n",
+                      S.EqSatClasses, S.EqSatNodes, S.EqSatIterations,
+                      S.EqSatIterations == 1 ? "" : "s",
+                      S.EqSatSaturated ? "saturated"
+                                       : "stopped by budget");
         if (PrintAfterAll)
           std::printf("%s", quill::printProgram(P).c_str());
       }
@@ -406,11 +433,17 @@ int cmdOpt(int Argc, char **Argv) {
                   "\"instructions_removed\": %d, "
                   "\"rotations_eliminated\": %d, \"relins_deferred\": %d, "
                   "\"cost_before\": %.0f, \"cost_after\": %.0f, "
-                  "\"reverted\": %s}",
+                  "\"reverted\": %s",
                   I ? ", " : "", json::quote(S.Pass).c_str(), S.Rewrites,
                   S.InstructionsRemoved, S.RotationsEliminated,
                   S.RelinsDeferred, S.CostBefore, S.CostAfter,
                   S.Reverted ? "true" : "false");
+      if (S.HasEqSat)
+        std::printf(", \"eqsat\": {\"classes\": %d, \"nodes\": %d, "
+                    "\"iterations\": %d, \"saturated\": %s}",
+                    S.EqSatClasses, S.EqSatNodes, S.EqSatIterations,
+                    S.EqSatSaturated ? "true" : "false");
+      std::printf("}");
     }
     std::printf("]\n}\n");
     return 0;
