@@ -15,6 +15,7 @@
 #define PORCUPINE_BENCH_BENCHCOMMON_H
 
 #include "backend/BfvExecutor.h"
+#include "backend/ExecutorBackend.h"
 #include "quill/Analysis.h"
 #include "support/Timing.h"
 
@@ -74,6 +75,19 @@ timeInterleaved(const BfvExecutor &Exec, const quill::Program &A,
     return V[V.size() / 2];
   };
   return {Median(TimesA), Median(TimesB)};
+}
+
+/// Backend-interface overload: times \p P through an abstract execution
+/// session, so figure benches run unchanged on any registered backend.
+inline double timeEncryptedRuns(const backend::Executor &Exec,
+                                const quill::Program &P,
+                                const std::vector<backend::Value> &Inputs,
+                                int Repeats) {
+  Exec.run(P, Inputs); // Warmup.
+  Stopwatch W;
+  for (int I = 0; I < Repeats; ++I)
+    Exec.run(P, Inputs);
+  return W.micros() / Repeats;
 }
 
 /// Prints a horizontal rule sized for \p Width columns of 12 chars.

@@ -58,24 +58,25 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Rng R(11);
-  auto Inputs = B.Spec.randomInputs(R, RT->context().plainModulus(), 64);
+  auto Inputs = B.Spec.randomInputs(R, RT->plainModulus(), 64);
   auto Enc = RT->encrypt(Inputs[0]);
   if (!Enc) {
     std::fprintf(stderr, "%s\n", Enc.status().toString().c_str());
     return 1;
   }
-  std::vector<Ciphertext> Encrypted = {*Enc};
-  const BfvExecutor &Exec = RT->executor();
+  std::vector<backend::Value> Encrypted = {*Enc};
+  const backend::Executor &Exec = RT->executor();
 
   double BaseUs = timeEncryptedRuns(Exec, B.Baseline, Encrypted, Repeats);
   double SynthUs =
       timeEncryptedRuns(Exec, Compiled->Program, Encrypted, Repeats);
-  double BaseNoise = Exec.noiseBudget(Exec.run(B.Baseline, Encrypted));
-  double SynthNoise =
-      Exec.noiseBudget(Exec.run(Compiled->Program, Encrypted));
+  auto BaseOut = Exec.run(B.Baseline, Encrypted);
+  auto SynthOut = Exec.run(Compiled->Program, Encrypted);
+  double BaseNoise = BaseOut ? Exec.noiseBudget(*BaseOut) : 0.0;
+  double SynthNoise = SynthOut ? Exec.noiseBudget(*SynthOut) : 0.0;
 
   std::printf("measured over %d runs at N=%zu:\n", Repeats,
-              RT->context().polyDegree());
+              RT->polyDegree());
   std::printf("  baseline    : %8.2f ms, remaining noise budget %.1f bits\n",
               BaseUs / 1000.0, BaseNoise);
   std::printf("  synthesized : %8.2f ms, remaining noise budget %.1f bits\n",

@@ -53,20 +53,20 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Rng R(12);
-  auto Inputs = B.Spec.randomInputs(R, RT->context().plainModulus(), 64);
+  auto Inputs = B.Spec.randomInputs(R, RT->plainModulus(), 64);
   auto Enc = RT->encrypt(Inputs[0]);
   if (!Enc) {
     std::fprintf(stderr, "%s\n", Enc.status().toString().c_str());
     return 1;
   }
-  std::vector<Ciphertext> Encrypted = {*Enc};
+  std::vector<backend::Value> Encrypted = {*Enc};
 
   double BaseUs =
       timeEncryptedRuns(RT->executor(), B.Baseline, Encrypted, Repeats);
   double SynthUs =
       timeEncryptedRuns(RT->executor(), Compiled->Program, Encrypted, Repeats);
   std::printf("measured over %d runs at N=%zu:\n", Repeats,
-              RT->context().polyDegree());
+              RT->polyDegree());
   std::printf("  baseline    : %8.2f ms\n", BaseUs / 1000.0);
   std::printf("  synthesized : %8.2f ms\n", SynthUs / 1000.0);
   std::printf("  speedup     : %+.1f%%  (paper: +26.6%%)\n\n",

@@ -61,7 +61,7 @@ int main() {
   }
 
   std::printf("client encrypts features and model coefficients...\n");
-  std::vector<Ciphertext> Enc;
+  std::vector<backend::Value> Enc;
   for (const auto &V : {X, A, B, C}) {
     auto Ct = RT->encrypt(V);
     if (!Ct) {

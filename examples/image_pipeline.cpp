@@ -83,7 +83,7 @@ int main() {
     std::fprintf(stderr, "%s\n", RT.status().toString().c_str());
     return 1;
   }
-  uint64_t T = RT->context().plainModulus();
+  uint64_t T = RT->plainModulus();
 
   printImage("client image (plaintext, 3x3 data in a zero border):", Img, T);
   std::printf("\nencrypting and offloading to the 'cloud'...\n");

@@ -14,29 +14,6 @@
 using namespace porcupine;
 using namespace porcupine::quill;
 
-std::vector<int> porcupine::requiredRotations(const Program &P) {
-  std::vector<int> Steps;
-  for (const Instr &I : P.Instructions)
-    if (I.Op == Opcode::RotCt)
-      Steps.push_back(I.Rot);
-  std::sort(Steps.begin(), Steps.end());
-  Steps.erase(std::unique(Steps.begin(), Steps.end()), Steps.end());
-  return Steps;
-}
-
-std::vector<int> porcupine::requiredRotations(
-    const std::vector<const Program *> &Programs) {
-  std::vector<int> AllSteps;
-  for (const Program *P : Programs) {
-    auto Steps = requiredRotations(*P);
-    AllSteps.insert(AllSteps.end(), Steps.begin(), Steps.end());
-  }
-  std::sort(AllSteps.begin(), AllSteps.end());
-  AllSteps.erase(std::unique(AllSteps.begin(), AllSteps.end()),
-                 AllSteps.end());
-  return AllSteps;
-}
-
 BfvExecutor::BfvExecutor(const BfvContext &Ctx, Rng &R,
                          const std::vector<const Program *> &Programs)
     : Ctx(Ctx), Keygen(Ctx, R), Pk(Keygen.createPublicKey()), Eval(Ctx),

@@ -20,6 +20,8 @@
 #ifndef PORCUPINE_BACKEND_BFVEXECUTOR_H
 #define PORCUPINE_BACKEND_BFVEXECUTOR_H
 
+#include "backend/ExecutorBackend.h" // requiredRotations(), the capability
+                                     // query concrete executors key off.
 #include "bfv/Decryptor.h"
 #include "bfv/Encryptor.h"
 #include "bfv/Evaluator.h"
@@ -30,14 +32,6 @@
 #include <vector>
 
 namespace porcupine {
-
-/// The rotation steps a program performs (sorted, deduplicated, signed).
-std::vector<int> requiredRotations(const quill::Program &P);
-
-/// The union of rotation steps across a program set (sorted, deduplicated)
-/// — exactly the Galois keys a runtime serving that set must hold.
-std::vector<int>
-requiredRotations(const std::vector<const quill::Program *> &Programs);
 
 /// Host-side runner: owns keys and the evaluator for one context and a set
 /// of programs.

@@ -1,0 +1,143 @@
+//===- backend/DryRunBackend.cpp - Keyless cost-charging backend ----------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/DryRunBackend.h"
+
+#include "bfv/BfvContext.h"
+#include "quill/Analysis.h"
+#include "quill/Interpreter.h"
+
+#include <algorithm>
+
+using namespace porcupine;
+using namespace porcupine::backend;
+using namespace porcupine::quill;
+
+namespace {
+
+/// The shareable session state: the row geometry and modulus a pooled
+/// runtime set agrees on. Immutable, so reuse across threads is free.
+struct DryRunState {
+  size_t Row = 0;        ///< Batching-row width (N/2 of the matching BFV
+                         ///< parameters — rotation semantics match BFV).
+  size_t PolyDegree = 0; ///< The N those parameters would use.
+  uint64_t T = 65537;    ///< Plaintext modulus.
+};
+
+class DryRunSession : public Executor {
+public:
+  explicit DryRunSession(std::shared_ptr<const DryRunState> State)
+      : State(std::move(State)), Cost(quill::LatencyTable{}) {}
+
+  Expected<Value> encrypt(const std::vector<uint64_t> &Values) const override {
+    // Mirror BFV exactly: reduce mod t and occupy row-0 slots [0, size),
+    // zeros beyond — so rotations that cross the input boundary bring in
+    // the same zeros a ciphertext row holds.
+    SlotVector Row(State->Row, 0);
+    for (size_t I = 0; I < Values.size(); ++I)
+      Row[I] = Values[I] % State->T;
+    return Value::wrap(std::move(Row));
+  }
+
+  Expected<Value> run(const quill::Program &P,
+                      const std::vector<Value> &Inputs) const override {
+    // Non-splat constants are stored at program width; expand them to the
+    // row with zeros (PlainConstant::at() indexes past the stored values
+    // otherwise). Splats broadcast everywhere, like the BFV encoder.
+    std::vector<PlainConstant> Consts = P.Constants;
+    for (PlainConstant &C : Consts)
+      if (!C.isSplat())
+        C.Values.resize(State->Row, 0);
+
+    std::vector<SlotVector> Values;
+    Values.reserve(P.numValues());
+    for (const Value &V : Inputs)
+      Values.push_back(V.get<SlotVector>());
+    for (const Instr &I : P.Instructions)
+      Values.push_back(applyInstr(I, Values, Consts, State->T));
+    ChargedUs += Cost.latency(P);
+    return Value::wrap(std::move(Values[P.outputId()]));
+  }
+
+  std::vector<uint64_t> decrypt(const Value &V, size_t Width) const override {
+    SlotVector Slots = V.get<SlotVector>();
+    Slots.resize(Width);
+    return Slots;
+  }
+
+  double noiseBudget(const Value &) const override { return 0.0; }
+
+  Expected<std::vector<std::vector<uint64_t>>>
+  runWithTrace(const quill::Program &P, const std::vector<Value> &Inputs,
+               size_t TraceWidth) const override {
+    std::vector<PlainConstant> Consts = P.Constants;
+    for (PlainConstant &C : Consts)
+      if (!C.isSplat())
+        C.Values.resize(State->Row, 0);
+
+    std::vector<SlotVector> Values;
+    for (const Value &V : Inputs)
+      Values.push_back(V.get<SlotVector>());
+    std::vector<std::vector<uint64_t>> Trace;
+    for (const Instr &I : P.Instructions) {
+      Values.push_back(applyInstr(I, Values, Consts, State->T));
+      SlotVector Snap = Values.back();
+      Snap.resize(TraceWidth);
+      Trace.push_back(std::move(Snap));
+    }
+    ChargedUs += Cost.latency(P);
+    return Trace;
+  }
+
+  size_t slotCount() const override { return State->Row; }
+  size_t polyDegree() const override { return State->PolyDegree; }
+  uint64_t plainModulus() const override { return State->T; }
+
+  std::shared_ptr<const void> sharedState() const override { return State; }
+
+  double chargedLatencyUs() const override { return ChargedUs; }
+
+private:
+  std::shared_ptr<const DryRunState> State;
+  quill::CostModel Cost;
+  mutable double ChargedUs = 0.0;
+};
+
+} // namespace
+
+Expected<std::unique_ptr<Executor>>
+DryRunBackend::createExecutor(const SessionSpec &Spec) const {
+  std::shared_ptr<const DryRunState> State;
+  if (Spec.Reuse) {
+    State = std::static_pointer_cast<const DryRunState>(Spec.Reuse);
+  } else {
+    int Depth = 0;
+    for (const quill::Program *P : Spec.Programs)
+      Depth = std::max(Depth, quill::programMultiplicativeDepth(*P));
+    // Adopt the row geometry of the BFV parameters this depth would pick
+    // (a cheap table lookup; no CRT/NTT construction) so rotation
+    // wrap-around is byte-identical to encrypted execution.
+    BfvParams Params =
+        BfvContext::paramsForMultDepth(static_cast<unsigned>(Depth));
+    auto S = std::make_shared<DryRunState>();
+    S->Row = Params.PolyDegree / 2;
+    S->PolyDegree = Params.PolyDegree;
+    S->T = Spec.PlainModulus;
+    State = std::move(S);
+  }
+
+  if (State->T < 2)
+    return Status::error("execute", "dry-run execution needs a plaintext "
+                                    "modulus of at least 2");
+  for (const quill::Program *P : Spec.Programs)
+    if (P->VectorSize > State->Row)
+      return Status::error(
+          "execute", "program is " + std::to_string(P->VectorSize) +
+                         " slots wide but the context batches only " +
+                         std::to_string(State->Row));
+
+  return std::unique_ptr<Executor>(new DryRunSession(std::move(State)));
+}

@@ -1,0 +1,236 @@
+//===- backend/ExecutorBackend.h - Pluggable execution backends -*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution seam of the toolchain: an abstract backend interface that
+/// lets one compiled Quill program run on interchangeable runtimes — the
+/// in-tree BFV evaluator, real SEAL when built in, or a keyless dry-run
+/// interpreter that charges cost-model latencies. Mirrors HEIR's
+/// multi-backend lowering and he-vectorizer's HEBackend idiom: the driver,
+/// Engine, and Server hold a `backend::Executor` by interface and never name
+/// a concrete runtime.
+///
+/// Two-level shape:
+///
+///   - `ExecutorBackend` is the registered factory/descriptor: a name (the
+///     `CompileOptions::Backend` key), capability bits, the latency table
+///     that prices the cost model on this backend, and `createExecutor()`.
+///   - `Executor` is one instantiated session for a fixed program set:
+///     encrypt/run/decrypt/noiseBudget/trace over opaque `Value` handles.
+///
+/// Values are deliberately type-erased (`backend::Value`): a BFV session
+/// hands out real ciphertexts, the dry-run session hands out slot vectors,
+/// and callers cannot tell the difference — which is exactly what makes
+/// cross-backend differential testing (byte-equal decrypted outputs) the
+/// correctness oracle it is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_BACKEND_EXECUTORBACKEND_H
+#define PORCUPINE_BACKEND_EXECUTORBACKEND_H
+
+#include "quill/CostModel.h"
+#include "quill/Program.h"
+#include "support/Status.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+
+/// The rotation steps a program performs (sorted, deduplicated, signed).
+std::vector<int> requiredRotations(const quill::Program &P);
+
+/// The union of rotation steps across a program set (sorted, deduplicated)
+/// — exactly the Galois keys a key-based runtime serving that set must hold.
+std::vector<int>
+requiredRotations(const std::vector<const quill::Program *> &Programs);
+
+namespace backend {
+
+/// An opaque per-backend execution value (a ciphertext, a slot vector, ...).
+/// Cheap to copy (shared immutable payload). Callers round-trip Values
+/// through one Executor; mixing Values across sessions is a programming
+/// error caught by the payload-type assert in get().
+class Value {
+public:
+  Value() = default;
+
+  template <class T> static Value wrap(T Payload) {
+    auto H = std::make_shared<Holder<T>>();
+    H->Payload = std::move(Payload);
+    return Value(std::move(H));
+  }
+
+  template <class T> const T &get() const {
+    const auto *H = dynamic_cast<const Holder<T> *>(Impl.get());
+    assert(H && "backend::Value holds a different payload type");
+    return H->Payload;
+  }
+
+  explicit operator bool() const { return Impl != nullptr; }
+
+private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <class T> struct Holder : HolderBase {
+    T Payload;
+  };
+
+  explicit Value(std::shared_ptr<const HolderBase> Impl)
+      : Impl(std::move(Impl)) {}
+
+  std::shared_ptr<const HolderBase> Impl;
+};
+
+/// What a backend can and cannot do; the driver gates behavior (noise
+/// reporting, Galois-key validation, outcome flags) on these bits instead
+/// of on backend names.
+struct BackendCapabilities {
+  /// Values are real ciphertexts; outputs come from decryption.
+  bool Encrypted = true;
+  /// Rotations need Galois keys generated at instantiation, so running a
+  /// program whose rotations were not in the instantiate() set must fail.
+  bool NeedsGaloisKeys = true;
+  /// noiseBudget() returns a meaningful invariant-noise measurement.
+  bool ReportsNoiseBudget = true;
+  /// runWithTrace() is implemented.
+  bool SupportsTrace = true;
+};
+
+/// Everything a backend needs to instantiate one execution session.
+struct SessionSpec {
+  /// The programs this session must be able to run (keys are sized for
+  /// exactly this set's rotations and the deepest member's parameters).
+  std::vector<const quill::Program *> Programs;
+  /// Plaintext modulus the programs were compiled/verified under.
+  uint64_t PlainModulus = 65537;
+  /// Seed for execution-side randomness (keys, encryption noise).
+  uint64_t ExecutionSeed = 1;
+  /// Opaque sharedState() of a previous session for the same (or deeper)
+  /// program set; backends reuse the immutable, thread-safe part of it
+  /// (the BFV context's CRT bases and NTT tables) instead of rebuilding.
+  std::shared_ptr<const void> Reuse;
+};
+
+/// One instantiated execution session: keys (if any) and evaluation state
+/// for a fixed program set. Not thread-safe; the Engine leases each
+/// Executor to one thread at a time.
+class Executor {
+public:
+  virtual ~Executor() = default;
+
+  /// Encrypts (or wraps, for plaintext backends) one input vector of at
+  /// most slotCount() values, placed in batching row 0.
+  virtual Expected<Value> encrypt(const std::vector<uint64_t> &Values) const = 0;
+
+  /// Runs \p P over session values, returning the result value.
+  virtual Expected<Value> run(const quill::Program &P,
+                              const std::vector<Value> &Inputs) const = 0;
+
+  /// Decrypts (or unwraps) a result and returns the first \p Width slots.
+  virtual std::vector<uint64_t> decrypt(const Value &V, size_t Width) const = 0;
+
+  /// Remaining invariant noise budget in bits; 0 when the backend's
+  /// capabilities say ReportsNoiseBudget is false.
+  virtual double noiseBudget(const Value &V) const = 0;
+
+  /// Runs \p P recording the decrypted slot state (first \p TraceWidth
+  /// slots) after every instruction; index k holds value NumInputs+k.
+  virtual Expected<std::vector<std::vector<uint64_t>>>
+  runWithTrace(const quill::Program &P, const std::vector<Value> &Inputs,
+               size_t TraceWidth) const = 0;
+
+  /// Width of one batching row in this session.
+  virtual size_t slotCount() const = 0;
+  /// Ring dimension (0 when the backend has no polynomial ring).
+  virtual size_t polyDegree() const = 0;
+  /// Plaintext modulus arithmetic is performed under.
+  virtual uint64_t plainModulus() const = 0;
+
+  /// The immutable, shareable part of this session's state (never the
+  /// keys). Feed it to SessionSpec::Reuse to build further sessions for
+  /// the same program set cheaply — how the Engine's runtime pools scale.
+  virtual std::shared_ptr<const void> sharedState() const = 0;
+
+  /// Cumulative cost-model latency (µs) this session has charged for its
+  /// runs. Real backends spend wall-clock instead and report 0; the
+  /// dry-run backend accumulates its latency table here so callers can
+  /// observe what an execution *would* have cost.
+  virtual double chargedLatencyUs() const { return 0.0; }
+};
+
+/// A registered execution backend: naming, capabilities, cost pricing, and
+/// the session factory. Implementations are stateless and immutable after
+/// registration (they are shared across threads freely).
+class ExecutorBackend {
+public:
+  virtual ~ExecutorBackend() = default;
+
+  /// Registry key; also the value of `CompileOptions::Backend` and part of
+  /// every compile fingerprint (the Engine cache never mixes backends).
+  virtual std::string name() const = 0;
+
+  virtual BackendCapabilities capabilities() const = 0;
+
+  /// The per-instruction latency table pricing the cost model when
+  /// `CompileOptions::Latency == LatencySource::Backend`.
+  virtual quill::LatencyTable latencyTable() const = 0;
+
+  /// Whether the backend can actually run in this process (a backend may
+  /// be compiled in but lack a runtime dependency).
+  virtual bool available() const { return true; }
+
+  /// The rotation steps this backend must prepare keys for to serve
+  /// \p Programs. The default is the program-derived set; backends that
+  /// need no Galois keys (dry-run) override this to return nothing.
+  virtual std::vector<int>
+  requiredRotations(const std::vector<const quill::Program *> &Programs) const {
+    return porcupine::requiredRotations(Programs);
+  }
+
+  /// Instantiates one execution session. Anything the caller can get wrong
+  /// (unsupported modulus, program wider than a batching row) returns a
+  /// failed Expected with stage "execute".
+  virtual Expected<std::unique_ptr<Executor>>
+  createExecutor(const SessionSpec &Spec) const = 0;
+};
+
+/// A name-keyed set of backends. `builtin()` holds every backend compiled
+/// into this build ("bfv", "dryrun", and "seal" under PORCUPINE_WITH_SEAL);
+/// embedders can also build their own registry and `add()` custom backends.
+class BackendRegistry {
+public:
+  BackendRegistry() = default;
+
+  /// The process-wide registry of bundled backends.
+  static const BackendRegistry &builtin();
+
+  /// Registers \p B under B->name(), replacing any previous backend with
+  /// the same name.
+  void add(std::unique_ptr<ExecutorBackend> B);
+
+  /// Looks a backend up by exact name; nullptr when absent.
+  const ExecutorBackend *find(const std::string &Name) const;
+
+  /// Registered names, sorted (for error messages and tooling).
+  std::vector<std::string> names() const;
+
+  /// The sorted names joined with ", " — the "available: ..." tail of
+  /// unknown-backend diagnostics.
+  std::string namesCsv() const;
+
+private:
+  std::vector<std::unique_ptr<ExecutorBackend>> Backends;
+};
+
+} // namespace backend
+} // namespace porcupine
+
+#endif // PORCUPINE_BACKEND_EXECUTORBACKEND_H

@@ -8,9 +8,18 @@
 
 #include "bfv/BatchEncoder.h"
 
+#include <atomic>
+
 using namespace porcupine;
 
+static std::atomic<uint64_t> KeygenInstances{0};
+
+uint64_t KeyGenerator::instancesCreated() {
+  return KeygenInstances.load(std::memory_order_relaxed);
+}
+
 KeyGenerator::KeyGenerator(const BfvContext &Ctx, Rng &R) : Ctx(Ctx), R(R) {
+  KeygenInstances.fetch_add(1, std::memory_order_relaxed);
   Secret.S = RingPoly::sampleTernary(Ctx, R);
 }
 

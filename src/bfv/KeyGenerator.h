@@ -26,6 +26,12 @@ public:
   /// Samples a fresh secret key from \p R.
   KeyGenerator(const BfvContext &Ctx, Rng &R);
 
+  /// Total KeyGenerator instances constructed in this process. Every key
+  /// in the system originates here, so a stable count across a span of
+  /// work proves no keys were generated — the observable the keyless
+  /// dry-run backend's tests assert on.
+  static uint64_t instancesCreated();
+
   const SecretKey &secretKey() const { return Secret; }
 
   /// Creates a public encryption key.

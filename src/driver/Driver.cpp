@@ -40,6 +40,11 @@ Status Compiler::validateOptions() const {
                "ExplicitRotationMaxComponents must be at least 1");
   if (Opts.Latency == LatencySource::Profiled && Opts.ProfileRepeats < 1)
     S.addError("options", "ProfileRepeats must be at least 1");
+  if (!backend::BackendRegistry::builtin().find(Opts.Backend))
+    S.addError("options",
+               "unknown execution backend '" + Opts.Backend +
+                   "'; available: " +
+                   backend::BackendRegistry::builtin().namesCsv());
   // Parse the optimizer pipeline up front so a typo fails compilation with
   // a diagnostic instead of surfacing mid-pipeline.
   auto PM = quill::PassManager::fromPipeline(Opts.Pipeline,
@@ -95,6 +100,16 @@ static Status validateSketch(const KernelSpec &Spec, const synth::Sketch &Sk) {
 
 quill::LatencyTable
 Compiler::effectiveLatency(std::vector<Diagnostic> *Notes) const {
+  if (Opts.Latency == LatencySource::Backend) {
+    // Price with the execution backend's table so estimates match where
+    // the program will actually run. The "bfv" table IS the calibrated
+    // defaults, so the common case is numerically identical to Defaults.
+    if (const backend::ExecutorBackend *B =
+            backend::BackendRegistry::builtin().find(Opts.Backend))
+      return B->latencyTable();
+    return Opts.Synthesis.Latency; // Unknown name: validateOptions flags
+                                   // it; stay deterministic here.
+  }
   if (Opts.Latency == LatencySource::Defaults)
     return Opts.Synthesis.Latency;
   // Profile at a mid-range depth-2 context: representative of the
@@ -208,52 +223,48 @@ Compiler::selectParameters(const quill::Program &P) const {
 
 Expected<Runtime>
 Compiler::instantiate(const std::vector<const quill::Program *> &Programs,
-                      std::shared_ptr<const BfvContext> Reuse) const {
+                      std::shared_ptr<const void> Reuse) const {
   if (Programs.empty())
     return Status::error("execute", "instantiate() needs at least one program");
-  int Depth = 0;
   for (const quill::Program *P : Programs) {
     if (!P)
       return Status::error("execute", "instantiate() got a null program");
     Status S = validateProgram(*P, "execute");
     if (!S)
       return S;
-    Depth = std::max(Depth, quill::programMultiplicativeDepth(*P));
   }
 
-  Runtime RT;
-  if (Reuse)
-    RT.Ctx = std::move(Reuse);
-  else
-    RT.Ctx = std::make_shared<const BfvContext>(
-        BfvContext::forMultDepth(static_cast<unsigned>(Depth)));
-  // The standard-parameter contexts fix the plaintext modulus; a program
-  // compiled/verified under a different modulus would silently compute
-  // different values encrypted, so refuse rather than mislead.
-  if (Opts.Synthesis.PlainModulus != RT.Ctx->plainModulus())
+  const backend::ExecutorBackend *B =
+      backend::BackendRegistry::builtin().find(Opts.Backend);
+  if (!B)
     return Status::error(
-        "execute",
-        "encrypted execution uses plaintext modulus " +
-            std::to_string(RT.Ctx->plainModulus()) +
-            " but the options request " +
-            std::to_string(Opts.Synthesis.PlainModulus) +
-            "; run with the default modulus or interpret in plaintext");
-  for (const quill::Program *P : Programs)
-    if (P->VectorSize > RT.Ctx->slotCount())
-      return Status::error(
-          "execute", "program is " + std::to_string(P->VectorSize) +
-                         " slots wide but the context batches only " +
-                         std::to_string(RT.Ctx->slotCount()));
-  RT.R = std::make_unique<Rng>(Opts.ExecutionSeed);
-  RT.Exec = std::make_unique<BfvExecutor>(*RT.Ctx, *RT.R, Programs);
-  RT.KeyedRotations = requiredRotations(Programs);
+        "execute", "unknown execution backend '" + Opts.Backend +
+                       "'; available: " +
+                       backend::BackendRegistry::builtin().namesCsv());
+  if (!B->available())
+    return Status::error("execute", "execution backend '" + Opts.Backend +
+                                        "' is not available in this build");
+
+  backend::SessionSpec Spec;
+  Spec.Programs = Programs;
+  Spec.PlainModulus = Opts.Synthesis.PlainModulus;
+  Spec.ExecutionSeed = Opts.ExecutionSeed;
+  Spec.Reuse = std::move(Reuse);
+  auto Exec = B->createExecutor(Spec);
+  if (!Exec)
+    return Exec.status();
+
+  Runtime RT;
+  RT.B = B;
+  RT.Caps = B->capabilities();
+  RT.Exec = Exec.take();
+  RT.KeyedRotations = B->requiredRotations(Programs);
   return RT;
 }
 
 Expected<ExecuteOutcome>
 Compiler::execute(const quill::Program &P,
-                  const std::vector<std::vector<uint64_t>> &Inputs,
-                  bool Encrypted) const {
+                  const std::vector<std::vector<uint64_t>> &Inputs) const {
   Status S = validateProgram(P, "execute");
   if (!S)
     return S;
@@ -273,33 +284,41 @@ Compiler::execute(const quill::Program &P,
     V.resize(P.VectorSize, 0);
   }
 
-  ExecuteOutcome Out;
-  if (!Encrypted) {
-    for (std::vector<uint64_t> &V : Padded)
-      for (uint64_t &X : V)
-        X %= Opts.Synthesis.PlainModulus;
-    Out.Outputs = quill::interpret(P, Padded, Opts.Synthesis.PlainModulus);
-    return Out;
-  }
-
   auto RT = instantiate({&P});
   if (!RT)
     return RT.status();
-  std::vector<Ciphertext> Enc;
+  std::vector<backend::Value> Enc;
   for (const std::vector<uint64_t> &V : Padded) {
     auto Ct = RT->encrypt(V);
     if (!Ct)
       return Ct.status();
     Enc.push_back(Ct.take());
   }
+  double ChargedBefore = RT->executor().chargedLatencyUs();
   auto Ct = RT->run(P, Enc);
   if (!Ct)
     return Ct.status();
+  ExecuteOutcome Out;
   Out.Outputs = RT->decrypt(*Ct, P.VectorSize);
-  Out.Encrypted = true;
-  Out.NoiseBudgetBits = RT->noiseBudget(*Ct);
-  Out.PolyDegree = RT->context().polyDegree();
+  Out.Encrypted = RT->capabilities().Encrypted;
+  if (RT->capabilities().ReportsNoiseBudget)
+    Out.NoiseBudgetBits = RT->noiseBudget(*Ct);
+  if (Out.Encrypted)
+    Out.PolyDegree = RT->polyDegree();
+  Out.ChargedLatencyUs = RT->executor().chargedLatencyUs() - ChargedBefore;
   return Out;
+}
+
+Expected<ExecuteOutcome>
+Compiler::execute(const quill::Program &P,
+                  const std::vector<std::vector<uint64_t>> &Inputs,
+                  bool Encrypted) const {
+  // Transitional bool-flag shim: route to the named backends the flag
+  // used to mean. Ignores Opts.Backend by design (that is what the old
+  // API did — the flag was the whole selection).
+  Compiler Shim(Opts, Registry);
+  Shim.Opts.Backend = Encrypted ? "bfv" : "dryrun";
+  return Shim.execute(P, Inputs);
 }
 
 Expected<VerifyOutcome> Compiler::verify(const quill::Program &P,
@@ -431,19 +450,20 @@ Compiler::compile(const std::string &KernelName) const {
 // Runtime
 //===----------------------------------------------------------------------===//
 
-Expected<Ciphertext>
+Expected<backend::Value>
 Runtime::encrypt(const std::vector<uint64_t> &Values) const {
-  if (Values.size() > Ctx->slotCount())
+  if (Values.size() > Exec->slotCount())
     return Status::error("execute",
                          "input vector of width " +
                              std::to_string(Values.size()) +
                              " exceeds the batching row of " +
-                             std::to_string(Ctx->slotCount()) + " slots");
-  return Exec->encryptInput(Values);
+                             std::to_string(Exec->slotCount()) + " slots");
+  return Exec->encrypt(Values);
 }
 
-Expected<Ciphertext> Runtime::run(const quill::Program &P,
-                                  const std::vector<Ciphertext> &Inputs) const {
+Expected<backend::Value>
+Runtime::run(const quill::Program &P,
+             const std::vector<backend::Value> &Inputs) const {
   std::string Err = P.validate();
   if (!Err.empty())
     return Status::error("execute", "malformed program: " + Err);
@@ -452,27 +472,28 @@ Expected<Ciphertext> Runtime::run(const quill::Program &P,
                          "program takes " + std::to_string(P.NumInputs) +
                              " encrypted input(s) but got " +
                              std::to_string(Inputs.size()));
-  if (P.VectorSize > Ctx->slotCount())
+  if (P.VectorSize > Exec->slotCount())
     return Status::error("execute",
                          "program is wider than the instantiated context");
-  for (int Step : requiredRotations(P))
-    if (!std::binary_search(KeyedRotations.begin(), KeyedRotations.end(),
-                            Step))
-      return Status::error(
-          "execute",
-          "program rotates by " + std::to_string(Step) +
-              " but the runtime was not instantiated with that program; no "
-              "Galois key for that step");
+  if (Caps.NeedsGaloisKeys)
+    for (int Step : porcupine::requiredRotations(P))
+      if (!std::binary_search(KeyedRotations.begin(), KeyedRotations.end(),
+                              Step))
+        return Status::error(
+            "execute",
+            "program rotates by " + std::to_string(Step) +
+                " but the runtime was not instantiated with that program; no "
+                "Galois key for that step");
   return Exec->run(P, Inputs);
 }
 
-std::vector<uint64_t> Runtime::decrypt(const Ciphertext &Ct,
+std::vector<uint64_t> Runtime::decrypt(const backend::Value &V,
                                        size_t Width) const {
-  return Exec->decryptOutput(Ct, Width);
+  return Exec->decrypt(V, Width);
 }
 
-double Runtime::noiseBudget(const Ciphertext &Ct) const {
-  return Exec->noiseBudget(Ct);
+double Runtime::noiseBudget(const backend::Value &V) const {
+  return Exec->noiseBudget(V);
 }
 
 //===----------------------------------------------------------------------===//

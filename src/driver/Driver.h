@@ -34,7 +34,7 @@
 #ifndef PORCUPINE_DRIVER_DRIVER_H
 #define PORCUPINE_DRIVER_DRIVER_H
 
-#include "backend/BfvExecutor.h"
+#include "backend/ExecutorBackend.h"
 #include "backend/ParameterSelector.h"
 #include "backend/SealCodeGen.h"
 #include "kernels/KernelRegistry.h"
@@ -54,6 +54,9 @@ namespace driver {
 
 /// Where the instruction latencies driving the cost model come from.
 enum class LatencySource {
+  Backend,  ///< The selected execution backend's latencyTable() (default;
+            ///< identical numbers to Defaults on the "bfv" backend, whose
+            ///< table *is* the calibrated constants).
   Defaults, ///< The calibrated constants in quill::LatencyTable.
   Profiled, ///< Measure the bundled BFV evaluator (backend/LatencyProfiler).
 };
@@ -106,8 +109,17 @@ struct CompileOptions {
   /// keeps Synthesis.Threads out of the key).
   quill::EqSatBudgets EqSat;
 
+  /// Which execution backend runs compiled programs (and, under the
+  /// default Latency source, prices the cost model): a name in
+  /// backend::BackendRegistry::builtin() — "bfv" (the in-tree encrypted
+  /// runtime), "dryrun" (keyless plaintext semantics charging cost-model
+  /// latencies), or "seal" when built with -DPORCUPINE_WITH_SEAL.
+  /// Fingerprinted, so the Engine's compile cache and artifacts can never
+  /// serve a kernel compiled for one backend to a request for another.
+  std::string Backend = "bfv";
+
   /// Cost/latency source for synthesis and the reported cost estimate.
-  LatencySource Latency = LatencySource::Defaults;
+  LatencySource Latency = LatencySource::Backend;
   /// Median window for Profiled latency measurement.
   int ProfileRepeats = 3;
 
@@ -195,6 +207,9 @@ struct ExecuteOutcome {
   double NoiseBudgetBits = 0.0;
   /// Ring dimension of the context the run used (encrypted runs only).
   size_t PolyDegree = 0;
+  /// Cost-model latency the backend charged for this run (dry-run only;
+  /// real backends spend wall-clock instead and report 0).
+  double ChargedLatencyUs = 0.0;
 };
 
 /// verify() stage output.
@@ -204,47 +219,64 @@ struct VerifyOutcome {
   std::vector<std::vector<uint64_t>> Counterexample;
 };
 
-/// A ready-to-run encrypted execution environment for a fixed set of
-/// programs: owns the BFV context, keys, and executor (sized for the
-/// deepest program, with Galois keys for exactly the rotations the set
-/// needs). Produced by Compiler::instantiate(); movable, not copyable.
+/// A ready-to-run execution environment for a fixed set of programs on one
+/// backend: owns the backend session (context, keys — whatever the backend
+/// needs, sized for the deepest program with Galois keys for exactly the
+/// rotations the set requires). Produced by Compiler::instantiate();
+/// movable, not copyable. Values are opaque backend::Value handles — real
+/// ciphertexts on "bfv"/"seal", slot vectors on "dryrun" — and callers
+/// cannot (and must not) tell the difference.
 class Runtime {
 public:
   Runtime(Runtime &&) = default;
   Runtime &operator=(Runtime &&) = default;
 
   /// Encrypts one input vector (at most one batching row wide).
-  Expected<Ciphertext> encrypt(const std::vector<uint64_t> &Values) const;
+  Expected<backend::Value> encrypt(const std::vector<uint64_t> &Values) const;
 
-  /// Runs \p P over encrypted inputs. \p P must have been part of the
-  /// instantiate() set (or need no rotations beyond that set's keys) and
-  /// \p Inputs must match its input count.
-  Expected<Ciphertext> run(const quill::Program &P,
-                           const std::vector<Ciphertext> &Inputs) const;
+  /// Runs \p P over session values. \p P must have been part of the
+  /// instantiate() set (or need no rotations beyond that set's keys, on
+  /// backends that key rotations at all) and \p Inputs must match its
+  /// input count.
+  Expected<backend::Value> run(const quill::Program &P,
+                               const std::vector<backend::Value> &Inputs) const;
 
   /// Decrypts the first \p Width slots of a result.
-  std::vector<uint64_t> decrypt(const Ciphertext &Ct, size_t Width) const;
+  std::vector<uint64_t> decrypt(const backend::Value &V, size_t Width) const;
 
-  /// Remaining invariant noise budget of a ciphertext, in bits.
-  double noiseBudget(const Ciphertext &Ct) const;
+  /// Remaining invariant noise budget of a value, in bits (0 on backends
+  /// whose capabilities().ReportsNoiseBudget is false).
+  double noiseBudget(const backend::Value &V) const;
 
-  const BfvContext &context() const { return *Ctx; }
-  const BfvExecutor &executor() const { return *Exec; }
+  /// The backend session, by interface.
+  const backend::Executor &executor() const { return *Exec; }
+  /// The backend this runtime was instantiated on.
+  const backend::ExecutorBackend &backendInfo() const { return *B; }
+  /// The backend's capability bits (cached at instantiation).
+  const backend::BackendCapabilities &capabilities() const { return Caps; }
 
-  /// The immutable context backing this runtime. Hand it to
+  /// Geometry/modulus of the session, forwarded from the backend.
+  size_t slotCount() const { return Exec->slotCount(); }
+  size_t polyDegree() const { return Exec->polyDegree(); }
+  uint64_t plainModulus() const { return Exec->plainModulus(); }
+
+  /// The immutable state backing this runtime (the BFV context's CRT
+  /// bases and NTT tables — never keys). Hand it to
   /// Compiler::instantiate() to build further runtimes for the same
-  /// program set without paying context construction (CRT bases, NTT
-  /// tables) again — this is how the Engine's runtime pools scale.
-  std::shared_ptr<const BfvContext> sharedContext() const { return Ctx; }
+  /// program set without paying that construction again — this is how the
+  /// Engine's runtime pools scale. Opaque: only meaningful to the same
+  /// backend that produced it.
+  std::shared_ptr<const void> sharedState() const {
+    return Exec->sharedState();
+  }
 
 private:
   friend class Compiler;
   Runtime() = default;
 
-  std::shared_ptr<const BfvContext> Ctx; // Immutable; shareable across
-                                         // runtimes (and threads).
-  std::unique_ptr<Rng> R; // Keys/encryptor hold a reference into this.
-  std::unique_ptr<BfvExecutor> Exec;
+  const backend::ExecutorBackend *B = nullptr; // Registry-owned.
+  backend::BackendCapabilities Caps;
+  std::unique_ptr<backend::Executor> Exec;
   std::vector<int> KeyedRotations; // Sorted; for run()-time validation.
 };
 
@@ -300,22 +332,36 @@ public:
   /// Smallest standard 128-bit-security BFV parameters covering \p P.
   Expected<ParameterChoice> selectParameters(const quill::Program &P) const;
 
-  /// Builds an encrypted execution environment for \p Programs. \p Reuse,
-  /// when given, must be the sharedContext() of a runtime instantiated for
+  /// Builds an execution environment for \p Programs on the options'
+  /// backend (Opts.Backend). \p Reuse, when given, must be the
+  /// sharedState() of a runtime instantiated *on the same backend* for
   /// programs at least as deep as \p Programs (keys are still generated
-  /// fresh; only the immutable context is shared — the caller vouches for
+  /// fresh; only the immutable state is shared — the caller vouches for
   /// the depth, which is trivially true when reusing within one program
   /// set, as the Engine's runtime pools do).
   Expected<Runtime>
   instantiate(const std::vector<const quill::Program *> &Programs,
-              std::shared_ptr<const BfvContext> Reuse = nullptr) const;
+              std::shared_ptr<const void> Reuse = nullptr) const;
 
   /// One-shot end-to-end run of \p P on \p Inputs (one vector per program
   /// input, each at most VectorSize wide; values taken mod the plaintext
-  /// modulus). Encrypted by default; plaintext interpretation otherwise.
-  Expected<ExecuteOutcome> execute(const quill::Program &P,
-                                   const std::vector<std::vector<uint64_t>> &Inputs,
-                                   bool Encrypted = true) const;
+  /// modulus) on the options' backend — encrypted on "bfv"/"seal",
+  /// plaintext-with-charged-cost on "dryrun".
+  Expected<ExecuteOutcome>
+  execute(const quill::Program &P,
+          const std::vector<std::vector<uint64_t>> &Inputs) const;
+
+  /// Transitional shim for the pre-backend API, where a bool picked
+  /// between encrypted execution and plaintext interpretation. Runs on
+  /// "bfv" when \p Encrypted, "dryrun" otherwise, ignoring Opts.Backend.
+  /// Deprecated for one release; migrate to the backend-selecting
+  /// overload above (set Opts.Backend instead of passing a flag).
+  [[deprecated("select a backend via CompileOptions::Backend and call the "
+               "two-argument execute() instead")]]
+  Expected<ExecuteOutcome>
+  execute(const quill::Program &P,
+          const std::vector<std::vector<uint64_t>> &Inputs,
+          bool Encrypted) const;
 
   /// Exact symbolic verification of \p P against \p Spec; inequivalence is
   /// a *successful* call with Equivalent == false and a counterexample.

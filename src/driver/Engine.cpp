@@ -65,7 +65,7 @@ Expected<CompiledKernel::RuntimeLease> CompiledKernel::acquireRuntime() const {
       // need an already-idle runtime. The first runtime's immutable
       // context is reused by every later one (same program, same depth).
       ++Built;
-      std::shared_ptr<const BfvContext> Reuse = SharedCtx;
+      std::shared_ptr<const void> Reuse = SharedState;
       L.unlock();
       Compiler C(Opts);
       auto RT = C.instantiate({&Result.Program}, std::move(Reuse));
@@ -80,8 +80,8 @@ Expected<CompiledKernel::RuntimeLease> CompiledKernel::acquireRuntime() const {
         return RT.status();
       }
       L.lock();
-      if (!SharedCtx)
-        SharedCtx = RT->sharedContext();
+      if (!SharedState)
+        SharedState = RT->sharedState();
       L.unlock();
       return RuntimeLease(this,
                           std::make_unique<Runtime>(std::move(RT.take())));
@@ -126,7 +126,7 @@ Status CompiledKernel::padInputs(
 Expected<ExecuteOutcome>
 CompiledKernel::runOn(Runtime &RT,
                       const std::vector<std::vector<uint64_t>> &Padded) const {
-  std::vector<Ciphertext> Enc;
+  std::vector<backend::Value> Enc;
   Enc.reserve(Padded.size());
   for (const std::vector<uint64_t> &V : Padded) {
     auto Ct = RT.encrypt(V);
@@ -134,25 +134,24 @@ CompiledKernel::runOn(Runtime &RT,
       return Ct.status();
     Enc.push_back(Ct.take());
   }
+  double ChargedBefore = RT.executor().chargedLatencyUs();
   auto Ct = RT.run(Result.Program, Enc);
   if (!Ct)
     return Ct.status();
   ExecuteOutcome Out;
   Out.Outputs = RT.decrypt(*Ct, Result.Program.VectorSize);
-  Out.Encrypted = true;
-  Out.NoiseBudgetBits = RT.noiseBudget(*Ct);
-  Out.PolyDegree = RT.context().polyDegree();
+  Out.Encrypted = RT.capabilities().Encrypted;
+  if (RT.capabilities().ReportsNoiseBudget)
+    Out.NoiseBudgetBits = RT.noiseBudget(*Ct);
+  if (Out.Encrypted)
+    Out.PolyDegree = RT.polyDegree();
+  Out.ChargedLatencyUs = RT.executor().chargedLatencyUs() - ChargedBefore;
   return Out;
 }
 
 Expected<ExecuteOutcome>
-CompiledKernel::execute(const std::vector<std::vector<uint64_t>> &Inputs,
-                        bool Encrypted) const {
-  if (!Encrypted) {
-    // Plaintext interpretation is stateless; no runtime needed.
-    Compiler C(Opts);
-    return C.execute(Result.Program, Inputs, /*Encrypted=*/false);
-  }
+CompiledKernel::execute(const std::vector<std::vector<uint64_t>> &Inputs)
+    const {
   std::vector<std::vector<uint64_t>> Padded = Inputs;
   Status S = padInputs(Padded);
   if (!S)
@@ -164,25 +163,9 @@ CompiledKernel::execute(const std::vector<std::vector<uint64_t>> &Inputs,
 }
 
 Expected<std::vector<ExecuteOutcome>> CompiledKernel::executeMany(
-    const std::vector<std::vector<std::vector<uint64_t>>> &Batch,
-    bool Encrypted) const {
+    const std::vector<std::vector<std::vector<uint64_t>>> &Batch) const {
   std::vector<ExecuteOutcome> Outcomes;
   Outcomes.reserve(Batch.size());
-  if (!Encrypted) {
-    Compiler C(Opts);
-    for (size_t I = 0; I < Batch.size(); ++I) {
-      auto Out = C.execute(Result.Program, Batch[I], /*Encrypted=*/false);
-      if (!Out) {
-        Status S = Status::error(
-            "execute", "batch item " + std::to_string(I) + " failed");
-        S.merge(Out.status());
-        return S;
-      }
-      Outcomes.push_back(Out.take());
-    }
-    return Outcomes;
-  }
-
   // Validate the whole batch (no copies) before touching the pool so a bad
   // item fails fast and atomically — no partial encrypted work.
   for (size_t I = 0; I < Batch.size(); ++I) {
@@ -248,9 +231,9 @@ Expected<ExecuteOutcome> CompiledKernel::executePacked(
   if (!Lease)
     return Lease.status();
   Runtime &RT = Lease->runtime();
-  assert(RT.context().slotCount() == Row &&
+  assert(RT.slotCount() == Row &&
          "packedRowWidth disagrees with the instantiated parameters");
-  std::vector<Ciphertext> Enc;
+  std::vector<backend::Value> Enc;
   Enc.reserve(PackedInputs.size());
   for (const std::vector<uint64_t> &V : PackedInputs) {
     // Runtime::encrypt packs any vector up to the slot count; shorter rows
@@ -260,14 +243,18 @@ Expected<ExecuteOutcome> CompiledKernel::executePacked(
       return Ct.status();
     Enc.push_back(Ct.take());
   }
+  double ChargedBefore = RT.executor().chargedLatencyUs();
   auto Ct = RT.run(P, Enc);
   if (!Ct)
     return Ct.status();
   ExecuteOutcome Out;
   Out.Outputs = RT.decrypt(*Ct, Row);
-  Out.Encrypted = true;
-  Out.NoiseBudgetBits = RT.noiseBudget(*Ct);
-  Out.PolyDegree = RT.context().polyDegree();
+  Out.Encrypted = RT.capabilities().Encrypted;
+  if (RT.capabilities().ReportsNoiseBudget)
+    Out.NoiseBudgetBits = RT.noiseBudget(*Ct);
+  if (Out.Encrypted)
+    Out.PolyDegree = RT.polyDegree();
+  Out.ChargedLatencyUs = RT.executor().chargedLatencyUs() - ChargedBefore;
   return Out;
 }
 

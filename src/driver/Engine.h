@@ -80,12 +80,13 @@ public:
   /// The (kernel, options) fingerprint this kernel is cached under.
   const std::string &fingerprint() const { return Fp; }
 
-  /// One evaluation: encrypt the inputs (one vector per program input,
-  /// each at most VectorSize wide, zero-padded), run, decrypt. Encrypted
-  /// by default; plaintext interpretation otherwise. Thread-safe.
+  /// One evaluation on the backend the kernel was compiled for
+  /// (options().Backend — baked into the cache key, so one kernel never
+  /// serves two backends): encrypt the inputs (one vector per program
+  /// input, each at most VectorSize wide, zero-padded), run, decrypt.
+  /// Thread-safe.
   Expected<ExecuteOutcome>
-  execute(const std::vector<std::vector<uint64_t>> &Inputs,
-          bool Encrypted = true) const;
+  execute(const std::vector<std::vector<uint64_t>> &Inputs) const;
 
   /// Batched evaluation: every element of \p Batch is one execute() input
   /// set. The whole batch reuses a single checked-out Runtime (one context,
@@ -94,19 +95,18 @@ public:
   /// first bad input set. Thread-safe; concurrent callers each check out
   /// their own Runtime from the pool.
   Expected<std::vector<ExecuteOutcome>>
-  executeMany(const std::vector<std::vector<std::vector<uint64_t>>> &Batch,
-              bool Encrypted = true) const;
+  executeMany(const std::vector<std::vector<std::vector<uint64_t>>> &Batch)
+      const;
 
   /// Packed evaluation for cross-request batching (driver/Batcher.h): one
   /// vector per program input, each up to packedRowWidth() slots wide, laid
   /// out by the caller with one independent request per VectorSize window.
-  /// The program runs ONCE over the full row — BFV operations act on every
-  /// slot of the batching row regardless of the program's VectorSize — so
-  /// one encrypted call serves packedRowWidth()/VectorSize requests. The
+  /// The program runs ONCE over the full row — backend operations act on
+  /// every slot of the batching row regardless of the program's VectorSize
+  /// — so one call serves packedRowWidth()/VectorSize requests. The
   /// outcome's Outputs carry the full decrypted row for the caller to
-  /// slice. Always encrypted; only sound for programs Batcher::BatchPlan
-  /// judged batchable (splat constants, masked-slot validation).
-  /// Thread-safe.
+  /// slice. Only sound for programs Batcher::BatchPlan judged batchable
+  /// (splat constants, masked-slot validation). Thread-safe.
   Expected<ExecuteOutcome>
   executePacked(const std::vector<std::vector<uint64_t>> &PackedInputs) const;
 
@@ -169,10 +169,11 @@ private:
   mutable std::condition_variable PoolAvailable;
   mutable std::vector<std::unique_ptr<Runtime>> Idle;
   mutable size_t Built = 0; ///< Lifetime count, built or building.
-  /// The first runtime's immutable context, shared by every later pool
-  /// runtime (keys are still per-runtime): context construction (CRT
-  /// bases, NTT tables) is paid once per kernel, not once per pool slot.
-  mutable std::shared_ptr<const BfvContext> SharedCtx;
+  /// The first runtime's immutable shared state (backend-opaque — the BFV
+  /// context's CRT bases and NTT tables on "bfv"), reused by every later
+  /// pool runtime (keys are still per-runtime): that construction is paid
+  /// once per kernel, not once per pool slot.
+  mutable std::shared_ptr<const void> SharedState;
 };
 
 /// Counters the Engine keeps (monotonic since construction or clear()).

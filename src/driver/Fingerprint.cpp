@@ -91,6 +91,11 @@ std::string hex16(uint64_t V) {
 std::string CompileOptions::canonicalKey() const {
   std::string K;
   K.reserve(512);
+  // JSON-quoted like every free-form string: a hostile backend name must
+  // not be able to forge neighboring fields. Keying the backend is what
+  // guarantees the Engine cache and artifacts never serve a kernel
+  // compiled for one backend to a request for another.
+  addField(K, "backend", json::quote(Backend));
   addField(K, "codegen.comments", Codegen.EmitComments);
   // JSON-quoted: a function name containing ';' or '=' must not be able to
   // forge neighboring fields.
@@ -116,8 +121,10 @@ std::string CompileOptions::canonicalKey() const {
   addField(K, "latency.relin_ct", Synthesis.Latency.RelinCt);
   addField(K, "latency.rot_ct", Synthesis.Latency.RotCt);
   addField(K, "latency.source",
-           std::string(Latency == LatencySource::Profiled ? "profiled"
-                                                          : "defaults"));
+           std::string(Latency == LatencySource::Profiled
+                           ? "profiled"
+                           : Latency == LatencySource::Defaults ? "defaults"
+                                                                : "backend"));
   addField(K, "latency.sub_ct_ct", Synthesis.Latency.SubCtCt);
   addField(K, "latency.sub_ct_pt", Synthesis.Latency.SubCtPt);
   // JSON-quoted like the function name: the pipeline is free-form text.

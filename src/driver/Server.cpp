@@ -489,7 +489,7 @@ std::string Server::metricsText() const {
   }
 
   promHeader(O, "porcupine_server_batches_total",
-             "Encrypted executions issued (each serves >= 1 request).",
+             "Backend executions issued (each serves >= 1 request).",
              "counter");
   promSample(O, "porcupine_server_batches_total", "",
              static_cast<double>(BatchesTotal.load()));

@@ -35,7 +35,9 @@
 ///
 /// Responses are deterministic regardless of batching: slots the kernel's
 /// layout leaves unconstrained are zeroed on both the batched and the
-/// fallback path. Execution is always encrypted.
+/// fallback path. Execution runs on the backend named by the Engine's
+/// CompileOptions (encrypted BFV by default; the keyless dry-run backend
+/// serves the same requests with plaintext semantics).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,273 @@
+//===- tests/backend_matrix_test.cpp - Cross-backend differential tests ---===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ExecutorBackend contract, tested differentially: every bundled
+/// kernel must decrypt to byte-equal outputs on every available backend
+/// pair, the keyless dry-run backend must serve Engine and Server traffic
+/// without constructing a single KeyGenerator, the backend name must be
+/// part of the compile fingerprint (so the Engine cache never mixes
+/// backends), and the deprecated bool-flag execute() shim must keep
+/// routing to the right backend for one more release.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/ExecutorBackend.h"
+#include "bfv/KeyGenerator.h"
+#include "driver/Driver.h"
+#include "driver/Engine.h"
+#include "driver/Server.h"
+#include "kernels/Kernels.h"
+#include "quill/CostModel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace porcupine;
+using namespace porcupine::driver;
+
+namespace {
+
+/// Backends that can actually run in this process (a backend may be
+/// registered but lack its runtime dependency).
+std::vector<std::string> availableBackends() {
+  const auto &Reg = backend::BackendRegistry::builtin();
+  std::vector<std::string> Names;
+  for (const std::string &Name : Reg.names())
+    if (Reg.find(Name)->available())
+      Names.push_back(Name);
+  return Names;
+}
+
+/// Bundled-program compiles on \p Backend: deterministic, no CEGIS.
+CompileOptions backendOptions(const std::string &Backend) {
+  CompileOptions Opts;
+  Opts.RunSynthesis = false;
+  Opts.Backend = Backend;
+  return Opts;
+}
+
+/// Deterministic small-valued inputs shaped for \p P; \p Salt varies the
+/// pattern per kernel so slots are not accidentally symmetric.
+std::vector<std::vector<uint64_t>> inputsFor(const quill::Program &P,
+                                             size_t Salt) {
+  std::vector<std::vector<uint64_t>> Inputs;
+  for (int In = 0; In < P.NumInputs; ++In) {
+    std::vector<uint64_t> V(P.VectorSize);
+    for (size_t Slot = 0; Slot < V.size(); ++Slot)
+      V[Slot] = (Salt * 31 + static_cast<size_t>(In) * 13 + Slot * 7 + 1) % 11;
+    Inputs.push_back(std::move(V));
+  }
+  return Inputs;
+}
+
+quill::Program addProgram() {
+  quill::Program P;
+  P.NumInputs = 2;
+  P.VectorSize = 4;
+  P.append(quill::Instr::ctCt(quill::Opcode::AddCtCt, 0, 1));
+  return P;
+}
+
+} // namespace
+
+TEST(BackendRegistry, BundlesBfvAndDryRunAndRejectsUnknownNames) {
+  const auto &Reg = backend::BackendRegistry::builtin();
+  ASSERT_NE(Reg.find("bfv"), nullptr);
+  ASSERT_NE(Reg.find("dryrun"), nullptr);
+  EXPECT_EQ(Reg.find("no such backend"), nullptr);
+  EXPECT_TRUE(Reg.find("bfv")->capabilities().Encrypted);
+  EXPECT_TRUE(Reg.find("bfv")->capabilities().NeedsGaloisKeys);
+  EXPECT_FALSE(Reg.find("dryrun")->capabilities().Encrypted);
+  EXPECT_FALSE(Reg.find("dryrun")->capabilities().NeedsGaloisKeys);
+  EXPECT_NE(Reg.namesCsv().find("bfv"), std::string::npos);
+  EXPECT_NE(Reg.namesCsv().find("dryrun"), std::string::npos);
+}
+
+TEST(BackendMatrix, EveryBundledKernelIsByteEqualAcrossBackends) {
+  // The differential oracle of this suite: one compiled program, every
+  // available backend, byte-equal outputs.
+  std::vector<std::string> Backends = availableBackends();
+  ASSERT_GE(Backends.size(), 2u);
+
+  Compiler Names;
+  size_t Salt = 0;
+  for (const std::string &Kernel : Names.registry().names()) {
+    ++Salt;
+    std::vector<uint64_t> Reference;
+    std::string RefBackend;
+    for (const std::string &B : Backends) {
+      Compiler C(backendOptions(B));
+      auto R = C.compile(Kernel);
+      ASSERT_TRUE(R.hasValue()) << Kernel << ": " << R.status().toString();
+      auto Out = C.execute(R->Program, inputsFor(R->Program, Salt));
+      ASSERT_TRUE(Out.hasValue())
+          << Kernel << " on " << B << ": " << Out.status().toString();
+      if (RefBackend.empty()) {
+        Reference = Out->Outputs;
+        RefBackend = B;
+        continue;
+      }
+      EXPECT_EQ(Out->Outputs, Reference)
+          << Kernel << ": backend " << B << " disagrees with " << RefBackend;
+    }
+  }
+}
+
+TEST(BackendMatrix, TracesAreSlotEqualAcrossBackends) {
+  // Stronger than output equality: the decrypted slot state after every
+  // instruction must match, so a bug cannot hide behind a compensating
+  // later instruction. Gx rotates in both directions, which also proves
+  // the dry-run interpreter wraps rotations at the batching row exactly
+  // like BFV slot rotation does.
+  std::vector<std::vector<std::vector<uint64_t>>> Traces;
+  for (const std::string &B : availableBackends()) {
+    Compiler C(backendOptions(B));
+    auto R = C.compile("Gx");
+    ASSERT_TRUE(R.hasValue()) << R.status().toString();
+    auto RT = C.instantiate({&R->Program});
+    ASSERT_TRUE(RT.hasValue()) << B << ": " << RT.status().toString();
+    if (!RT->capabilities().SupportsTrace)
+      continue;
+    std::vector<backend::Value> Vals;
+    for (const auto &V : inputsFor(R->Program, 7)) {
+      auto Ct = RT->encrypt(V);
+      ASSERT_TRUE(Ct.hasValue()) << B << ": " << Ct.status().toString();
+      Vals.push_back(*Ct);
+    }
+    auto Trace = RT->executor().runWithTrace(R->Program, Vals,
+                                             R->Program.VectorSize);
+    ASSERT_TRUE(Trace.hasValue()) << B << ": " << Trace.status().toString();
+    EXPECT_EQ(Trace->size(), R->Program.Instructions.size());
+    Traces.push_back(*Trace);
+  }
+  ASSERT_GE(Traces.size(), 2u);
+  for (size_t I = 1; I < Traces.size(); ++I)
+    EXPECT_EQ(Traces[I], Traces[0]) << "trace " << I;
+}
+
+TEST(BackendMatrix, DryRunChargesTheCostModelAndRealBackendsDoNot) {
+  Compiler Dry(backendOptions("dryrun"));
+  auto R = Dry.compile("Dot Product");
+  ASSERT_TRUE(R.hasValue()) << R.status().toString();
+  auto In = inputsFor(R->Program, 3);
+
+  auto Out = Dry.execute(R->Program, In);
+  ASSERT_TRUE(Out.hasValue()) << Out.status().toString();
+  const backend::ExecutorBackend *B =
+      backend::BackendRegistry::builtin().find("dryrun");
+  ASSERT_NE(B, nullptr);
+  // One execution charges exactly one cost-model pass over the program.
+  EXPECT_DOUBLE_EQ(Out->ChargedLatencyUs,
+                   quill::CostModel(B->latencyTable()).latency(R->Program));
+  EXPECT_FALSE(Out->Encrypted);
+  EXPECT_EQ(Out->NoiseBudgetBits, 0.0);
+  EXPECT_EQ(Out->PolyDegree, 0u);
+
+  Compiler Bfv(backendOptions("bfv"));
+  auto Enc = Bfv.execute(R->Program, In);
+  ASSERT_TRUE(Enc.hasValue()) << Enc.status().toString();
+  EXPECT_EQ(Enc->ChargedLatencyUs, 0.0); // Real backends spend wall-clock.
+  EXPECT_EQ(Enc->Outputs, Out->Outputs);
+}
+
+TEST(BackendMatrix, DryRunServesEngineAndServerWithoutGeneratingKeys) {
+  // KeyGenerator is the sole origin of secret/public/relin/Galois keys, so
+  // a stable instance count across this whole block proves the dry-run
+  // path is key-free end to end — including Server's batching tier.
+  const uint64_t Before = KeyGenerator::instancesCreated();
+
+  EngineOptions EO;
+  EO.Defaults = backendOptions("dryrun");
+  Engine E(EO);
+  auto K = E.get("Dot Product");
+  ASSERT_TRUE(K.hasValue()) << K.status().toString();
+  auto Out =
+      (*K)->execute({{1, 2, 3, 4, 5, 6, 7, 8}, {1, 1, 1, 1, 1, 1, 1, 1}});
+  ASSERT_TRUE(Out.hasValue()) << Out.status().toString();
+  EXPECT_EQ(Out->Outputs[0], 36u);
+  EXPECT_FALSE(Out->Encrypted);
+
+  ServerOptions SO;
+  SO.NumShards = 1;
+  SO.Engine.Defaults = backendOptions("dryrun");
+  Server S(SO);
+  for (int Req = 0; Req < 3; ++Req) {
+    auto Resp = S.call({"Dot Product", "tenant-" + std::to_string(Req % 2),
+                        {{1, 2, 3, 4, 5, 6, 7, 8}, {1, 1, 1, 1, 1, 1, 1, 1}}});
+    ASSERT_TRUE(Resp.hasValue()) << Resp.status().toString();
+    EXPECT_EQ(Resp->Outputs[0], 36u);
+  }
+  S.stop();
+
+  EXPECT_EQ(KeyGenerator::instancesCreated(), Before);
+}
+
+TEST(BackendMatrix, BackendIsPartOfTheCompileFingerprint) {
+  CompileOptions Bfv = backendOptions("bfv");
+  CompileOptions Dry = backendOptions("dryrun");
+  EXPECT_NE(Bfv.canonicalKey(), Dry.canonicalKey());
+  EXPECT_NE(Bfv.fingerprint(), Dry.fingerprint());
+  EXPECT_NE(compileFingerprint("Gx", Bfv), compileFingerprint("Gx", Dry));
+}
+
+TEST(BackendMatrix, EngineCacheNeverMixesBackends) {
+  Engine E(EngineOptions{4, 1, backendOptions("bfv")});
+  auto K = E.get("Gx");
+  auto KD = E.get("Gx", backendOptions("dryrun"));
+  ASSERT_TRUE(K.hasValue()) << K.status().toString();
+  ASSERT_TRUE(KD.hasValue()) << KD.status().toString();
+  EXPECT_NE(*K, *KD); // Same kernel, different backend: distinct entries.
+  EXPECT_EQ(E.stats().Misses, 2u);
+  EXPECT_EQ(E.size(), 2u);
+}
+
+TEST(BackendMatrix, UnknownBackendIsRejectedNamingTheAvailableSet) {
+  CompileOptions Opts;
+  Opts.Backend = "hypothetical";
+  Compiler C(Opts);
+  auto Out = C.execute(addProgram(), {{1, 2, 3, 4}, {5, 6, 7, 8}});
+  ASSERT_FALSE(Out.hasValue());
+  EXPECT_NE(Out.status().toString().find("unknown execution backend"),
+            std::string::npos);
+  EXPECT_NE(Out.status().toString().find("bfv"), std::string::npos);
+}
+
+TEST(BackendMatrix, RotationCapabilityQueryMatchesTheProgramAnalysis) {
+  quill::Program P;
+  P.NumInputs = 1;
+  P.VectorSize = 8;
+  P.append(quill::Instr::rot(0, 2));
+  P.append(quill::Instr::rot(1, -3));
+  P.append(quill::Instr::rot(0, 2)); // Duplicate step: must deduplicate.
+  EXPECT_EQ(porcupine::requiredRotations(P), (std::vector<int>{-3, 2}));
+
+  const auto &Reg = backend::BackendRegistry::builtin();
+  std::vector<const quill::Program *> Ps = {&P};
+  // Key-based backends inherit the program-derived set; the keyless
+  // dry-run backend overrides it to need nothing.
+  EXPECT_EQ(Reg.find("bfv")->requiredRotations(Ps),
+            porcupine::requiredRotations(Ps));
+  EXPECT_TRUE(Reg.find("dryrun")->requiredRotations(Ps).empty());
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(BackendMatrix, DeprecatedBoolExecuteShimStillRoutesByFlag) {
+  Compiler C;
+  quill::Program P = addProgram();
+  std::vector<std::vector<uint64_t>> In = {{1, 2, 3, 4}, {10, 20, 30, 40}};
+  auto Plain = C.execute(P, In, /*Encrypted=*/false);
+  ASSERT_TRUE(Plain.hasValue()) << Plain.status().toString();
+  EXPECT_FALSE(Plain->Encrypted);
+  auto Enc = C.execute(P, In, /*Encrypted=*/true);
+  ASSERT_TRUE(Enc.hasValue()) << Enc.status().toString();
+  EXPECT_TRUE(Enc->Encrypted);
+  EXPECT_EQ(Enc->Outputs, Plain->Outputs);
+}
+#pragma GCC diagnostic pop

@@ -275,17 +275,20 @@ TEST(CompilerStages, SelectParametersAlone) {
   EXPECT_GT(Params->PolyDegree, 0u);
 }
 
-TEST(CompilerStages, ExecutePlaintextAndEncrypted) {
-  Compiler C;
+TEST(CompilerStages, ExecuteOnBothBundledBackends) {
   quill::Program P = addProgram();
   std::vector<std::vector<uint64_t>> Inputs = {{1, 2, 3, 4}, {10, 20, 30, 40}};
 
-  auto Plain = C.execute(P, Inputs, /*Encrypted=*/false);
+  CompileOptions Dry;
+  Dry.Backend = "dryrun";
+  auto Plain = Compiler(Dry).execute(P, Inputs);
   ASSERT_TRUE(Plain.hasValue()) << Plain.status().toString();
   EXPECT_EQ(Plain->Outputs, (std::vector<uint64_t>{11, 22, 33, 44}));
   EXPECT_FALSE(Plain->Encrypted);
+  EXPECT_GT(Plain->ChargedLatencyUs, 0.0);
 
-  auto Enc = C.execute(P, Inputs, /*Encrypted=*/true);
+  Compiler C; // Default backend: encrypted BFV.
+  auto Enc = C.execute(P, Inputs);
   ASSERT_TRUE(Enc.hasValue()) << Enc.status().toString();
   EXPECT_EQ(Enc->Outputs, (std::vector<uint64_t>{11, 22, 33, 44}));
   EXPECT_TRUE(Enc->Encrypted);
@@ -379,17 +382,18 @@ TEST(DriverErrors, MalformedProgramsAreDiagnosed) {
 }
 
 TEST(DriverErrors, ExecuteValidatesInputShape) {
-  Compiler C;
+  CompileOptions Opts;
+  Opts.Backend = "dryrun"; // Shape validation is backend-independent.
+  Compiler C(Opts);
   quill::Program P = addProgram();
   // Wrong input count.
-  auto R = C.execute(P, {{1, 2, 3, 4}}, /*Encrypted=*/false);
+  auto R = C.execute(P, {{1, 2, 3, 4}});
   ASSERT_FALSE(R.hasValue());
   EXPECT_EQ(R.status().diagnostics().front().Stage, "execute");
   // Over-wide vector.
-  EXPECT_FALSE(
-      C.execute(P, {{1, 2, 3, 4, 5}, {1, 2, 3, 4}}, false).hasValue());
+  EXPECT_FALSE(C.execute(P, {{1, 2, 3, 4, 5}, {1, 2, 3, 4}}).hasValue());
   // Under-wide vectors are zero-padded, not rejected.
-  auto Ok = C.execute(P, {{1}, {2}}, false);
+  auto Ok = C.execute(P, {{1}, {2}});
   ASSERT_TRUE(Ok.hasValue()) << Ok.status().toString();
   EXPECT_EQ(Ok->Outputs[0], 3u);
 }
@@ -454,15 +458,16 @@ TEST(DriverErrors, FallbackCarriesTheFailedAttemptStats) {
 TEST(DriverErrors, EncryptedExecutionRejectsUnsupportedPlainModulus) {
   CompileOptions Opts;
   Opts.Synthesis.PlainModulus = 257; // Not the standard contexts' modulus.
-  Compiler C(Opts);
   quill::Program P = addProgram();
   std::vector<std::vector<uint64_t>> Inputs = {{1, 2, 3, 4}, {5, 6, 7, 8}};
-  // Plaintext interpretation honors the modulus...
-  auto Plain = C.execute(P, Inputs, /*Encrypted=*/false);
+  // The dry-run backend honors an arbitrary modulus...
+  CompileOptions Dry = Opts;
+  Dry.Backend = "dryrun";
+  auto Plain = Compiler(Dry).execute(P, Inputs);
   ASSERT_TRUE(Plain.hasValue()) << Plain.status().toString();
   // ...but an encrypted run would silently compute mod 65537, so it must
   // be refused with a diagnostic instead.
-  auto Enc = C.execute(P, Inputs, /*Encrypted=*/true);
+  auto Enc = Compiler(Opts).execute(P, Inputs);
   ASSERT_FALSE(Enc.hasValue());
   EXPECT_NE(Enc.status().message().find("modulus"), std::string::npos);
 }

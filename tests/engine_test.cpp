@@ -89,6 +89,14 @@ CompileOptions bundledOptions() {
   return Opts;
 }
 
+/// bundledOptions() on the keyless dry-run backend: the fast execution
+/// path for tests whose subject is the cache, not the cryptography.
+CompileOptions dryrunOptions() {
+  CompileOptions Opts = bundledOptions();
+  Opts.Backend = "dryrun";
+  return Opts;
+}
+
 bool sameProgram(const quill::Program &A, const quill::Program &B) {
   return A.NumInputs == B.NumInputs && A.VectorSize == B.VectorSize &&
          A.Constants == B.Constants && A.Instructions == B.Instructions &&
@@ -208,15 +216,14 @@ TEST(Engine, LruEvictionHonorsCapacityAndRecency) {
 }
 
 TEST(Engine, EvictedHandlesStayValid) {
-  Engine E(EngineOptions{1, 1, bundledOptions()});
+  Engine E(EngineOptions{1, 1, dryrunOptions()});
   auto A = E.get("gx");
   ASSERT_TRUE(A.hasValue());
   ASSERT_TRUE(E.get("gy").hasValue()); // Evicts gx.
   EXPECT_EQ(E.size(), 1u);
   // The evicted kernel still executes (shared ownership).
-  auto Out = (*A)->execute({std::vector<uint64_t>((*A)->program().VectorSize,
-                                                  1)},
-                           /*Encrypted=*/false);
+  auto Out = (*A)->execute(
+      {std::vector<uint64_t>((*A)->program().VectorSize, 1)});
   ASSERT_TRUE(Out.hasValue()) << Out.status().toString();
 }
 
@@ -258,19 +265,24 @@ TEST(Engine, ClearDropsEntriesAndStats) {
 // Execution
 //===----------------------------------------------------------------------===//
 
-TEST(CompiledKernel, ExecuteMatchesThePlaintextInterpreter) {
+TEST(CompiledKernel, DryRunBackendMatchesEncryptedExecution) {
   KernelRegistry R = addRegistry();
   Engine E(EngineOptions{4, 1, bundledOptions()}, &R);
   auto K = E.get("my add");
   ASSERT_TRUE(K.hasValue()) << K.status().toString();
+  auto KD = E.get("my add", dryrunOptions());
+  ASSERT_TRUE(KD.hasValue()) << KD.status().toString();
+  EXPECT_NE(*K, *KD); // Distinct backends are distinct cache entries.
 
   std::vector<std::vector<uint64_t>> Inputs = {{1, 2, 3, 4}, {10, 20, 30, 40}};
-  auto Plain = (*K)->execute(Inputs, /*Encrypted=*/false);
-  auto Enc = (*K)->execute(Inputs, /*Encrypted=*/true);
+  auto Plain = (*KD)->execute(Inputs);
+  auto Enc = (*K)->execute(Inputs);
   ASSERT_TRUE(Plain.hasValue()) << Plain.status().toString();
   ASSERT_TRUE(Enc.hasValue()) << Enc.status().toString();
   EXPECT_EQ(Plain->Outputs, (std::vector<uint64_t>{11, 22, 33, 44}));
   EXPECT_EQ(Enc->Outputs, Plain->Outputs);
+  EXPECT_FALSE(Plain->Encrypted);
+  EXPECT_GT(Plain->ChargedLatencyUs, 0.0);
   EXPECT_TRUE(Enc->Encrypted);
   EXPECT_GT(Enc->NoiseBudgetBits, 0.0);
 }
@@ -281,13 +293,13 @@ TEST(CompiledKernel, ExecuteManyValidatesAtomicallyWithTheBatchIndex) {
   auto K = E.get("my add");
   ASSERT_TRUE(K.hasValue());
 
-  auto Bad = (*K)->executeMany({{{1, 2, 3, 4}, {1, 2, 3, 4}},
-                                {{1, 2, 3, 4}}}, // Item 1: one input missing.
-                               /*Encrypted=*/false);
+  auto Bad = (*K)->executeMany(
+      {{{1, 2, 3, 4}, {1, 2, 3, 4}},
+       {{1, 2, 3, 4}}}); // Item 1: one input missing.
   ASSERT_FALSE(Bad.hasValue());
   EXPECT_NE(Bad.status().toString().find("batch item 1"), std::string::npos);
 
-  auto Empty = (*K)->executeMany({}, /*Encrypted=*/true);
+  auto Empty = (*K)->executeMany({});
   ASSERT_TRUE(Empty.hasValue());
   EXPECT_TRUE(Empty->empty());
 }
@@ -313,7 +325,7 @@ TEST(CompiledKernel, FourThreadsShareOneKernelCorrectly) {
         Batch.push_back({{Base + 1, Base + 2, Base + 3, Base + 4},
                          {5, 6, 7, 8}});
       }
-      auto Out = Kernel.executeMany(Batch, /*Encrypted=*/true);
+      auto Out = Kernel.executeMany(Batch);
       if (!Out) {
         Errors[Ti] = Out.status().toString();
         return;
@@ -337,16 +349,16 @@ TEST(CompiledKernel, FourThreadsShareOneKernelCorrectly) {
   EXPECT_GE(Kernel.runtimesBuilt(), 1u);
 }
 
-TEST(Runtime, SharedContextReuseAcrossInstantiations) {
+TEST(Runtime, SharedStateReuseAcrossInstantiations) {
   Compiler C;
   quill::Program P = addProgram();
   auto R1 = C.instantiate({&P});
   ASSERT_TRUE(R1.hasValue()) << R1.status().toString();
-  // A second runtime built over the first one's context: one context
+  // A second runtime built over the first one's shared state: one context
   // object, fresh keys — the Engine's pool-scaling path.
-  auto R2 = C.instantiate({&P}, R1->sharedContext());
+  auto R2 = C.instantiate({&P}, R1->sharedState());
   ASSERT_TRUE(R2.hasValue()) << R2.status().toString();
-  EXPECT_EQ(&R1->context(), &R2->context());
+  EXPECT_EQ(R1->sharedState().get(), R2->sharedState().get());
 
   auto Ct = R2->encrypt({1, 2, 3, 4});
   ASSERT_TRUE(Ct.hasValue());
@@ -415,8 +427,8 @@ TEST(Artifact, SaveLoadExecuteRoundTrip) {
   // And the loaded kernel computes the same thing as the original.
   std::vector<std::vector<uint64_t>> Inputs = {
       std::vector<uint64_t>((*K)->program().VectorSize, 3)};
-  auto A = (*K)->execute(Inputs, /*Encrypted=*/true);
-  auto B = (*L)->execute(Inputs, /*Encrypted=*/true);
+  auto A = (*K)->execute(Inputs);
+  auto B = (*L)->execute(Inputs);
   ASSERT_TRUE(A.hasValue()) << A.status().toString();
   ASSERT_TRUE(B.hasValue()) << B.status().toString();
   EXPECT_EQ(A->Outputs, B->Outputs);
@@ -690,7 +702,7 @@ TEST(Engine, EvictionUnderConcurrentExecuteKeepsHeldHandlesValid) {
         uint64_t Base = static_cast<uint64_t>(Ti * 100 + C * 10);
         std::vector<std::vector<uint64_t>> In = {
             {Base + 1, Base + 2, Base + 3, Base + 4}, {5, 6, 7, 8}};
-        auto Out = K.execute(In, /*Encrypted=*/true);
+        auto Out = K.execute(In);
         if (!Out) {
           Errors[Ti] = Out.status().toString();
           return;
@@ -746,8 +758,7 @@ TEST(Engine, CompileAsyncBurstDrainsThroughTheBoundedPool) {
   EXPECT_EQ(E.size(), 4u);
   EXPECT_EQ(E.stats().Compiles, 4u);
 
-  auto Out = Handles[0]->execute({{1, 2, 3, 4}, {10, 20, 30, 40}},
-                                 /*Encrypted=*/false);
+  auto Out = Handles[0]->execute({{1, 2, 3, 4}, {10, 20, 30, 40}});
   ASSERT_TRUE(Out.hasValue());
   EXPECT_EQ(Out->Outputs, (std::vector<uint64_t>{11, 22, 33, 44}));
 }

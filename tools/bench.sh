@@ -4,6 +4,10 @@
 #   2. run the paper-figure benches, timing each
 #   3. run the `porcc bench` serving loop over a few kernels (Engine cache
 #      hit-rate + per-call encrypted latency)
+#   3b. run the same serving loop once per bundled execution backend
+#      (bfv, dryrun) over the dot-product kernel: per-backend wall latency
+#      plus the dry-run backend's charged cost-model latency, which is
+#      host-independent and always gated by bench_compare.py
 #   4. run the synthesis parallel-speedup benchmark (1 thread vs 4
 #      portfolio threads over the fast-synthesizing kernels; also verifies
 #      the programs stay byte-identical across thread counts)
@@ -115,6 +119,27 @@ run_serving "dot product" --runs 8 --batch 4
 run_serving "gx" --runs 8 --batch 4
 run_serving "box blur" --runs 8 --batch 4
 
+# Per-backend serving records: one dot-product loop per bundled execution
+# backend. Only the always-present backends are benched — the optional
+# SEAL backend's presence depends on the build, and the snapshot must be
+# comparable across builds. The dryrun record's charged_latency_us is the
+# cost model pricing the compiled program, so bench_compare.py gates it
+# across machine classes.
+echo "== backend matrix (porcc bench --backend)"
+: >"$TMP/backends"
+for BACKEND in bfv dryrun; do
+  echo "  run  porcc bench 'dot product' --backend $BACKEND"
+  if "$BUILD_DIR/tools/porcc" bench "dot product" --runs 8 --batch 4 \
+      --backend "$BACKEND" >"$TMP/backend.one" 2>"$TMP/backend.err"; then
+    [ -s "$TMP/backends" ] && printf ',\n' >>"$TMP/backends"
+    sed 's/^/    /' "$TMP/backend.one" >>"$TMP/backends"
+  else
+    echo "  FAIL porcc bench 'dot product' --backend $BACKEND:" >&2
+    cat "$TMP/backend.err" >&2
+    exit 1
+  fi
+done
+
 # Optimizer pipeline cost records: two `porcc opt --json` records per
 # registry kernel (names derived from `porcc list`, skipping the
 # multi-step apps) — one under the default pipeline, one with the eqsat
@@ -186,7 +211,7 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
 
 {
   printf '{\n'
-  printf '  "schema": "porcupine-bench-results/4",\n'
+  printf '  "schema": "porcupine-bench-results/5",\n'
   printf '  "generated_by": "tools/bench.sh",\n'
   printf '  "date_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "host_jobs": %s,\n' "$JOBS"
@@ -195,6 +220,9 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
   printf '\n  ],\n'
   printf '  "serving": [\n'
   cat "$TMP/servings"
+  printf '\n  ],\n'
+  printf '  "backends": [\n'
+  cat "$TMP/backends"
   printf '\n  ],\n'
   printf '  "optimizer": [\n'
   cat "$TMP/optimizer"

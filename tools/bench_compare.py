@@ -18,6 +18,13 @@ run is the candidate. The gate:
     cost guard), and a kernel's optimized cost must not regress against
     the committed baseline. Cost-model numbers are host-independent, so
     these gates are ALWAYS armed, even across machine classes.
+  * backends records ("porcc bench --backend" per execution backend,
+    matched by backend name): the dry-run backend's charged cost-model
+    latency is host-independent and ALWAYS gated (an increase means the
+    compiled program itself got more expensive); real backends' per-call
+    wall latency follows the usual latency rules (same machine class
+    only). A baseline predating the section skips gracefully; a fresh
+    snapshot missing it when the baseline has one always fails.
   * microbench record (bench_bfv_microbench per-op medians): the hot-path
     ops — ciphertext multiply, relinearization, rotation — must not
     regress by more than the tolerance. Gated like serving latency (same
@@ -240,6 +247,100 @@ def check_optimizer(base, fresh, failures):
     check_eqsat(fresh_opt, failures)
 
 
+def backends_by_name(doc):
+    records = {}
+    for rec in doc.get("backends", []):
+        name = rec.get("backend")
+        if isinstance(name, str):
+            records[name] = rec
+    return records
+
+
+def check_backends(base, fresh, tolerance, latency_gates, failures):
+    """Per-execution-backend serving gate (the "backends" section).
+
+    Two different rules, by what the number measures:
+      * dryrun charged_latency_us is the cost model pricing the compiled
+        program — host-independent, so an increase is a compiler
+        regression and is ALWAYS gated (eps comparison, no tolerance);
+      * every backend's per_call_us.mean is wall-clock and follows the
+        usual latency rules (tolerance ratio, armed within a host class).
+    Baselines predating the section (schema < 5) skip gracefully; a fresh
+    snapshot missing the section when the baseline has one always fails.
+    """
+    base_rec = backends_by_name(base)
+    fresh_rec = backends_by_name(fresh)
+    if not fresh_rec:
+        if base_rec:
+            failures.append(
+                "backends section missing from fresh run (baseline has "
+                f"{len(base_rec)} records); did porcc bench --backend break?"
+            )
+        return
+    if not base_rec:
+        print("backends: new section, no baseline yet")
+        return
+    eps = 1e-6
+    print(f"per-backend serving latency (tolerance {tolerance:.2f}x):")
+    for name, brec in sorted(base_rec.items()):
+        frec = fresh_rec.get(name)
+        if frec is None:
+            failures.append(
+                f"backend '{name}': record present in baseline but missing "
+                "from fresh run"
+            )
+            print(f"  MISSING    {name}: no fresh record")
+            continue
+        bcharged = brec.get("charged_latency_us")
+        fcharged = frec.get("charged_latency_us")
+        if (
+            isinstance(bcharged, (int, float))
+            and bcharged > 0
+            and isinstance(fcharged, (int, float))
+        ):
+            if fcharged > bcharged + eps:
+                failures.append(
+                    f"backend '{name}': charged cost-model latency rose "
+                    f"{bcharged:.1f}us -> {fcharged:.1f}us — the compiled "
+                    "program got more expensive (host-independent, always "
+                    "gated)"
+                )
+                print(
+                    f"  REGRESSION {name}: charged {bcharged:.1f}us -> "
+                    f"{fcharged:.1f}us"
+                )
+            else:
+                print(
+                    f"  ok         {name}: charged {bcharged:.1f}us -> "
+                    f"{fcharged:.1f}us"
+                )
+        bmean = (brec.get("per_call_us") or {}).get("mean")
+        fmean = (frec.get("per_call_us") or {}).get("mean")
+        if (
+            isinstance(bmean, (int, float))
+            and bmean > 0
+            and isinstance(fmean, (int, float))
+            and fmean > 0
+        ):
+            ratio = fmean / bmean
+            verdict = "ok"
+            if ratio > tolerance:
+                if latency_gates:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"backend '{name}': per-call mean {bmean:.1f}us -> "
+                        f"{fmean:.1f}us ({ratio:.2f}x > {tolerance:.2f}x)"
+                    )
+                else:
+                    verdict = "WARN"
+            print(
+                f"  {verdict:10s} {name}: wall {bmean:.1f}us -> "
+                f"{fmean:.1f}us ({ratio:.2f}x)"
+            )
+    for name in sorted(set(fresh_rec) - set(base_rec)):
+        print(f"  note  {name}: new backend record, no baseline yet")
+
+
 # Hot-path primitives the tentpole optimized; everything else in ops_us
 # (encrypt, NTT, base conversion, ...) is reported informationally.
 MICROBENCH_GATED_OPS = ("mul_ct_ct", "relin", "rotate")
@@ -436,6 +537,7 @@ def main():
         print(f"  note  {name}: new kernel, no baseline yet")
 
     check_optimizer(base, fresh, failures)
+    check_backends(base, fresh, args.tolerance, latency_gates, failures)
     check_microbench(base, fresh, args.tolerance, latency_gates, failures)
     check_serving_load(base, fresh, args.tolerance, latency_gates, failures)
 

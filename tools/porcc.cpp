@@ -105,12 +105,13 @@ int usage() {
       "  porcc emit <kernel> [--baseline] [--function NAME]\n"
       "  porcc show <kernel> [--baseline]\n"
       "  porcc run <file.quill> --inputs \"1 2 3;4 5 6\" "
-      "[--encrypted] [--batch]\n"
+      "[--encrypted] [--backend NAME]\n"
+      "            [--batch]\n"
       "  porcc run --artifact <file.json> --inputs \"...\" "
       "[--encrypted] [--batch]\n"
       "  porcc bench <kernel> [--runs N] [--batch N] [--pool N] "
       "[--synthesize]\n"
-      "             [--plaintext] [--timeout S] [--jobs N]\n"
+      "             [--plaintext] [--backend NAME] [--timeout S] [--jobs N]\n"
       "  porcc serve <kernel> [--requests N] [--tenants N] [--max-batch N]\n"
       "             [--queue N] [--shards N] [--synthesize]\n"
       "  porcc check <file.quill> <kernel>\n"
@@ -121,7 +122,13 @@ int usage() {
       "   append ',eqsat' for the equality-saturation superoptimizer.\n"
       " --eqsat-iters/--eqsat-nodes/--eqsat-time-ms: eqsat saturation "
       "budgets\n"
-      "   (defaults 8 / 20000 / 0 = no clock, fully deterministic).)\n");
+      "   (defaults 8 / 20000 / 0 = no clock, fully deterministic).\n"
+      " --backend NAME: execution backend. 'bfv' = in-tree encrypted "
+      "runtime,\n"
+      "   'dryrun' = keyless plaintext semantics with cost-model charging,\n"
+      "   'seal' = Microsoft SEAL (when built with "
+      "-DPORCUPINE_WITH_SEAL).\n"
+      "   run defaults to dryrun, bench/serve to bfv.)\n");
   return 2;
 }
 
@@ -190,6 +197,11 @@ driver::CompileOptions optionsFromFlags(int Argc, char **Argv) {
   Opts.EqSat.TimeBudgetMs =
       std::atof(argValue(Argc, Argv, "--eqsat-time-ms", "0"));
   Opts.Codegen.FunctionName = argValue(Argc, Argv, "--function", "kernel");
+  // --backend NAME: the execution backend ("bfv", "dryrun", "seal" when
+  // built with -DPORCUPINE_WITH_SEAL). Also steers the default latency
+  // source: cost estimates read the selected backend's latency table.
+  if (const char *B = argValue(Argc, Argv, "--backend", nullptr))
+    Opts.Backend = B;
   return Opts;
 }
 
@@ -547,7 +559,7 @@ void printOutcome(const driver::ExecuteOutcome &Out, uint64_t PlainModulus) {
                 "bits\n",
                 Out.PolyDegree, Out.NoiseBudgetBits);
   else
-    std::printf("; executed by the plaintext interpreter (mod %llu)\n",
+    std::printf("; executed by the keyless dry-run backend (mod %llu)\n",
                 static_cast<unsigned long long>(PlainModulus));
   for (uint64_t V : Out.Outputs)
     std::printf("%llu ", static_cast<unsigned long long>(V));
@@ -559,13 +571,20 @@ int cmdRun(int Argc, char **Argv) {
   if (!ArtifactPath && !hasPositional(Argc, Argv))
     return usage();
   bool Batch = hasFlag(Argc, Argv, "--batch");
-  bool Encrypted = hasFlag(Argc, Argv, "--encrypted");
+  // `porcc run` defaults to the keyless dry-run backend so quick input
+  // probing pays no key generation; --encrypted (or --backend bfv)
+  // selects real encrypted execution.
+  const char *Backend =
+      argValue(Argc, Argv, "--backend",
+               hasFlag(Argc, Argv, "--encrypted") ? "bfv" : "dryrun");
   const char *InputText = argValue(Argc, Argv, "--inputs", "");
 
   if (ArtifactPath) {
     // Serving path: warm-start an Engine from the artifact and execute the
     // batch over the kernel's pooled runtimes.
-    driver::Engine E;
+    driver::EngineOptions EO;
+    EO.Defaults.Backend = Backend;
+    driver::Engine E(EO);
     auto K = E.loadArtifact(ArtifactPath);
     if (!K)
       return fail(K.status());
@@ -589,7 +608,7 @@ int cmdRun(int Argc, char **Argv) {
     }
     std::printf("; kernel '%s' from artifact (fingerprint %s)\n",
                 Kernel.name().c_str(), Kernel.fingerprint().c_str());
-    auto Many = Kernel.executeMany(*Calls, Encrypted);
+    auto Many = Kernel.executeMany(*Calls);
     if (!Many)
       return fail(Many.status());
     for (const driver::ExecuteOutcome &Out : *Many)
@@ -600,7 +619,9 @@ int cmdRun(int Argc, char **Argv) {
   auto P = loadProgram(Argv[0]);
   if (!P)
     return 1;
-  driver::Compiler C;
+  driver::CompileOptions COpts;
+  COpts.Backend = Backend;
+  driver::Compiler C(COpts);
   uint64_t T = C.options().Synthesis.PlainModulus;
   auto Calls = parseBatchInputs(InputText, Batch, P->VectorSize, T);
   bool BadShape = false;
@@ -617,7 +638,7 @@ int cmdRun(int Argc, char **Argv) {
     return 1;
   }
   for (const auto &Call : *Calls) {
-    auto Out = C.execute(*P, Call, Encrypted);
+    auto Out = C.execute(*P, Call);
     if (!Out)
       return fail(Out.status());
     printOutcome(*Out, T);
@@ -631,7 +652,11 @@ int cmdBench(int Argc, char **Argv) {
   int Runs = std::atoi(argValue(Argc, Argv, "--runs", "16"));
   int Batch = std::atoi(argValue(Argc, Argv, "--batch", "4"));
   int Pool = std::atoi(argValue(Argc, Argv, "--pool", "2"));
-  bool Encrypted = !hasFlag(Argc, Argv, "--plaintext");
+  // `porcc bench` measures the real thing by default: encrypted BFV.
+  // --plaintext (or --backend dryrun) benches the keyless dry-run path.
+  const char *Backend =
+      argValue(Argc, Argv, "--backend",
+               hasFlag(Argc, Argv, "--plaintext") ? "dryrun" : "bfv");
   if (Runs < 1 || Batch < 1 || Pool < 1) {
     std::fprintf(stderr, "error: --runs/--batch/--pool must be positive\n");
     return 1;
@@ -639,6 +664,7 @@ int cmdBench(int Argc, char **Argv) {
 
   driver::EngineOptions EO;
   EO.Defaults = optionsFromFlags(Argc, Argv);
+  EO.Defaults.Backend = Backend;
   EO.Defaults.RunSynthesis = hasFlag(Argc, Argv, "--synthesize");
   EO.RuntimePoolSize = static_cast<size_t>(Pool);
   driver::Engine E(EO);
@@ -676,7 +702,7 @@ int cmdBench(int Argc, char **Argv) {
 
   // Warmup builds the first pooled runtime (context + keys) so the timed
   // loop measures steady-state serving latency.
-  auto Warm = Kernel.execute(Calls.front(), Encrypted);
+  auto Warm = Kernel.execute(Calls.front());
   if (!Warm)
     return fail(Warm.status());
 
@@ -688,7 +714,7 @@ int cmdBench(int Argc, char **Argv) {
     std::vector<std::vector<std::vector<uint64_t>>> Slice(
         Calls.begin(), Calls.begin() + ThisBatch);
     Stopwatch W;
-    auto Many = Kernel.executeMany(Slice, Encrypted);
+    auto Many = Kernel.executeMany(Slice);
     double Us = W.micros();
     if (!Many)
       return fail(Many.status());
@@ -711,7 +737,8 @@ int cmdBench(int Argc, char **Argv) {
               json::quote(Kernel.fingerprint()).c_str());
   std::printf("  \"from_synthesis\": %s,\n",
               Kernel.result().FromSynthesis ? "true" : "false");
-  std::printf("  \"encrypted\": %s,\n", Encrypted ? "true" : "false");
+  std::printf("  \"backend\": %s,\n", json::quote(Backend).c_str());
+  std::printf("  \"encrypted\": %s,\n", Warm->Encrypted ? "true" : "false");
   std::printf("  \"compile_ms\": %.3f,\n", CompileMs);
   // Synthesis timing is no longer implicitly serial: record the measured
   // wall time alongside the thread count that produced it so bench
@@ -733,6 +760,10 @@ int cmdBench(int Argc, char **Argv) {
   std::printf("  \"throughput_calls_per_s\": %.2f,\n",
               MeanUs > 0 ? 1e6 / MeanUs : 0.0);
   std::printf("  \"noise_budget_bits\": %.1f,\n", LastNoise);
+  // Cost-model latency one call charges on this backend (0 for real
+  // backends, which spend wall-clock instead). Host-independent, so
+  // bench_compare.py can gate it across machine classes.
+  std::printf("  \"charged_latency_us\": %.1f,\n", Warm->ChargedLatencyUs);
   std::printf("  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
               "\"hit_rate\": %.3f}\n",
               static_cast<unsigned long long>(S.Hits),
