@@ -1,0 +1,97 @@
+//===- bench/bench_frontend_lowering.cpp - .porc lowering snapshot --------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Frontend lowering benchmark: parse + lower each embedded `.porc`
+/// workload in-process, repeatedly, and emit one JSON object for
+/// tools/bench.sh's "frontend" section. Per workload it records
+///
+///   lower_ms      median wall time of one parse+lower (host-dependent;
+///                 bench_compare.py gates it same-host only),
+///   cost          quill::CostModel cost of the lowered program before any
+///                 pass runs (host-independent; always gated), and
+///   the instruction mix / lowering counters the docs quote.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "frontend/Frontend.h"
+#include "kernels/Kernels.h"
+#include "quill/Analysis.h"
+#include "quill/CostModel.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace porcupine;
+using namespace porcupine::bench;
+
+namespace {
+
+const char *const Workloads[] = {"Conv2D 5x5", "Perceptron 8-4-1",
+                                 "Group-By Sum"};
+
+double medianMs(std::vector<double> &V) {
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const int Repeats = argInt(Argc, Argv, "--repeats", 9);
+  quill::CostModel Cost;
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"frontend-lowering/1\",\n");
+  std::printf("  \"repeats\": %d,\n", Repeats);
+  std::printf("  \"workloads\": [\n");
+  bool First = true;
+  for (const char *Name : Workloads) {
+    const char *Source = kernels::porcWorkloadSource(Name);
+    if (!Source) {
+      std::fprintf(stderr, "workload '%s' has no embedded source\n", Name);
+      return 1;
+    }
+    frontend::LowerResult Lowered;
+    std::vector<double> Times;
+    for (int I = 0; I < Repeats + 1; ++I) { // One warmup run excluded.
+      Stopwatch W;
+      auto M = frontend::parse(Source, Name);
+      if (!M) {
+        std::fprintf(stderr, "%s\n", M.status().toString().c_str());
+        return 1;
+      }
+      auto L = frontend::lower(*M);
+      if (!L) {
+        std::fprintf(stderr, "%s\n", L.status().toString().c_str());
+        return 1;
+      }
+      if (I > 0)
+        Times.push_back(W.micros() / 1000.0);
+      Lowered = std::move(*L);
+    }
+    auto Mix = quill::countInstructions(Lowered.Program);
+    if (!First)
+      std::printf(",\n");
+    First = false;
+    std::printf("    {\"workload\": \"%s\", \"lower_ms\": %.3f, "
+                "\"cost\": %.0f,\n",
+                Name, medianMs(Times), Cost.cost(Lowered.Program));
+    std::printf("     \"vector_size\": %zu, \"instructions\": %d, "
+                "\"rotations\": %d, \"ctct_muls\": %d,\n",
+                Lowered.Program.VectorSize, Mix.Total, Mix.Rotations,
+                Mix.CtCtMuls);
+    std::printf("     \"assignments\": %zu, \"terms\": %zu, "
+                "\"rotation_groups\": %zu, \"mult_depth\": %d}",
+                Lowered.Stats.Assignments, Lowered.Stats.Terms,
+                Lowered.Stats.Groups,
+                quill::programMultiplicativeDepth(Lowered.Program));
+  }
+  std::printf("\n  ]\n");
+  std::printf("}\n");
+  return 0;
+}

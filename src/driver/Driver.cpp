@@ -309,18 +309,6 @@ Compiler::execute(const quill::Program &P,
   return Out;
 }
 
-Expected<ExecuteOutcome>
-Compiler::execute(const quill::Program &P,
-                  const std::vector<std::vector<uint64_t>> &Inputs,
-                  bool Encrypted) const {
-  // Transitional bool-flag shim: route to the named backends the flag
-  // used to mean. Ignores Opts.Backend by design (that is what the old
-  // API did — the flag was the whole selection).
-  Compiler Shim(Opts, Registry);
-  Shim.Opts.Backend = Encrypted ? "bfv" : "dryrun";
-  return Shim.execute(P, Inputs);
-}
-
 Expected<VerifyOutcome> Compiler::verify(const quill::Program &P,
                                          const KernelSpec &Spec) const {
   Status S = validateProgram(P, "verify");
@@ -391,6 +379,14 @@ Compiler::compileFrom(const KernelSpec &Spec, const synth::Sketch &Sk,
   if (!Res.FromSynthesis && !BundledNotes.empty())
     Res.Notes.push_back({Severity::Note, "synthesis", BundledNotes});
 
+  Status Tail = finishCompile(Res, Latency);
+  if (!Tail)
+    return Tail;
+  return Res;
+}
+
+Status Compiler::finishCompile(CompileResult &Res,
+                               const quill::LatencyTable &Latency) const {
   // Stage 2: the optimizer pipeline, priced under the same latency table
   // as synthesis and the final cost estimate.
   if (!Opts.Pipeline.empty()) {
@@ -425,6 +421,58 @@ Compiler::compileFrom(const KernelSpec &Spec, const synth::Sketch &Sk,
       return Code.status();
     Res.SealCode = Code.take();
   }
+  return Status::success();
+}
+
+Expected<CompileResult>
+Compiler::compilePorc(const std::string &Source,
+                      const std::string &FileName) const {
+  Status S = validateOptions();
+  if (!S)
+    return S;
+  if (Opts.SubkernelMaxComponents < 1)
+    return Status::error("options",
+                         "SubkernelMaxComponents must be at least 1");
+  if (Opts.SubkernelTimeoutSeconds <= 0.0)
+    return Status::error("options",
+                         "SubkernelTimeoutSeconds must be positive");
+
+  Expected<frontend::Module> M = frontend::parse(Source, FileName);
+  if (!M)
+    return M.status();
+
+  frontend::LowerOptions LO;
+  LO.PlainModulus = Opts.Synthesis.PlainModulus;
+  LO.SynthSubkernels = Opts.SynthSubkernels;
+  LO.SubkernelMaxComponents = Opts.SubkernelMaxComponents;
+  LO.SubkernelTimeoutSeconds = Opts.SubkernelTimeoutSeconds;
+  LO.Seed = Opts.Synthesis.Seed;
+  LO.Threads = Opts.Synthesis.Threads;
+  Expected<frontend::LowerResult> L = frontend::lower(*M, LO, FileName);
+  if (!L)
+    return L.status();
+
+  CompileResult Res;
+  Res.KernelName = M->Name;
+  Res.Program = std::move(L->Program);
+  // The frontend lowered the whole kernel; FromSynthesis stays false even
+  // under SynthSubkernels (the notes record which sub-expressions CEGIS
+  // found — the program source is still the .porc text).
+  Res.FromSynthesis = false;
+  Res.Notes = std::move(L->Notes);
+  Res.Notes.push_back(
+      {Severity::Note, "frontend",
+       "lowered " + std::to_string(L->Stats.Assignments) +
+           " assignment(s), " + std::to_string(L->Stats.Terms) +
+           " term(s) into " + std::to_string(L->Stats.Groups) +
+           " rotation group(s), " +
+           std::to_string(L->Stats.RotationsScheduled) +
+           " distinct rotation(s)"});
+
+  quill::LatencyTable Latency = effectiveLatency(&Res.Notes);
+  Status Tail = finishCompile(Res, Latency);
+  if (!Tail)
+    return Tail;
   return Res;
 }
 

@@ -17,6 +17,7 @@
 ///
 ///   Compiler C;                         // or Compiler(options, &registry)
 ///   auto R  = C.compile("dot product"); // whole pipeline, by kernel name
+///   auto F  = C.compilePorc(Src, "f.porc"); // ...or from .porc source
 ///   auto S  = C.synthesize(Spec, Sk);   // ...or stage by stage
 ///   auto O  = C.optimize(S->Program);
 ///   auto CG = C.emit(O->Program);
@@ -37,6 +38,7 @@
 #include "backend/ExecutorBackend.h"
 #include "backend/ParameterSelector.h"
 #include "backend/SealCodeGen.h"
+#include "frontend/Frontend.h"
 #include "kernels/KernelRegistry.h"
 #include "quill/Analysis.h"
 #include "quill/Passes.h"
@@ -82,6 +84,20 @@ struct CompileOptions {
   /// When synthesis fails (timeout/exhaustion) and a bundled program
   /// exists, fall back to it with a warning instead of failing.
   bool FallbackToBundled = true;
+
+  /// Frontend (.porc) lowering: route small per-array sub-expressions
+  /// through CEGIS synthesis instead of direct materialization (porcc
+  /// --synth-subkernels). The whole-kernel program is identical in
+  /// semantics either way; synthesis may find cheaper instruction
+  /// sequences for sub-expressions within the component budget, and falls
+  /// back to direct materialization (with a note) when it cannot.
+  bool SynthSubkernels = false;
+  /// Component budget per synthesized sub-expression; sub-expressions
+  /// estimated larger than this are materialized directly without an
+  /// attempt.
+  int SubkernelMaxComponents = 4;
+  /// CEGIS timeout per sub-expression attempt, seconds.
+  double SubkernelTimeoutSeconds = 5.0;
 
   /// Rotation policy: ablation mode where rotations are standalone sketch
   /// components instead of operand holes (paper section 7.4).
@@ -311,6 +327,17 @@ public:
   Expected<CompileResult> compile(const KernelSpec &Spec,
                                   const synth::Sketch &Sk) const;
 
+  /// Compiles `.porc` source text (frontend::parse + frontend::lower):
+  /// index elimination, rotation scheduling, materialization into
+  /// explicit-relin Quill — then the same optimizer pipeline, analyses,
+  /// parameter selection, and codegen as every other compile. Synthesis
+  /// options apply only to sub-expressions when SynthSubkernels is on;
+  /// RunSynthesis/FallbackToBundled are ignored (the frontend is the
+  /// program source). \p FileName seeds line/column diagnostics and the
+  /// kernel name (basename without extension).
+  Expected<CompileResult> compilePorc(const std::string &Source,
+                                      const std::string &FileName) const;
+
   //===--------------------------------------------------------------------===
   // Individual stages
   //===--------------------------------------------------------------------===
@@ -351,18 +378,6 @@ public:
   execute(const quill::Program &P,
           const std::vector<std::vector<uint64_t>> &Inputs) const;
 
-  /// Transitional shim for the pre-backend API, where a bool picked
-  /// between encrypted execution and plaintext interpretation. Runs on
-  /// "bfv" when \p Encrypted, "dryrun" otherwise, ignoring Opts.Backend.
-  /// Deprecated for one release; migrate to the backend-selecting
-  /// overload above (set Opts.Backend instead of passing a flag).
-  [[deprecated("select a backend via CompileOptions::Backend and call the "
-               "two-argument execute() instead")]]
-  Expected<ExecuteOutcome>
-  execute(const quill::Program &P,
-          const std::vector<std::vector<uint64_t>> &Inputs,
-          bool Encrypted) const;
-
   /// Exact symbolic verification of \p P against \p Spec; inequivalence is
   /// a *successful* call with Equivalent == false and a counterexample.
   Expected<VerifyOutcome> verify(const quill::Program &P,
@@ -390,6 +405,11 @@ private:
                                       const synth::Sketch &Sk,
                                       const quill::Program *Bundled,
                                       const std::string &BundledNotes) const;
+  /// The backend-independent tail every compile shares once Res.Program is
+  /// chosen: optimizer pipeline, analyses, cost estimate, parameter
+  /// selection, codegen.
+  Status finishCompile(CompileResult &Res,
+                       const quill::LatencyTable &Latency) const;
 
   CompileOptions Opts;
   const kernels::KernelRegistry *Registry = nullptr;

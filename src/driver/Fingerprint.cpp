@@ -114,6 +114,13 @@ std::string CompileOptions::canonicalKey() const {
   addField(K, "explicit_rotations.max_components",
            ExplicitRotationMaxComponents);
   addField(K, "fallback_to_bundled", FallbackToBundled);
+  // Frontend sub-expression synthesis can change the compiled program
+  // (CEGIS may find a cheaper sequence, or time out and fall back), so
+  // all three knobs are keyed — like Synthesis.*, even when the feature
+  // is off, for a stable field set.
+  addField(K, "frontend.subkernel_max_components", SubkernelMaxComponents);
+  addField(K, "frontend.subkernel_timeout_seconds", SubkernelTimeoutSeconds);
+  addField(K, "frontend.synth_subkernels", SynthSubkernels);
   addField(K, "latency.add_ct_ct", Synthesis.Latency.AddCtCt);
   addField(K, "latency.add_ct_pt", Synthesis.Latency.AddCtPt);
   addField(K, "latency.mul_ct_ct", Synthesis.Latency.MulCtCt);

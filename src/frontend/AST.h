@@ -1,0 +1,436 @@
+//===- frontend/AST.h - .porc array-program AST -----------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax of `.porc` array programs (docs/FRONTEND.md): a flat
+/// list of declarations — encrypted `input`/`output`/`let` arrays and
+/// plaintext `const` tables — followed by statements: `for` nests, unrolled
+/// at compile time, of single-assignment array-element updates. Loop bounds
+/// and index expressions are compile-time integer arithmetic over loop
+/// variables, which is what makes the mechanical lowering to slot rotations
+/// possible (frontend/IndexElim.h).
+///
+/// The same AST doubles as the kernel's *reference semantics*: evalModule()
+/// is a template over the ring element type E, so instantiating it with
+/// ModInt gives concrete evaluation and with SymPoly the lifted symbolic
+/// input-output relation — exactly the two instantiations
+/// spec/KernelSpec.h's makeKernelSpec needs (frontend::makeSpec builds on
+/// this to hand every `.porc` program a full KernelSpec for free).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_FRONTEND_AST_H
+#define PORCUPINE_FRONTEND_AST_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace frontend {
+
+/// A position in the source text (1-based, as editors count).
+struct SourceLoc {
+  int Line = 1;
+  int Col = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,   ///< Integer literal; value in IntValue.
+  VarRef,   ///< Loop variable or scalar `const`; name in Name.
+  ArrayRef, ///< Array element; Name + one index expression per dimension.
+  Add,      ///< Args[0] + Args[1].
+  Sub,      ///< Args[0] - Args[1].
+  Mul,      ///< Args[0] * Args[1].
+  Neg,      ///< -Args[0].
+  Sum,      ///< sum(Binders..., Args[0]): inclusive-range reduction.
+  Eq,       ///< eq(Args[0], Args[1]): compile-time 0/1 indicator.
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One `v in lo..hi` reduction binder of a sum().
+struct SumBinder {
+  std::string Var;
+  ExprPtr Lo;
+  ExprPtr Hi;
+};
+
+struct Expr {
+  ExprKind Kind = ExprKind::IntLit;
+  SourceLoc Loc;
+  int64_t IntValue = 0;          ///< IntLit only.
+  std::string Name;              ///< VarRef / ArrayRef only.
+  std::vector<ExprPtr> Args;     ///< Indices (ArrayRef), operands, sum body.
+  std::vector<SumBinder> Binders; ///< Sum only.
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind { For, Assign };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind = StmtKind::Assign;
+  SourceLoc Loc;
+
+  // For: `for Var in Lo..Hi { Body }` (inclusive range, unrolled).
+  std::string Var;
+  ExprPtr Lo;
+  ExprPtr Hi;
+  std::vector<StmtPtr> Body;
+
+  // Assign: `Dest[Indices...] = Value`.
+  std::string Dest;
+  std::vector<ExprPtr> Indices;
+  ExprPtr Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+enum class DeclKind {
+  Input,  ///< Encrypted input array (one ciphertext per declaration).
+  Output, ///< The encrypted result array (exactly one per module).
+  Temp,   ///< `let`: an encrypted intermediate array.
+  Const,  ///< Plaintext constant: scalar, vector, or matrix.
+};
+
+struct Decl {
+  DeclKind Kind = DeclKind::Input;
+  SourceLoc Loc;
+  std::string Name;
+  /// Array shape, outermost dimension first; empty for a scalar const.
+  std::vector<int64_t> Dims;
+  /// Const only: values, flattened row-major (size 1 for a scalar).
+  std::vector<int64_t> ConstValues;
+
+  /// Number of elements (1 for a scalar const).
+  int64_t flatSize() const {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+/// One parsed `.porc` compilation unit. Move-only (owns the AST).
+struct Module {
+  /// Module name (the file's basename without extension); becomes the
+  /// kernel name unless frontend::makeSpec overrides it.
+  std::string Name = "porc";
+  std::vector<Decl> Decls;
+  std::vector<StmtPtr> Stmts;
+
+  const Decl *findDecl(const std::string &N) const {
+    for (const Decl &D : Decls)
+      if (D.Name == N)
+        return &D;
+    return nullptr;
+  }
+
+  /// Input declarations in declaration order (= ciphertext input order).
+  std::vector<const Decl *> inputs() const {
+    std::vector<const Decl *> In;
+    for (const Decl &D : Decls)
+      if (D.Kind == DeclKind::Input)
+        In.push_back(&D);
+    return In;
+  }
+
+  const Decl *output() const {
+    for (const Decl &D : Decls)
+      if (D.Kind == DeclKind::Output)
+        return &D;
+    return nullptr;
+  }
+
+  int numInputs() const { return static_cast<int>(inputs().size()); }
+
+  /// The SIMD width every ciphertext of this module uses: the largest flat
+  /// size over all encrypted arrays (smaller arrays are packed from slot 0
+  /// and zero-padded).
+  size_t vectorSize() const {
+    int64_t W = 0;
+    for (const Decl &D : Decls)
+      if (D.Kind != DeclKind::Const && D.flatSize() > W)
+        W = D.flatSize();
+    return static_cast<size_t>(W);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Reference evaluation (the template over ring elements)
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// Wrapping signed arithmetic (defined behavior under UBSan). The lowering
+/// path (IndexElim) rejects genuine overflow with a diagnostic before a
+/// module ever reaches evaluation, so wrapping here can only be observed by
+/// modules the frontend already refused to lower.
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+/// A value during reference evaluation: either a compile-time scalar (loop
+/// variables, constants, eq() indicators) or a ring element.
+template <typename E> struct Cell {
+  bool IsScalar = true;
+  int64_t S = 0;
+  std::optional<E> V;
+
+  static Cell scalar(int64_t X) {
+    Cell C;
+    C.S = X;
+    return C;
+  }
+  static Cell ring(E X) {
+    Cell C;
+    C.IsScalar = false;
+    C.V = std::move(X);
+    return C;
+  }
+};
+
+/// Evaluates a module over ring elements of type E. The module must have
+/// been validated by the lowering path (eliminateIndices); out-of-range
+/// accesses and type confusions degrade to 0 here rather than abort, so the
+/// evaluator stays total inside KernelSpec's std::function interface.
+template <typename E> class ModuleEvaluator {
+public:
+  ModuleEvaluator(const Module &M, const std::function<E(int64_t)> &Konst)
+      : M(M), Konst(Konst) {}
+
+  std::vector<E> run(const std::vector<std::vector<E>> &Inputs) {
+    // Width: at least the module's natural packing width, but follow the
+    // caller's (possibly wider) input vectors — the lowering may have grown
+    // the width for rotation-aliasing headroom (AccessTable::VectorSize).
+    size_t W = M.vectorSize();
+    for (const std::vector<E> &In : Inputs)
+      if (In.size() > W)
+        W = In.size();
+    int NextInput = 0;
+    for (const Decl &D : M.Decls) {
+      if (D.Kind == DeclKind::Const)
+        continue;
+      std::vector<E> Slots;
+      if (D.Kind == DeclKind::Input &&
+          NextInput < static_cast<int>(Inputs.size())) {
+        Slots = Inputs[NextInput++];
+        while (Slots.size() < W)
+          Slots.push_back(Konst(0));
+      } else {
+        Slots.assign(W, Konst(0));
+      }
+      Arrays[D.Name] = std::move(Slots);
+    }
+    for (const StmtPtr &S : M.Stmts)
+      evalStmt(*S);
+    const Decl *Out = M.output();
+    if (!Out)
+      return std::vector<E>(W, Konst(0));
+    return Arrays[Out->Name];
+  }
+
+private:
+  void evalStmt(const Stmt &S) {
+    if (S.Kind == StmtKind::For) {
+      int64_t Lo = evalScalar(*S.Lo), Hi = evalScalar(*S.Hi);
+      for (int64_t I = Lo; I <= Hi; ++I) {
+        int64_t Saved = 0;
+        bool Shadowed = lookupScalar(S.Var, Saved);
+        Scalars[S.Var] = I;
+        for (const StmtPtr &B : S.Body)
+          evalStmt(*B);
+        if (Shadowed)
+          Scalars[S.Var] = Saved;
+        else
+          Scalars.erase(S.Var);
+      }
+      return;
+    }
+    const Decl *D = M.findDecl(S.Dest);
+    if (!D || D->Kind == DeclKind::Const || D->Kind == DeclKind::Input)
+      return;
+    int64_t Flat = 0;
+    if (!flatIndex(*D, S.Indices, Flat))
+      return;
+    Cell<E> V = evalExpr(*S.Value);
+    Arrays[S.Dest][static_cast<size_t>(Flat)] = toRing(V);
+  }
+
+  bool lookupScalar(const std::string &N, int64_t &Out) const {
+    auto It = Scalars.find(N);
+    if (It == Scalars.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+
+  /// Row-major flat index of an element access; false when out of range.
+  bool flatIndex(const Decl &D, const std::vector<ExprPtr> &Indices,
+                 int64_t &Flat) {
+    if (Indices.size() != D.Dims.size())
+      return false;
+    Flat = 0;
+    for (size_t K = 0; K < Indices.size(); ++K) {
+      int64_t I = evalScalar(*Indices[K]);
+      if (I < 0 || I >= D.Dims[K])
+        return false;
+      Flat = wrapAdd(wrapMul(Flat, D.Dims[K]), I);
+    }
+    return true;
+  }
+
+  int64_t evalScalar(const Expr &X) {
+    Cell<E> C = evalExpr(X);
+    return C.IsScalar ? C.S : 0;
+  }
+
+  E toRing(const Cell<E> &C) {
+    return C.IsScalar ? Konst(C.S) : *C.V;
+  }
+
+  Cell<E> evalExpr(const Expr &X) {
+    switch (X.Kind) {
+    case ExprKind::IntLit:
+      return Cell<E>::scalar(X.IntValue);
+    case ExprKind::VarRef: {
+      int64_t S = 0;
+      if (lookupScalar(X.Name, S))
+        return Cell<E>::scalar(S);
+      if (const Decl *D = M.findDecl(X.Name))
+        if (D->Kind == DeclKind::Const && D->Dims.empty())
+          return Cell<E>::scalar(D->ConstValues.empty() ? 0
+                                                        : D->ConstValues[0]);
+      return Cell<E>::scalar(0);
+    }
+    case ExprKind::ArrayRef: {
+      const Decl *D = M.findDecl(X.Name);
+      if (!D)
+        return Cell<E>::scalar(0);
+      int64_t Flat = 0;
+      if (!flatIndex(*D, X.Args, Flat))
+        return Cell<E>::scalar(0);
+      if (D->Kind == DeclKind::Const)
+        return Cell<E>::scalar(D->ConstValues[static_cast<size_t>(Flat)]);
+      return Cell<E>::ring(Arrays[X.Name][static_cast<size_t>(Flat)]);
+    }
+    case ExprKind::Add:
+      return combine(evalExpr(*X.Args[0]), evalExpr(*X.Args[1]), OpAdd);
+    case ExprKind::Sub:
+      return combine(evalExpr(*X.Args[0]), evalExpr(*X.Args[1]), OpSub);
+    case ExprKind::Mul:
+      return combine(evalExpr(*X.Args[0]), evalExpr(*X.Args[1]), OpMul);
+    case ExprKind::Neg:
+      return combine(Cell<E>::scalar(0), evalExpr(*X.Args[0]), OpSub);
+    case ExprKind::Eq: {
+      int64_t A = evalScalar(*X.Args[0]);
+      int64_t B = evalScalar(*X.Args[1]);
+      return Cell<E>::scalar(A == B ? 1 : 0);
+    }
+    case ExprKind::Sum:
+      return evalSum(X, 0);
+    }
+    return Cell<E>::scalar(0);
+  }
+
+  Cell<E> evalSum(const Expr &X, size_t Binder) {
+    if (Binder == X.Binders.size())
+      return evalExpr(*X.Args[0]);
+    const SumBinder &B = X.Binders[Binder];
+    int64_t Lo = evalScalar(*B.Lo), Hi = evalScalar(*B.Hi);
+    Cell<E> Acc = Cell<E>::scalar(0);
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      int64_t Saved = 0;
+      bool Shadowed = lookupScalar(B.Var, Saved);
+      Scalars[B.Var] = I;
+      Acc = combine(Acc, evalSum(X, Binder + 1), OpAdd);
+      if (Shadowed)
+        Scalars[B.Var] = Saved;
+      else
+        Scalars.erase(B.Var);
+    }
+    return Acc;
+  }
+
+  enum BinOp { OpAdd, OpSub, OpMul };
+
+  Cell<E> combine(Cell<E> A, Cell<E> B, BinOp Op) {
+    if (A.IsScalar && B.IsScalar) {
+      switch (Op) {
+      case OpAdd:
+        return Cell<E>::scalar(wrapAdd(A.S, B.S));
+      case OpSub:
+        return Cell<E>::scalar(wrapSub(A.S, B.S));
+      case OpMul:
+        return Cell<E>::scalar(wrapMul(A.S, B.S));
+      }
+    }
+    E X = toRing(A), Y = toRing(B);
+    switch (Op) {
+    case OpAdd:
+      return Cell<E>::ring(X + Y);
+    case OpSub:
+      return Cell<E>::ring(X - Y);
+    case OpMul:
+      return Cell<E>::ring(X * Y);
+    }
+    return Cell<E>::scalar(0);
+  }
+
+  const Module &M;
+  const std::function<E(int64_t)> &Konst;
+  std::map<std::string, std::vector<E>> Arrays;
+  std::map<std::string, int64_t> Scalars;
+};
+
+} // namespace detail
+
+/// Reference evaluation of \p M over ring elements: one slot vector (width
+/// Module::vectorSize()) per input declaration in, the output array's slot
+/// vector out. Slots outside an array's logical extent are 0, matching the
+/// masked accumulation the lowering emits.
+template <typename E>
+std::vector<E> evalModule(const Module &M,
+                          const std::vector<std::vector<E>> &Inputs,
+                          const std::function<E(int64_t)> &Konst) {
+  detail::ModuleEvaluator<E> Ev(M, Konst);
+  return Ev.run(Inputs);
+}
+
+} // namespace frontend
+} // namespace porcupine
+
+#endif // PORCUPINE_FRONTEND_AST_H

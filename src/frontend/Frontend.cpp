@@ -1,0 +1,126 @@
+//===- frontend/Frontend.cpp - .porc frontend facade ----------------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include <set>
+
+using namespace porcupine;
+using namespace porcupine::frontend;
+
+Expected<LowerResult> frontend::lower(const Module &M,
+                                      const LowerOptions &Opts,
+                                      const std::string &FileName) {
+  Expected<AccessTable> T = eliminateIndices(M, FileName);
+  if (!T)
+    return T.status();
+  RotationSchedule S = scheduleRotations(*T);
+  return materialize(*T, S, Opts);
+}
+
+namespace {
+
+/// Copyable reference functor closing over the module; usable for both
+/// ModInt and SymPoly instantiation, which is all makeKernelSpec needs.
+struct ModuleRef {
+  std::shared_ptr<const Module> M;
+
+  template <typename E, typename KonstFn>
+  std::vector<E> operator()(const std::vector<std::vector<E>> &Inputs,
+                            KonstFn Konst) const {
+    std::function<E(int64_t)> K = std::move(Konst);
+    return evalModule<E>(*M, Inputs, K);
+  }
+};
+
+} // namespace
+
+Expected<KernelSpec> frontend::makeSpec(std::shared_ptr<const Module> M,
+                                        const std::string &Name) {
+  Expected<AccessTable> T = eliminateIndices(*M, M->Name);
+  if (!T)
+    return T.status();
+
+  size_t W = T->VectorSize;
+  DataLayout Layout;
+  Layout.Description =
+      "arrays packed row-major from slot 0, one ciphertext per array; "
+      "lowered from `.porc` source";
+  Layout.OutputMask.assign(W, false);
+  const auto &OutAssigned =
+      T->Assigned[static_cast<size_t>(T->OutputArray)];
+  for (size_t J = 0; J < OutAssigned.size(); ++J)
+    Layout.OutputMask[J] = OutAssigned[J];
+
+  bool AnyPadded = false;
+  std::vector<std::vector<bool>> InputMasks;
+  for (size_t A = 0; A < T->Arrays.size(); ++A) {
+    if (T->Arrays[A].Kind != DeclKind::Input)
+      continue;
+    std::vector<bool> Mask(W, false);
+    for (int64_t J = 0; J < T->Arrays[A].FlatSize; ++J)
+      Mask[static_cast<size_t>(J)] = true;
+    AnyPadded = AnyPadded || T->Arrays[A].FlatSize < static_cast<int64_t>(W);
+    InputMasks.push_back(std::move(Mask));
+  }
+  if (AnyPadded)
+    Layout.InputMasks = std::move(InputMasks);
+
+  return makeKernelSpec(Name.empty() ? M->Name : Name, T->NumInputs, W,
+                        std::move(Layout), ModuleRef{std::move(M)});
+}
+
+Expected<synth::Sketch> frontend::makeSketch(const Module &M,
+                                             uint64_t PlainModulus,
+                                             const std::string &FileName) {
+  Expected<AccessTable> T = eliminateIndices(M, FileName);
+  if (!T)
+    return T.status();
+  RotationSchedule S = scheduleRotations(*T);
+  int64_t Mod = static_cast<int64_t>(PlainModulus);
+  auto reduce = [Mod](int64_t C) { return ((C % Mod) + Mod) % Mod; };
+
+  synth::Sketch Sk;
+  Sk.NumInputs = T->NumInputs;
+  Sk.VectorSize = T->VectorSize;
+  std::set<int> Amounts;
+  bool AnyQuadratic = false;
+  size_t TotalGroups = 0;
+  for (const ArrayPlan &P : S.Plans) {
+    TotalGroups += P.Groups.size();
+    for (const RotGroup &G : P.Groups) {
+      quill::PlainConstant Mask;
+      for (int64_t C : G.Mask)
+        Mask.Values.push_back(reduce(C));
+      Sk.Menu.push_back(synth::Component::ctPt(quill::Opcode::MulCtPt,
+                                               Sk.addConstant(Mask),
+                                               synth::OperandKind::CtR));
+      if (G.OffsetA != 0)
+        Amounts.insert(static_cast<int>(G.OffsetA));
+      if (G.IsQuadratic) {
+        AnyQuadratic = true;
+        if (G.OffsetB != 0)
+          Amounts.insert(static_cast<int>(G.OffsetB));
+      }
+    }
+    if (P.HasConstTerms) {
+      quill::PlainConstant C;
+      for (int64_t V : P.ConstTerms)
+        C.Values.push_back(reduce(V));
+      Sk.Menu.push_back(synth::Component::ctPt(
+          quill::Opcode::AddCtPt, Sk.addConstant(C), synth::OperandKind::Ct));
+    }
+  }
+  if (AnyQuadratic)
+    Sk.Menu.push_back(synth::Component::ctCt(quill::Opcode::MulCtCt));
+  if (TotalGroups > 1)
+    Sk.Menu.push_back(synth::Component::ctCt(quill::Opcode::AddCtCt,
+                                             synth::OperandKind::Ct,
+                                             synth::OperandKind::Ct));
+  Sk.Rotations = synth::RotationSet::explicitAmounts(
+      T->VectorSize, std::vector<int>(Amounts.begin(), Amounts.end()));
+  return Sk;
+}

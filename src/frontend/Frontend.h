@@ -1,0 +1,67 @@
+//===- frontend/Frontend.h - .porc frontend facade --------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call surface of the `.porc` frontend (docs/FRONTEND.md). The
+/// three lowering stages are usable individually — parse
+/// (frontend/Parser.h), eliminateIndices (frontend/IndexElim.h),
+/// scheduleRotations (frontend/Schedule.h), materialize
+/// (frontend/Materialize.h) — but most callers want the composition:
+///
+///   auto M = frontend::parse(Source, File);          // text -> AST
+///   auto L = frontend::lower(*M);                    // AST  -> Quill IR
+///   // L->Program then goes through quill::PassManager as usual.
+///
+/// makeSpec() derives a full KernelSpec from the same AST (the module *is*
+/// its own reference semantics via evalModule), and makeSketch() a
+/// whole-kernel synthesis sketch from the rotation schedule — together
+/// they let a `.porc` program stand wherever a hand-written kernel bundle
+/// could (src/kernels/FrontendKernels.cpp registers three this way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_FRONTEND_FRONTEND_H
+#define PORCUPINE_FRONTEND_FRONTEND_H
+
+#include "frontend/Materialize.h"
+#include "frontend/Parser.h"
+#include "spec/KernelSpec.h"
+#include "synth/Sketch.h"
+
+#include <memory>
+#include <string>
+
+namespace porcupine {
+namespace frontend {
+
+/// Runs index elimination, rotation scheduling, and materialization over a
+/// parsed module. \p FileName labels diagnostics as in parse().
+Expected<LowerResult> lower(const Module &M,
+                            const LowerOptions &Opts = LowerOptions(),
+                            const std::string &FileName = "<porc>");
+
+/// Builds the module's KernelSpec: reference semantics from evalModule
+/// (concrete and symbolic in one functor), output mask from the assigned
+/// output elements, input masks from the arrays' flat extents. The spec
+/// shares ownership of \p M. \p Name overrides Module::Name when nonempty.
+Expected<KernelSpec> makeSpec(std::shared_ptr<const Module> M,
+                              const std::string &Name = "");
+
+/// Builds a whole-kernel synthesis sketch from the module's rotation
+/// schedule: one mask-multiply menu entry per rotation group, the
+/// accumulation/product/constant components the plans need, and the
+/// scheduled offsets as the explicit rotation set. For the workloads this
+/// frontend targets the component count is far past the synthesizer's
+/// default budget — which is the point: the sketch documents (and the
+/// tests pin) that direct synthesis cannot reach them.
+Expected<synth::Sketch> makeSketch(const Module &M,
+                                   uint64_t PlainModulus = 65537,
+                                   const std::string &FileName = "<porc>");
+
+} // namespace frontend
+} // namespace porcupine
+
+#endif // PORCUPINE_FRONTEND_FRONTEND_H

@@ -1,0 +1,656 @@
+//===- frontend/IndexElim.cpp - loop nests to access tables ---------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/IndexElim.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace porcupine;
+using namespace porcupine::frontend;
+
+namespace {
+
+/// Elaboration limits. The work budget bounds total unrolled evaluation
+/// steps so a fuzzer-crafted quadruple loop nest is rejected in
+/// milliseconds instead of elaborated for minutes.
+constexpr int64_t MaxLoopTrip = 65536;
+constexpr int64_t WorkBudget = int64_t(1) << 22;
+constexpr size_t MaxTermsPerSlot = 4096;
+
+class Eliminator {
+public:
+  Eliminator(const Module &M, const std::string &File) : M(M), File(File) {}
+
+  Expected<AccessTable> run() {
+    Status S = buildArrays();
+    if (!S)
+      return S;
+    for (const StmtPtr &St : M.Stmts) {
+      Status E = elabStmt(*St);
+      if (!E)
+        return E;
+    }
+    Status C = checkReads();
+    if (!C)
+      return C;
+    growWidthForOffsets();
+    Status O = orderArrays();
+    if (!O)
+      return O;
+    return std::move(T);
+  }
+
+private:
+  Status err(SourceLoc Loc, const std::string &Msg) const {
+    return Status::error("lower", File + ":" + std::to_string(Loc.Line) +
+                                      ":" + std::to_string(Loc.Col) + ": " +
+                                      Msg);
+  }
+
+  Status buildArrays() {
+    int NextInput = 0;
+    for (const Decl &D : M.Decls) {
+      if (D.Kind == DeclKind::Const)
+        continue;
+      ArrayIndex[D.Name] = static_cast<int>(T.Arrays.size());
+      T.Arrays.push_back({D.Name, D.Kind, D.Dims, D.flatSize()});
+      T.InputIndex.push_back(D.Kind == DeclKind::Input ? NextInput++ : -1);
+      T.Terms.emplace_back(static_cast<size_t>(D.flatSize()));
+      T.Assigned.emplace_back(static_cast<size_t>(D.flatSize()), false);
+    }
+    T.NumInputs = NextInput;
+    T.VectorSize = M.vectorSize();
+    const Decl *Out = M.output();
+    if (!Out)
+      return Status::error("lower", File + ": module has no output array");
+    T.OutputArray = ArrayIndex[Out->Name];
+    return Status::success();
+  }
+
+  Status charge(SourceLoc Loc, int64_t Units = 1) {
+    Work += Units;
+    if (Work > WorkBudget)
+      return err(Loc, "unrolled program exceeds the elaboration budget; "
+                      "reduce loop extents or array sizes");
+    return Status::success();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Scalar (index/bound) evaluation — checked arithmetic
+  //===--------------------------------------------------------------------===
+
+  Status evalScalar(const Expr &X, int64_t &Out) {
+    Status W = charge(X.Loc);
+    if (!W)
+      return W;
+    switch (X.Kind) {
+    case ExprKind::IntLit:
+      Out = X.IntValue;
+      return Status::success();
+    case ExprKind::VarRef: {
+      auto It = Scalars.find(X.Name);
+      if (It != Scalars.end()) {
+        Out = It->second;
+        return Status::success();
+      }
+      const Decl *D = M.findDecl(X.Name);
+      if (D && D->Kind == DeclKind::Const && D->Dims.empty()) {
+        Out = D->ConstValues[0];
+        return Status::success();
+      }
+      if (D)
+        return err(X.Loc, "'" + X.Name + "' is not usable as a compile-time "
+                          "integer here (encrypted arrays are not indices)");
+      return err(X.Loc, "unknown name '" + X.Name + "'");
+    }
+    case ExprKind::ArrayRef: {
+      const Decl *D = M.findDecl(X.Name);
+      if (!D)
+        return err(X.Loc, "unknown name '" + X.Name + "'");
+      if (D->Kind != DeclKind::Const)
+        return err(X.Loc, "encrypted array '" + X.Name + "' cannot appear "
+                          "in a compile-time integer expression");
+      int64_t Flat = 0;
+      Status S = flatConstIndex(*D, X, Flat);
+      if (!S)
+        return S;
+      Out = D->ConstValues[static_cast<size_t>(Flat)];
+      return Status::success();
+    }
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul: {
+      int64_t A = 0, B = 0;
+      Status SA = evalScalar(*X.Args[0], A);
+      if (!SA)
+        return SA;
+      Status SB = evalScalar(*X.Args[1], B);
+      if (!SB)
+        return SB;
+      bool Ov = X.Kind == ExprKind::Add   ? __builtin_add_overflow(A, B, &Out)
+                : X.Kind == ExprKind::Sub ? __builtin_sub_overflow(A, B, &Out)
+                                          : __builtin_mul_overflow(A, B, &Out);
+      if (Ov)
+        return err(X.Loc, "compile-time integer expression overflows");
+      return Status::success();
+    }
+    case ExprKind::Neg: {
+      int64_t A = 0;
+      Status S = evalScalar(*X.Args[0], A);
+      if (!S)
+        return S;
+      if (__builtin_sub_overflow(static_cast<int64_t>(0), A, &Out))
+        return err(X.Loc, "compile-time integer expression overflows");
+      return Status::success();
+    }
+    case ExprKind::Eq: {
+      int64_t A = 0, B = 0;
+      Status SA = evalScalar(*X.Args[0], A);
+      if (!SA)
+        return SA;
+      Status SB = evalScalar(*X.Args[1], B);
+      if (!SB)
+        return SB;
+      Out = A == B ? 1 : 0;
+      return Status::success();
+    }
+    case ExprKind::Sum: {
+      // A sum of compile-time integers is itself compile-time.
+      return evalScalarSum(X, 0, Out);
+    }
+    }
+    return err(X.Loc, "expression is not a compile-time integer");
+  }
+
+  Status evalScalarSum(const Expr &X, size_t Binder, int64_t &Out) {
+    if (Binder == X.Binders.size())
+      return evalScalar(*X.Args[0], Out);
+    const SumBinder &B = X.Binders[Binder];
+    int64_t Lo = 0, Hi = 0;
+    Status R = evalRange(X.Loc, *B.Lo, *B.Hi, Lo, Hi);
+    if (!R)
+      return R;
+    int64_t Acc = 0;
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      ScalarScope Scope(*this, B.Var, I);
+      int64_t V = 0;
+      Status S = evalScalarSum(X, Binder + 1, V);
+      if (!S)
+        return S;
+      if (__builtin_add_overflow(Acc, V, &Acc))
+        return err(X.Loc, "compile-time integer expression overflows");
+    }
+    Out = Acc;
+    return Status::success();
+  }
+
+  Status evalRange(SourceLoc Loc, const Expr &LoE, const Expr &HiE,
+                   int64_t &Lo, int64_t &Hi) {
+    Status SL = evalScalar(LoE, Lo);
+    if (!SL)
+      return SL;
+    Status SH = evalScalar(HiE, Hi);
+    if (!SH)
+      return SH;
+    if (Hi >= Lo && Hi - Lo + 1 > MaxLoopTrip)
+      return err(Loc, "range " + std::to_string(Lo) + ".." +
+                          std::to_string(Hi) + " has more than " +
+                          std::to_string(MaxLoopTrip) + " iterations");
+    return Status::success();
+  }
+
+  Status flatConstIndex(const Decl &D, const Expr &Ref, int64_t &Flat) {
+    if (Ref.Args.size() != D.Dims.size())
+      return err(Ref.Loc, "'" + D.Name + "' has " +
+                              std::to_string(D.Dims.size()) +
+                              " dimension(s), not " +
+                              std::to_string(Ref.Args.size()));
+    Flat = 0;
+    for (size_t K = 0; K < Ref.Args.size(); ++K) {
+      int64_t I = 0;
+      Status S = evalScalar(*Ref.Args[K], I);
+      if (!S)
+        return S;
+      if (I < 0 || I >= D.Dims[K])
+        return err(Ref.Args[K]->Loc,
+                   "index " + std::to_string(I) + " is out of range for "
+                   "dimension " + std::to_string(K) + " of '" + D.Name +
+                       "' (extent " + std::to_string(D.Dims[K]) + ")");
+      Flat = Flat * D.Dims[K] + I;
+    }
+    return Status::success();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Term evaluation — the symbolic linear-combination algebra
+  //===--------------------------------------------------------------------===
+
+  using TermSum = std::vector<Term>;
+
+  static TermSum scalarSum(int64_t K) {
+    if (K == 0)
+      return {};
+    Term T;
+    T.Coeff = K;
+    return {T};
+  }
+
+  Status addInto(SourceLoc Loc, TermSum &Acc, const TermSum &B,
+                 int64_t Sign) {
+    for (const Term &Tm : B) {
+      int64_t C = Tm.Coeff;
+      if (Sign < 0 && __builtin_sub_overflow(static_cast<int64_t>(0), C, &C))
+        return err(Loc, "coefficient overflows");
+      bool Merged = false;
+      for (Term &A : Acc) {
+        if (A.Factors == Tm.Factors) {
+          if (__builtin_add_overflow(A.Coeff, C, &A.Coeff))
+            return err(Loc, "coefficient overflows");
+          Merged = true;
+          break;
+        }
+      }
+      if (!Merged) {
+        Acc.push_back(Tm);
+        Acc.back().Coeff = C;
+      }
+      Status W = charge(Loc);
+      if (!W)
+        return W;
+    }
+    Acc.erase(std::remove_if(Acc.begin(), Acc.end(),
+                             [](const Term &A) { return A.Coeff == 0; }),
+              Acc.end());
+    if (Acc.size() > MaxTermsPerSlot)
+      return err(Loc, "a single element accumulates more than " +
+                          std::to_string(MaxTermsPerSlot) + " terms");
+    return Status::success();
+  }
+
+  Status mulInto(SourceLoc Loc, const TermSum &A, const TermSum &B,
+                 TermSum &Out) {
+    Out.clear();
+    for (const Term &X : A) {
+      for (const Term &Y : B) {
+        Term P;
+        if (__builtin_mul_overflow(X.Coeff, Y.Coeff, &P.Coeff))
+          return err(Loc, "coefficient overflows");
+        P.Factors = X.Factors;
+        P.Factors.insert(P.Factors.end(), Y.Factors.begin(),
+                         Y.Factors.end());
+        if (P.Factors.size() > 2)
+          return err(Loc, "product multiplies more than two encrypted "
+                          "values; BFV supports degree <= 2 per term "
+                          "(assign a 'let' intermediate)");
+        std::sort(P.Factors.begin(), P.Factors.end());
+        TermSum One{std::move(P)};
+        Status S = addInto(Loc, Out, One, 1);
+        if (!S)
+          return S;
+      }
+    }
+    return Status::success();
+  }
+
+  Status evalTerms(const Expr &X, TermSum &Out) {
+    Status W = charge(X.Loc);
+    if (!W)
+      return W;
+    switch (X.Kind) {
+    case ExprKind::IntLit:
+      Out = scalarSum(X.IntValue);
+      return Status::success();
+    case ExprKind::VarRef: {
+      auto It = Scalars.find(X.Name);
+      if (It != Scalars.end()) {
+        Out = scalarSum(It->second);
+        return Status::success();
+      }
+      const Decl *D = M.findDecl(X.Name);
+      if (D && D->Kind == DeclKind::Const && D->Dims.empty()) {
+        Out = scalarSum(D->ConstValues[0]);
+        return Status::success();
+      }
+      if (D)
+        return err(X.Loc, "array '" + X.Name + "' must be indexed");
+      return err(X.Loc, "unknown name '" + X.Name + "'");
+    }
+    case ExprKind::ArrayRef: {
+      const Decl *D = M.findDecl(X.Name);
+      if (!D)
+        return err(X.Loc, "unknown name '" + X.Name + "'");
+      if (D->Kind == DeclKind::Const) {
+        int64_t Flat = 0;
+        Status S = flatConstIndex(*D, X, Flat);
+        if (!S)
+          return S;
+        Out = scalarSum(D->ConstValues[static_cast<size_t>(Flat)]);
+        return Status::success();
+      }
+      int64_t Flat = 0;
+      Status S = flatCtIndex(*D, X, Flat);
+      if (!S)
+        return S;
+      Term Tm;
+      Tm.Factors.push_back({ArrayIndex[X.Name], Flat});
+      Out = {std::move(Tm)};
+      return Status::success();
+    }
+    case ExprKind::Add:
+    case ExprKind::Sub: {
+      TermSum A, B;
+      Status SA = evalTerms(*X.Args[0], A);
+      if (!SA)
+        return SA;
+      Status SB = evalTerms(*X.Args[1], B);
+      if (!SB)
+        return SB;
+      Out = std::move(A);
+      return addInto(X.Loc, Out, B, X.Kind == ExprKind::Add ? 1 : -1);
+    }
+    case ExprKind::Mul: {
+      TermSum A, B;
+      Status SA = evalTerms(*X.Args[0], A);
+      if (!SA)
+        return SA;
+      Status SB = evalTerms(*X.Args[1], B);
+      if (!SB)
+        return SB;
+      return mulInto(X.Loc, A, B, Out);
+    }
+    case ExprKind::Neg: {
+      TermSum A;
+      Status S = evalTerms(*X.Args[0], A);
+      if (!S)
+        return S;
+      Out.clear();
+      return addInto(X.Loc, Out, A, -1);
+    }
+    case ExprKind::Eq: {
+      int64_t V = 0;
+      Status S = evalScalar(X, V);
+      if (!S)
+        return S;
+      Out = scalarSum(V);
+      return Status::success();
+    }
+    case ExprKind::Sum:
+      return evalTermSum(X, 0, Out);
+    }
+    return err(X.Loc, "unsupported expression");
+  }
+
+  Status evalTermSum(const Expr &X, size_t Binder, TermSum &Out) {
+    if (Binder == X.Binders.size())
+      return evalTerms(*X.Args[0], Out);
+    const SumBinder &B = X.Binders[Binder];
+    int64_t Lo = 0, Hi = 0;
+    Status R = evalRange(X.Loc, *B.Lo, *B.Hi, Lo, Hi);
+    if (!R)
+      return R;
+    Out.clear();
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      ScalarScope Scope(*this, B.Var, I);
+      TermSum V;
+      Status S = evalTermSum(X, Binder + 1, V);
+      if (!S)
+        return S;
+      Status A = addInto(X.Loc, Out, V, 1);
+      if (!A)
+        return A;
+    }
+    return Status::success();
+  }
+
+  Status flatCtIndex(const Decl &D, const Expr &Ref, int64_t &Flat) {
+    // Same as flatConstIndex but kept separate so the diagnostic names the
+    // right kind of object.
+    return flatConstIndex(D, Ref, Flat);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statement elaboration
+  //===--------------------------------------------------------------------===
+
+  Status elabStmt(const Stmt &S) {
+    Status W = charge(S.Loc);
+    if (!W)
+      return W;
+    if (S.Kind == StmtKind::For) {
+      int64_t Lo = 0, Hi = 0;
+      Status R = evalRange(S.Loc, *S.Lo, *S.Hi, Lo, Hi);
+      if (!R)
+        return R;
+      for (int64_t I = Lo; I <= Hi; ++I) {
+        ScalarScope Scope(*this, S.Var, I);
+        for (const StmtPtr &B : S.Body) {
+          Status E = elabStmt(*B);
+          if (!E)
+            return E;
+        }
+      }
+      return Status::success();
+    }
+    const Decl *D = M.findDecl(S.Dest);
+    if (!D)
+      return err(S.Loc, "unknown name '" + S.Dest + "'");
+    if (D->Kind == DeclKind::Const)
+      return err(S.Loc, "cannot assign to constant '" + S.Dest + "'");
+    if (D->Kind == DeclKind::Input)
+      return err(S.Loc, "cannot assign to input '" + S.Dest + "'");
+    if (S.Indices.size() != D->Dims.size())
+      return err(S.Loc, "'" + S.Dest + "' has " +
+                            std::to_string(D->Dims.size()) +
+                            " dimension(s), not " +
+                            std::to_string(S.Indices.size()));
+    int64_t Flat = 0;
+    for (size_t K = 0; K < S.Indices.size(); ++K) {
+      int64_t I = 0;
+      Status E = evalScalar(*S.Indices[K], I);
+      if (!E)
+        return E;
+      if (I < 0 || I >= D->Dims[K])
+        return err(S.Indices[K]->Loc,
+                   "index " + std::to_string(I) + " is out of range for "
+                   "dimension " + std::to_string(K) + " of '" + S.Dest +
+                       "' (extent " + std::to_string(D->Dims[K]) + ")");
+      Flat = Flat * D->Dims[K] + I;
+    }
+    int A = ArrayIndex[S.Dest];
+    if (T.Assigned[A][static_cast<size_t>(Flat)])
+      return err(S.Loc, "element of '" + S.Dest + "' (flat slot " +
+                            std::to_string(Flat) +
+                            ") is assigned more than once; `.porc` is "
+                            "single-assignment per element");
+    TermSum V;
+    Status E = evalTerms(*S.Value, V);
+    if (!E)
+      return E;
+    T.Assigned[A][static_cast<size_t>(Flat)] = true;
+    T.Terms[A][static_cast<size_t>(Flat)] = std::move(V);
+    return Status::success();
+  }
+
+  /// Every ct factor must name an input slot or an element some statement
+  /// assigns — reading a never-defined temp element is almost always a
+  /// bug, so it is an error rather than a silent zero.
+  Status checkReads() {
+    bool AnyOutput = false;
+    for (bool B : T.Assigned[static_cast<size_t>(T.OutputArray)])
+      AnyOutput = AnyOutput || B;
+    if (!AnyOutput)
+      return Status::error(
+          "lower", File + ": no statement assigns any element of output '" +
+                       T.Arrays[static_cast<size_t>(T.OutputArray)].Name +
+                       "'");
+    for (size_t A = 0; A < T.Terms.size(); ++A) {
+      for (size_t Slot = 0; Slot < T.Terms[A].size(); ++Slot) {
+        for (const Term &Tm : T.Terms[A][Slot]) {
+          for (const CtAccess &F : Tm.Factors) {
+            const ArrayInfo &Src = T.Arrays[static_cast<size_t>(F.Array)];
+            if (Src.Kind == DeclKind::Input)
+              continue;
+            if (!T.Assigned[static_cast<size_t>(F.Array)]
+                           [static_cast<size_t>(F.Slot)])
+              return Status::error(
+                  "lower", File + ": '" + T.Arrays[A].Name + "' reads "
+                           "element " + std::to_string(F.Slot) + " of '" +
+                               Src.Name + "', which no statement assigns");
+          }
+        }
+      }
+    }
+    return Status::success();
+  }
+
+  /// Rotation offsets are kept signed (never reduced mod W) so programs
+  /// stay width-portable. That requires the offsets to be *distinct mod W*
+  /// too, or two logically different rotations would alias at the working
+  /// width (and a peephole pass could legitimately merge them, pinning the
+  /// program to one width). A gather that reads across more slots than the
+  /// widest array spans — a dense layer reading all N inputs into M output
+  /// slots has offsets spanning N + M - 1 > N — would alias, so the width
+  /// grows to the offset spread: within W = spread, distinct signed
+  /// offsets are never congruent mod W.
+  void growWidthForOffsets() {
+    bool Any = false;
+    int64_t Min = 0, Max = 0;
+    for (size_t A = 0; A < T.Terms.size(); ++A)
+      for (size_t Slot = 0; Slot < T.Terms[A].size(); ++Slot)
+        for (const Term &Tm : T.Terms[A][Slot])
+          for (const CtAccess &F : Tm.Factors) {
+            int64_t D = F.Slot - static_cast<int64_t>(Slot);
+            if (!Any) {
+              Min = Max = D;
+              Any = true;
+            } else {
+              Min = std::min(Min, D);
+              Max = std::max(Max, D);
+            }
+          }
+    if (Any) {
+      size_t Spread = static_cast<size_t>(Max - Min + 1);
+      if (Spread > T.VectorSize)
+        T.VectorSize = Spread;
+    }
+  }
+
+  /// Topological order of non-input arrays, output last; detects cyclic
+  /// array dependencies and drops arrays the output never reads.
+  Status orderArrays() {
+    std::vector<int> State(T.Arrays.size(), 0); // 0 new, 1 visiting, 2 done
+    Status S = visit(T.OutputArray, State);
+    if (!S)
+      return S;
+    return Status::success();
+  }
+
+  Status visit(int A, std::vector<int> &State) {
+    if (State[static_cast<size_t>(A)] == 2)
+      return Status::success();
+    if (State[static_cast<size_t>(A)] == 1)
+      return Status::error("lower",
+                           File + ": arrays form a dependency cycle "
+                           "through '" +
+                               T.Arrays[static_cast<size_t>(A)].Name + "'");
+    State[static_cast<size_t>(A)] = 1;
+    for (const auto &SlotTerms : T.Terms[static_cast<size_t>(A)])
+      for (const Term &Tm : SlotTerms)
+        for (const CtAccess &F : Tm.Factors)
+          if (T.Arrays[static_cast<size_t>(F.Array)].Kind !=
+              DeclKind::Input) {
+            Status S = visit(F.Array, State);
+            if (!S)
+              return S;
+          }
+    State[static_cast<size_t>(A)] = 2;
+    T.DefOrder.push_back(A);
+    return Status::success();
+  }
+
+  //===--------------------------------------------------------------------===
+
+  struct ScalarScope {
+    ScalarScope(Eliminator &E, const std::string &Var, int64_t V)
+        : E(E), Var(Var) {
+      auto It = E.Scalars.find(Var);
+      if (It != E.Scalars.end()) {
+        Shadowed = true;
+        Saved = It->second;
+      }
+      E.Scalars[Var] = V;
+    }
+    ~ScalarScope() {
+      if (Shadowed)
+        E.Scalars[Var] = Saved;
+      else
+        E.Scalars.erase(Var);
+    }
+    Eliminator &E;
+    std::string Var;
+    bool Shadowed = false;
+    int64_t Saved = 0;
+  };
+
+  const Module &M;
+  const std::string &File;
+  AccessTable T;
+  std::map<std::string, int> ArrayIndex;
+  std::map<std::string, int64_t> Scalars;
+  int64_t Work = 0;
+};
+
+} // namespace
+
+Expected<AccessTable> frontend::eliminateIndices(const Module &M,
+                                                 const std::string &FileName) {
+  Eliminator E(M, FileName);
+  return E.run();
+}
+
+std::string frontend::printAccessTable(const AccessTable &T) {
+  std::ostringstream OS;
+  OS << "access-table W=" << T.VectorSize << " inputs=" << T.NumInputs
+     << " output=" << T.Arrays[static_cast<size_t>(T.OutputArray)].Name
+     << "\n";
+  for (const ArrayInfo &A : T.Arrays) {
+    OS << "  array " << A.Name << " : "
+       << (A.Kind == DeclKind::Input    ? "input"
+           : A.Kind == DeclKind::Output ? "output"
+                                        : "let");
+    for (int64_t D : A.Dims)
+      OS << "[" << D << "]";
+    OS << " flat=" << A.FlatSize << "\n";
+  }
+  for (int A : T.DefOrder) {
+    const ArrayInfo &Info = T.Arrays[static_cast<size_t>(A)];
+    for (size_t Slot = 0; Slot < T.Terms[static_cast<size_t>(A)].size();
+         ++Slot) {
+      if (!T.Assigned[static_cast<size_t>(A)][Slot])
+        continue;
+      OS << "  " << Info.Name << "@" << Slot << " =";
+      const auto &Terms = T.Terms[static_cast<size_t>(A)][Slot];
+      if (Terms.empty())
+        OS << " 0";
+      for (size_t K = 0; K < Terms.size(); ++K) {
+        const Term &Tm = Terms[K];
+        OS << (K ? " + " : " ");
+        if (Tm.Coeff != 1 || Tm.Factors.empty())
+          OS << Tm.Coeff << (Tm.Factors.empty() ? "" : "*");
+        for (size_t F = 0; F < Tm.Factors.size(); ++F) {
+          const CtAccess &Acc = Tm.Factors[F];
+          OS << (F ? "*" : "")
+             << T.Arrays[static_cast<size_t>(Acc.Array)].Name << "@"
+             << Acc.Slot;
+        }
+      }
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,102 @@
+//===- frontend/IndexElim.h - loop nests to access tables -------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage one of the `.porc` lowering pipeline: index elimination. The loop
+/// nests are fully unrolled and every assignment's right-hand side is
+/// normalized into a *term sum* — each term an integer coefficient times at
+/// most two ciphertext element accesses (the BFV degree budget before
+/// relinearization). After this stage no index arithmetic remains: the
+/// program is a table mapping each assigned array element to the flat slots
+/// it reads, which is exactly the shape rotation scheduling
+/// (frontend/Schedule.h) consumes.
+///
+/// Everything a user can get wrong dynamically — out-of-range indices,
+/// double assignment, reading an element no statement defines, degree > 2
+/// products, coefficient overflow, unrolled programs past the work budget —
+/// is a recoverable Status diagnostic, never a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_FRONTEND_INDEXELIM_H
+#define PORCUPINE_FRONTEND_INDEXELIM_H
+
+#include "frontend/AST.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace frontend {
+
+/// One ciphertext element read: flat slot \p Slot of encrypted array
+/// \p Array (an index into AccessTable::Arrays).
+struct CtAccess {
+  int Array = 0;
+  int64_t Slot = 0;
+
+  friend bool operator==(const CtAccess &A, const CtAccess &B) {
+    return A.Array == B.Array && A.Slot == B.Slot;
+  }
+  friend bool operator<(const CtAccess &A, const CtAccess &B) {
+    return A.Array != B.Array ? A.Array < B.Array : A.Slot < B.Slot;
+  }
+};
+
+/// Coeff * product(Factors). No factors = a plaintext constant
+/// contribution; one factor = a linear read; two = one ct*ct multiply.
+/// Factors are kept sorted so equal terms compare equal.
+struct Term {
+  int64_t Coeff = 1;
+  std::vector<CtAccess> Factors;
+};
+
+/// An encrypted array of the module (inputs, temps, and the output — consts
+/// are folded into coefficients and never appear here).
+struct ArrayInfo {
+  std::string Name;
+  DeclKind Kind = DeclKind::Input;
+  std::vector<int64_t> Dims;
+  int64_t FlatSize = 0;
+};
+
+/// The index-free program: for every non-input array, per-slot term sums.
+struct AccessTable {
+  /// All encrypted arrays in declaration order. Inputs come first in
+  /// *ciphertext* order but may be interleaved with temps here; use Kind.
+  std::vector<ArrayInfo> Arrays;
+  /// Ciphertext input index per array (-1 for temps/output).
+  std::vector<int> InputIndex;
+  int NumInputs = 0;
+  size_t VectorSize = 0;
+  /// Index into Arrays of the output declaration.
+  int OutputArray = 0;
+  /// Terms[A][Slot]: the term sum assigned to element Slot of array A.
+  /// Empty and meaningless for inputs and for unassigned slots.
+  std::vector<std::vector<std::vector<Term>>> Terms;
+  /// Assigned[A][Slot]: whether any statement defines that element.
+  std::vector<std::vector<bool>> Assigned;
+  /// Non-input arrays in dependency order (every array after the arrays
+  /// its terms read); always ends with OutputArray. Arrays the output
+  /// never transitively reads are omitted, so materialization emits no
+  /// dead code.
+  std::vector<int> DefOrder;
+};
+
+/// Runs index elimination over a parsed module. \p FileName labels
+/// diagnostics, exactly as in frontend::parse.
+Expected<AccessTable> eliminateIndices(const Module &M,
+                                       const std::string &FileName = "<porc>");
+
+/// Human-readable dump (porcc --dump-frontend, docs/FRONTEND.md).
+std::string printAccessTable(const AccessTable &T);
+
+} // namespace frontend
+} // namespace porcupine
+
+#endif // PORCUPINE_FRONTEND_INDEXELIM_H

@@ -1,0 +1,404 @@
+//===- frontend/Materialize.cpp - rotation plans to Quill IR --------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Materialize.h"
+
+#include "spec/KernelSpec.h"
+#include "synth/Synthesizer.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+using namespace porcupine;
+using namespace porcupine::frontend;
+using quill::Instr;
+using quill::Opcode;
+using quill::PlainConstant;
+
+namespace {
+
+/// Reduces a signed coefficient into [0, t).
+int64_t reduceMod(int64_t C, uint64_t T) {
+  int64_t M = static_cast<int64_t>(T);
+  int64_t R = C % M;
+  return R < 0 ? R + M : R;
+}
+
+/// Packs a width-W coefficient vector as a PlainConstant, collapsing to a
+/// splat when every slot agrees.
+PlainConstant packConstant(const std::vector<int64_t> &V, uint64_t T) {
+  PlainConstant C;
+  C.Values.reserve(V.size());
+  bool AllEqual = true;
+  for (size_t K = 0; K < V.size(); ++K) {
+    C.Values.push_back(reduceMod(V[K], T));
+    if (C.Values[K] != C.Values[0])
+      AllEqual = false;
+  }
+  if (AllEqual && !C.Values.empty())
+    C.Values.resize(1);
+  return C;
+}
+
+bool isAllOnes(const PlainConstant &C, size_t W) {
+  if (C.isSplat())
+    return C.Values[0] == 1;
+  for (size_t K = 0; K < W; ++K)
+    if (C.at(K) != 1)
+      return false;
+  return true;
+}
+
+bool isAllZero(const PlainConstant &C) {
+  for (int64_t V : C.Values)
+    if (V != 0)
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Subkernel synthesis: a plan as spec + sketch
+//===----------------------------------------------------------------------===//
+
+/// The plan, frozen as plain data a copyable spec functor can share.
+struct PlanSpecData {
+  size_t W = 0;
+  struct Leg {
+    int Input = 0;     ///< Sub-spec input index.
+    int64_t Offset = 0; ///< Left rotation, normalized to [0, W).
+  };
+  struct Group {
+    bool Quadratic = false;
+    Leg A, B;
+    std::vector<int64_t> Mask;
+  };
+  std::vector<Group> Groups;
+  std::vector<int64_t> ConstTerms;
+  bool HasConstTerms = false;
+};
+
+/// Generic reference functor for one plan: the masked rotated sum the
+/// mechanical emission computes, with slot indices reduced mod W (wrapped
+/// lanes carry mask 0, so the wrap never shows through).
+struct PlanSpecFn {
+  std::shared_ptr<const PlanSpecData> D;
+
+  template <typename E, typename KonstFn>
+  std::vector<E> operator()(const std::vector<std::vector<E>> &Inputs,
+                            KonstFn Konst) const {
+    size_t W = D->W;
+    std::vector<E> Out(W, Konst(0));
+    for (const PlanSpecData::Group &G : D->Groups) {
+      for (size_t J = 0; J < W; ++J) {
+        if (G.Mask[J] == 0)
+          continue;
+        size_t SA = (J + static_cast<size_t>(G.A.Offset)) % W;
+        E V = Inputs[static_cast<size_t>(G.A.Input)][SA];
+        if (G.Quadratic) {
+          size_t SB = (J + static_cast<size_t>(G.B.Offset)) % W;
+          V = V * Inputs[static_cast<size_t>(G.B.Input)][SB];
+        }
+        Out[J] = Out[J] + Konst(G.Mask[J]) * V;
+      }
+    }
+    if (D->HasConstTerms)
+      for (size_t J = 0; J < W; ++J)
+        Out[J] = Out[J] + Konst(D->ConstTerms[J]);
+    return Out;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Emitter
+//===----------------------------------------------------------------------===//
+
+class Emitter {
+public:
+  Emitter(const AccessTable &T, const RotationSchedule &S,
+          const LowerOptions &Opts)
+      : T(T), S(S), Opts(Opts) {}
+
+  Expected<LowerResult> run() {
+    R.Program.NumInputs = T.NumInputs;
+    R.Program.VectorSize = T.VectorSize;
+    R.Program.ExplicitRelin = true;
+    R.Stats.RotationsScheduled = S.DistinctRotations;
+    R.Stats.Groups = S.TotalGroups;
+    for (size_t A = 0; A < T.Assigned.size(); ++A)
+      for (size_t Slot = 0; Slot < T.Assigned[A].size(); ++Slot)
+        if (T.Assigned[A][Slot]) {
+          ++R.Stats.Assignments;
+          R.Stats.Terms += T.Terms[A][Slot].size();
+        }
+
+    ArrayValue.assign(T.Arrays.size(), -1);
+    for (size_t A = 0; A < T.Arrays.size(); ++A)
+      if (T.Arrays[A].Kind == DeclKind::Input)
+        ArrayValue[A] = T.InputIndex[A];
+
+    for (const ArrayPlan &Plan : S.Plans) {
+      int V = -1;
+      if (Opts.SynthSubkernels)
+        V = trySynthesizePlan(Plan);
+      if (V < 0)
+        V = emitPlan(Plan);
+      ArrayValue[static_cast<size_t>(Plan.Array)] = V;
+    }
+    R.Program.Output = ArrayValue[static_cast<size_t>(T.OutputArray)];
+
+    std::string Err = R.Program.validate();
+    if (!Err.empty())
+      return Status::error("lower",
+                           "materialized program failed validation: " + Err);
+    return std::move(R);
+  }
+
+private:
+  int baseValue(int Array) const {
+    return ArrayValue[static_cast<size_t>(Array)];
+  }
+
+  /// rot(V, Amount) with global caching; Amount == 0 returns V itself.
+  int rotated(int V, int64_t Amount) {
+    if (Amount == 0)
+      return V;
+    auto Key = std::make_pair(V, static_cast<int>(Amount));
+    auto It = RotCache.find(Key);
+    if (It != RotCache.end())
+      return It->second;
+    int Id = R.Program.append(Instr::rot(V, static_cast<int>(Amount)));
+    RotCache[Key] = Id;
+    return Id;
+  }
+
+  /// Relinearized product of two ciphertexts, cached (commutative).
+  int mulRelin(int A, int B) {
+    auto Key = std::minmax(A, B);
+    auto It = MulCache.find(Key);
+    if (It != MulCache.end())
+      return It->second;
+    int M = R.Program.append(Instr::ctCt(Opcode::MulCtCt, A, B));
+    Instr Rel;
+    Rel.Op = Opcode::Relin;
+    Rel.Src0 = M;
+    int Id = R.Program.append(Rel);
+    ++R.Stats.CtCtMultiplies;
+    MulCache[Key] = Id;
+    return Id;
+  }
+
+  /// A ciphertext that is zero in every slot (input 0 masked to nothing).
+  int zeroCt() {
+    if (ZeroValue >= 0)
+      return ZeroValue;
+    PlainConstant Zero;
+    Zero.Values = {0};
+    int Idx = R.Program.internConstant(Zero);
+    ZeroValue = R.Program.append(Instr::ctPt(Opcode::MulCtPt, 0, Idx));
+    ++R.Stats.MaskMultiplies;
+    return ZeroValue;
+  }
+
+  int emitPlan(const ArrayPlan &Plan) {
+    int Acc = -1;
+    for (const RotGroup &G : Plan.Groups) {
+      int V = rotated(baseValue(G.ArrayA), G.OffsetA);
+      if (G.IsQuadratic)
+        V = mulRelin(V, rotated(baseValue(G.ArrayB), G.OffsetB));
+      PlainConstant Mask = packConstant(G.Mask, Opts.PlainModulus);
+      if (!isAllOnes(Mask, T.VectorSize)) {
+        int Idx = R.Program.internConstant(Mask);
+        V = R.Program.append(Instr::ctPt(Opcode::MulCtPt, V, Idx));
+        ++R.Stats.MaskMultiplies;
+      }
+      Acc = Acc < 0 ? V : R.Program.append(Instr::ctCt(Opcode::AddCtCt, Acc, V));
+    }
+    if (Plan.HasConstTerms) {
+      PlainConstant C = packConstant(Plan.ConstTerms, Opts.PlainModulus);
+      if (!isAllZero(C)) {
+        if (Acc < 0)
+          Acc = zeroCt();
+        int Idx = R.Program.internConstant(C);
+        Acc = R.Program.append(Instr::ctPt(Opcode::AddCtPt, Acc, Idx));
+      }
+    }
+    return Acc < 0 ? zeroCt() : Acc;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Subkernel synthesis
+  //===--------------------------------------------------------------------===
+
+  /// Attempts to synthesize \p Plan as its own Porcupine query. Returns the
+  /// value id of the spliced result, or -1 to fall back to emitPlan.
+  int trySynthesizePlan(const ArrayPlan &Plan) {
+    const std::string &Name =
+        T.Arrays[static_cast<size_t>(Plan.Array)].Name;
+    size_t W = T.VectorSize;
+
+    // Cheap size gate first: the mechanical emission needs one component
+    // per mask multiply, ct*ct multiply, accumulation add, and const add.
+    size_t Quadratic = 0;
+    for (const RotGroup &G : Plan.Groups)
+      Quadratic += G.IsQuadratic ? 1 : 0;
+    size_t Estimate = Plan.Groups.size() + Quadratic +
+                      (Plan.Groups.empty() ? 0 : Plan.Groups.size() - 1) +
+                      (Plan.HasConstTerms ? 1 : 0);
+    if (Plan.Groups.empty() ||
+        Estimate > static_cast<size_t>(Opts.SubkernelMaxComponents))
+      return -1;
+
+    // Freeze the plan as spec data over the distinct source arrays.
+    auto Data = std::make_shared<PlanSpecData>();
+    Data->W = W;
+    std::vector<int> SubInputs; // array index per sub-spec input
+    auto subInput = [&](int Array) {
+      for (size_t K = 0; K < SubInputs.size(); ++K)
+        if (SubInputs[K] == Array)
+          return static_cast<int>(K);
+      SubInputs.push_back(Array);
+      return static_cast<int>(SubInputs.size()) - 1;
+    };
+    std::set<int> Amounts;
+    for (const RotGroup &G : Plan.Groups) {
+      PlanSpecData::Group SG;
+      SG.Quadratic = G.IsQuadratic;
+      SG.A = {subInput(G.ArrayA),
+              ((G.OffsetA % static_cast<int64_t>(W)) +
+               static_cast<int64_t>(W)) %
+                  static_cast<int64_t>(W)};
+      if (G.OffsetA != 0)
+        Amounts.insert(static_cast<int>(G.OffsetA));
+      if (G.IsQuadratic) {
+        SG.B = {subInput(G.ArrayB),
+                ((G.OffsetB % static_cast<int64_t>(W)) +
+                 static_cast<int64_t>(W)) %
+                    static_cast<int64_t>(W)};
+        if (G.OffsetB != 0)
+          Amounts.insert(static_cast<int>(G.OffsetB));
+      }
+      SG.Mask.reserve(W);
+      for (int64_t C : G.Mask)
+        SG.Mask.push_back(reduceMod(C, Opts.PlainModulus));
+      Data->Groups.push_back(std::move(SG));
+    }
+    if (Plan.HasConstTerms) {
+      Data->HasConstTerms = true;
+      for (int64_t C : Plan.ConstTerms)
+        Data->ConstTerms.push_back(reduceMod(C, Opts.PlainModulus));
+    }
+
+    DataLayout Layout;
+    Layout.Description = "subkernel for array '" + Name + "'";
+    Layout.OutputMask.assign(W, false);
+    for (size_t J = 0; J < T.Assigned[static_cast<size_t>(Plan.Array)].size();
+         ++J)
+      Layout.OutputMask[J] = T.Assigned[static_cast<size_t>(Plan.Array)][J];
+    KernelSpec Spec = makeKernelSpec(
+        "subkernel:" + Name, static_cast<int>(SubInputs.size()), W,
+        std::move(Layout), PlanSpecFn{Data});
+
+    synth::Sketch Sk;
+    Sk.NumInputs = static_cast<int>(SubInputs.size());
+    Sk.VectorSize = W;
+    for (const PlanSpecData::Group &G : Data->Groups) {
+      PlainConstant Mask;
+      Mask.Values = G.Mask;
+      Sk.Menu.push_back(synth::Component::ctPt(
+          Opcode::MulCtPt, Sk.addConstant(Mask), synth::OperandKind::CtR));
+    }
+    if (Quadratic > 0)
+      Sk.Menu.push_back(synth::Component::ctCt(Opcode::MulCtCt));
+    if (Plan.Groups.size() > 1)
+      Sk.Menu.push_back(synth::Component::ctCt(Opcode::AddCtCt,
+                                               synth::OperandKind::Ct,
+                                               synth::OperandKind::Ct));
+    if (Data->HasConstTerms) {
+      PlainConstant C;
+      C.Values = Data->ConstTerms;
+      Sk.Menu.push_back(synth::Component::ctPt(Opcode::AddCtPt,
+                                               Sk.addConstant(C),
+                                               synth::OperandKind::Ct));
+    }
+    Sk.Rotations = synth::RotationSet::explicitAmounts(
+        W, std::vector<int>(Amounts.begin(), Amounts.end()));
+
+    synth::SynthesisOptions SOpts;
+    SOpts.MinComponents = 1;
+    SOpts.MaxComponents = Opts.SubkernelMaxComponents;
+    SOpts.TimeoutSeconds = Opts.SubkernelTimeoutSeconds;
+    SOpts.PlainModulus = Opts.PlainModulus;
+    SOpts.Seed = Opts.Seed;
+    SOpts.Threads = Opts.Threads;
+
+    ++R.Stats.SubkernelsAttempted;
+    synth::SynthesisResult SR = synth::synthesize(Spec, Sk, SOpts);
+    if (!SR.Found) {
+      R.Notes.push_back(
+          {Severity::Note, "frontend",
+           "subkernel '" + Name + "' not synthesized within " +
+               std::to_string(Opts.SubkernelMaxComponents) +
+               " components; materialized directly"});
+      return -1;
+    }
+    ++R.Stats.SubkernelsSynthesized;
+    R.Notes.push_back(
+        {Severity::Note, "frontend",
+         "subkernel '" + Name + "' synthesized with " +
+             std::to_string(SR.Stats.ComponentsUsed) + " component(s)"});
+    return splice(SR.Prog, SubInputs);
+  }
+
+  /// Splices an implicit-relin subprogram over \p SubInputs into the
+  /// explicit-relin program under construction, remapping value ids and
+  /// constant indices and expanding mul-ct-ct to mul + Relin.
+  int splice(const quill::Program &Sub, const std::vector<int> &SubInputs) {
+    std::vector<int> Map(static_cast<size_t>(Sub.numValues()), -1);
+    for (size_t K = 0; K < SubInputs.size(); ++K)
+      Map[K] = baseValue(SubInputs[K]);
+    for (size_t K = 0; K < Sub.Instructions.size(); ++K) {
+      Instr I = Sub.Instructions[K];
+      I.Src0 = Map[static_cast<size_t>(I.Src0)];
+      if (quill::isCtCt(I.Op))
+        I.Src1 = Map[static_cast<size_t>(I.Src1)];
+      if (quill::isCtPt(I.Op))
+        I.PtIdx = R.Program.internConstant(
+            Sub.Constants[static_cast<size_t>(I.PtIdx)]);
+      int Id = R.Program.append(I);
+      if (I.Op == Opcode::MulCtCt) {
+        Instr Rel;
+        Rel.Op = Opcode::Relin;
+        Rel.Src0 = Id;
+        Id = R.Program.append(Rel);
+        ++R.Stats.CtCtMultiplies;
+      } else if (I.Op == Opcode::MulCtPt) {
+        ++R.Stats.MaskMultiplies;
+      }
+      Map[static_cast<size_t>(Sub.valueOf(K))] = Id;
+    }
+    return Map[static_cast<size_t>(Sub.outputId())];
+  }
+
+  const AccessTable &T;
+  const RotationSchedule &S;
+  const LowerOptions &Opts;
+  LowerResult R;
+  std::vector<int> ArrayValue;
+  std::map<std::pair<int, int>, int> RotCache;
+  std::map<std::pair<int, int>, int> MulCache;
+  int ZeroValue = -1;
+};
+
+} // namespace
+
+Expected<LowerResult> frontend::materialize(const AccessTable &T,
+                                            const RotationSchedule &S,
+                                            const LowerOptions &Opts) {
+  Emitter E(T, S, Opts);
+  return E.run();
+}

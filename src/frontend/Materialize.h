@@ -1,0 +1,88 @@
+//===- frontend/Materialize.h - rotation plans to Quill IR ------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage three of the `.porc` lowering pipeline: materialization. Each
+/// array plan from the rotation schedule (frontend/Schedule.h) becomes
+/// straight-line Quill instructions in explicit-relin form — per rotation
+/// group one RotCt (cached, so a rotation shared by several groups is
+/// emitted once), for quadratic groups one raw MulCtCt plus its Relin, one
+/// MulCtPt coefficient mask (skipped when the mask is the full-width
+/// all-ones vector), and an AddCtCt accumulation chain, closed by an
+/// AddCtPt of the plan's plaintext-only terms. The result is handed to the
+/// regular quill::PassManager pipeline, where lazy-relin re-derives minimal
+/// relinearization placement and rot-dedup shares rotations globally.
+///
+/// With SynthSubkernels on, plans small enough to fit the component budget
+/// are first offered to the Porcupine synthesizer as a sketch built from
+/// the plan's own masks and offsets; a found program is spliced in place of
+/// the mechanical emission (converted to the explicit-relin discipline),
+/// and synthesis failure falls back to direct materialization with a note.
+/// This is the bridge between the paper's search and lowering at scales
+/// the search cannot reach.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_FRONTEND_MATERIALIZE_H
+#define PORCUPINE_FRONTEND_MATERIALIZE_H
+
+#include "frontend/Schedule.h"
+#include "quill/Program.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace porcupine {
+namespace frontend {
+
+/// Knobs for the lowering back half.
+struct LowerOptions {
+  /// Plaintext modulus; mask/constant coefficients are reduced into [0, t).
+  uint64_t PlainModulus = 65537;
+  /// Offer small array plans to the synthesizer before materializing
+  /// mechanically (porcc --synth-subkernels).
+  bool SynthSubkernels = false;
+  /// A plan is "small" when its estimated component count fits this budget.
+  int SubkernelMaxComponents = 4;
+  /// Per-plan synthesis budget; failures fall back to direct emission.
+  double SubkernelTimeoutSeconds = 5.0;
+  /// Synthesis determinism/parallelism knobs (subkernel path only).
+  uint64_t Seed = 1;
+  int Threads = 1;
+};
+
+/// Observability counters for porcc --dump-frontend and the bench harness.
+struct LowerStats {
+  size_t Assignments = 0;        ///< Array elements defined.
+  size_t Terms = 0;              ///< Normalized terms across all elements.
+  size_t RotationsScheduled = 0; ///< Distinct (source, offset != 0) pairs.
+  size_t Groups = 0;             ///< Rotation groups across all plans.
+  size_t MaskMultiplies = 0;     ///< MulCtPt masks emitted.
+  size_t CtCtMultiplies = 0;     ///< Raw ct*ct products emitted.
+  size_t SubkernelsAttempted = 0;
+  size_t SubkernelsSynthesized = 0;
+};
+
+struct LowerResult {
+  quill::Program Program;
+  LowerStats Stats;
+  /// Non-fatal notes (e.g. subkernel synthesis outcomes).
+  std::vector<Diagnostic> Notes;
+};
+
+/// Emits the scheduled program. \p T and \p S must come from the same
+/// module. Fails only on internal inconsistencies (the emitted program is
+/// re-validated before it is returned) — user errors were all caught by
+/// eliminateIndices.
+Expected<LowerResult> materialize(const AccessTable &T,
+                                  const RotationSchedule &S,
+                                  const LowerOptions &Opts = LowerOptions());
+
+} // namespace frontend
+} // namespace porcupine
+
+#endif // PORCUPINE_FRONTEND_MATERIALIZE_H

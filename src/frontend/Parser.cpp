@@ -1,0 +1,1063 @@
+//===- frontend/Parser.cpp - .porc lexer, parser, printer -----------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace porcupine;
+using namespace porcupine::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class Tok {
+  Ident,
+  Int,
+  KwInput,
+  KwOutput,
+  KwLet,
+  KwConst,
+  KwFor,
+  KwIn,
+  KwSum,
+  KwEq,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Comma,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  DotDot,
+  End,
+};
+
+const char *tokenName(Tok T) {
+  switch (T) {
+  case Tok::Ident:
+    return "identifier";
+  case Tok::Int:
+    return "integer";
+  case Tok::KwInput:
+    return "'input'";
+  case Tok::KwOutput:
+    return "'output'";
+  case Tok::KwLet:
+    return "'let'";
+  case Tok::KwConst:
+    return "'const'";
+  case Tok::KwFor:
+    return "'for'";
+  case Tok::KwIn:
+    return "'in'";
+  case Tok::KwSum:
+    return "'sum'";
+  case Tok::KwEq:
+    return "'eq'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Assign:
+    return "'='";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::DotDot:
+    return "'..'";
+  case Tok::End:
+    return "end of input";
+  }
+  return "token";
+}
+
+struct Token {
+  Tok Kind = Tok::End;
+  SourceLoc Loc;
+  std::string Text;    // Ident only.
+  int64_t IntVal = 0;  // Int only.
+};
+
+/// Tokenizes the whole source up front (the language is small enough that
+/// a token vector is simpler than a pull lexer, and it gives every token a
+/// precise location for free).
+class Lexer {
+public:
+  Lexer(const std::string &Source, const std::string &File)
+      : Src(Source), File(File) {}
+
+  Status run(std::vector<Token> &Out) {
+    while (true) {
+      skipSpace();
+      SourceLoc Loc{Line, Col};
+      if (Pos >= Src.size()) {
+        Out.push_back({Tok::End, Loc, "", 0});
+        return Status::success();
+      }
+      char C = Src[Pos];
+      if (isalpha(C) || C == '_') {
+        std::string Word;
+        while (Pos < Src.size() &&
+               (isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '_')) {
+          Word += Src[Pos];
+          advance();
+        }
+        Out.push_back({keyword(Word), Loc, Word, 0});
+        continue;
+      }
+      if (isdigit(C)) {
+        int64_t V = 0;
+        while (Pos < Src.size() &&
+               isdigit(static_cast<unsigned char>(Src[Pos]))) {
+          int Digit = Src[Pos] - '0';
+          if (V > (INT64_MAX - Digit) / 10)
+            return err(Loc, "integer literal is too large");
+          V = V * 10 + Digit;
+          advance();
+        }
+        Out.push_back({Tok::Int, Loc, "", V});
+        continue;
+      }
+      switch (C) {
+      case '[':
+        push(Out, Tok::LBracket, Loc);
+        continue;
+      case ']':
+        push(Out, Tok::RBracket, Loc);
+        continue;
+      case '{':
+        push(Out, Tok::LBrace, Loc);
+        continue;
+      case '}':
+        push(Out, Tok::RBrace, Loc);
+        continue;
+      case '(':
+        push(Out, Tok::LParen, Loc);
+        continue;
+      case ')':
+        push(Out, Tok::RParen, Loc);
+        continue;
+      case ',':
+        push(Out, Tok::Comma, Loc);
+        continue;
+      case '=':
+        push(Out, Tok::Assign, Loc);
+        continue;
+      case '+':
+        push(Out, Tok::Plus, Loc);
+        continue;
+      case '-':
+        push(Out, Tok::Minus, Loc);
+        continue;
+      case '*':
+        push(Out, Tok::Star, Loc);
+        continue;
+      case '.':
+        if (Pos + 1 < Src.size() && Src[Pos + 1] == '.') {
+          advance();
+          advance();
+          Out.push_back({Tok::DotDot, Loc, "", 0});
+          continue;
+        }
+        return err(Loc, "stray '.' (ranges are written 'lo..hi')");
+      default:
+        return err(Loc, std::string("unexpected character '") + C + "'");
+      }
+    }
+  }
+
+private:
+  static bool isalpha(char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z');
+  }
+  static bool isdigit(char C) { return C >= '0' && C <= '9'; }
+  static bool isalnum(unsigned char C) {
+    return isalpha(static_cast<char>(C)) || isdigit(static_cast<char>(C));
+  }
+
+  static Tok keyword(const std::string &W) {
+    if (W == "input")
+      return Tok::KwInput;
+    if (W == "output")
+      return Tok::KwOutput;
+    if (W == "let")
+      return Tok::KwLet;
+    if (W == "const")
+      return Tok::KwConst;
+    if (W == "for")
+      return Tok::KwFor;
+    if (W == "in")
+      return Tok::KwIn;
+    if (W == "sum")
+      return Tok::KwSum;
+    if (W == "eq")
+      return Tok::KwEq;
+    return Tok::Ident;
+  }
+
+  void push(std::vector<Token> &Out, Tok K, SourceLoc Loc) {
+    advance();
+    Out.push_back({K, Loc, "", 0});
+  }
+
+  void skipSpace() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '#') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          advance();
+        continue;
+      }
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void advance() {
+    if (Src[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  Status err(SourceLoc Loc, const std::string &Msg) const {
+    return Status::error("parse", File + ":" + std::to_string(Loc.Line) +
+                                      ":" + std::to_string(Loc.Col) + ": " +
+                                      Msg);
+  }
+
+  const std::string &Src;
+  const std::string &File;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+/// Syntactic limits keeping fuzzed input cheap to reject: dimension count,
+/// per-dimension extent, total flat size (= the ciphertext width cap), and
+/// expression nesting depth.
+constexpr int MaxDims = 4;
+constexpr int64_t MaxDimExtent = 4096;
+constexpr int64_t MaxFlatSize = 65536;
+constexpr int MaxExprDepth = 200;
+
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, const std::string &File)
+      : Toks(std::move(Toks)), File(File) {}
+
+  Expected<Module> run() {
+    Module M;
+    M.Name = moduleName(File);
+    while (cur().Kind != Tok::End) {
+      Status S = parseItem(M);
+      if (!S)
+        return S;
+    }
+    if (!M.output())
+      return err(cur().Loc, "module declares no 'output' array");
+    if (M.numInputs() == 0)
+      return err(cur().Loc, "module declares no encrypted 'input' array");
+    return M;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Token stream helpers
+  //===--------------------------------------------------------------------===
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek() const {
+    return Toks[Pos + 1 < Toks.size() ? Pos + 1 : Toks.size() - 1];
+  }
+  Token take() { return Toks[Pos + 1 < Toks.size() ? Pos++ : Pos]; }
+
+  bool at(Tok K) const { return cur().Kind == K; }
+
+  Status expect(Tok K, const char *Context) {
+    if (!at(K))
+      return err(cur().Loc, std::string("expected ") + tokenName(K) + " " +
+                                Context + ", found " +
+                                tokenName(cur().Kind));
+    take();
+    return Status::success();
+  }
+
+  Status err(SourceLoc Loc, const std::string &Msg) const {
+    return Status::error("parse", File + ":" + std::to_string(Loc.Line) +
+                                      ":" + std::to_string(Loc.Col) + ": " +
+                                      Msg);
+  }
+
+  static std::string moduleName(const std::string &File) {
+    size_t Slash = File.find_last_of("/\\");
+    std::string Base =
+        Slash == std::string::npos ? File : File.substr(Slash + 1);
+    size_t Dot = Base.rfind('.');
+    if (Dot != std::string::npos && Dot > 0)
+      Base = Base.substr(0, Dot);
+    return Base.empty() ? "porc" : Base;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Declarations
+  //===--------------------------------------------------------------------===
+
+  Status parseItem(Module &M) {
+    switch (cur().Kind) {
+    case Tok::KwInput:
+      return parseArrayDecl(M, DeclKind::Input);
+    case Tok::KwOutput:
+      return parseArrayDecl(M, DeclKind::Output);
+    case Tok::KwLet:
+      return parseArrayDecl(M, DeclKind::Temp);
+    case Tok::KwConst:
+      return parseConstDecl(M);
+    case Tok::KwFor:
+    case Tok::Ident: {
+      StmtPtr S;
+      Status St = parseStmt(M, S);
+      if (!St)
+        return St;
+      M.Stmts.push_back(std::move(S));
+      return Status::success();
+    }
+    default:
+      return err(cur().Loc,
+                 std::string("expected a declaration or statement, found ") +
+                     tokenName(cur().Kind));
+    }
+  }
+
+  Status declareName(Module &M, const Token &NameTok) {
+    if (M.findDecl(NameTok.Text))
+      return err(NameTok.Loc, "'" + NameTok.Text + "' is already declared");
+    return Status::success();
+  }
+
+  Status parseArrayDecl(Module &M, DeclKind Kind) {
+    SourceLoc Loc = take().Loc; // input/output/let
+    if (!at(Tok::Ident))
+      return err(cur().Loc, std::string("expected array name after ") +
+                                (Kind == DeclKind::Input    ? "'input'"
+                                 : Kind == DeclKind::Output ? "'output'"
+                                                            : "'let'"));
+    Token Name = take();
+    Status S = declareName(M, Name);
+    if (!S)
+      return S;
+    if (Kind == DeclKind::Output && M.output())
+      return err(Name.Loc, "module already has an output array ('" +
+                               M.output()->Name + "')");
+    Decl D;
+    D.Kind = Kind;
+    D.Loc = Loc;
+    D.Name = Name.Text;
+    Status Dim = parseDims(D);
+    if (!Dim)
+      return Dim;
+    M.Decls.push_back(std::move(D));
+    return Status::success();
+  }
+
+  Status parseDims(Decl &D) {
+    if (!at(Tok::LBracket))
+      return err(cur().Loc,
+                 "expected '[' (every encrypted array needs a shape)");
+    while (at(Tok::LBracket)) {
+      SourceLoc Loc = take().Loc;
+      if (static_cast<int>(D.Dims.size()) >= MaxDims)
+        return err(Loc, "arrays have at most " + std::to_string(MaxDims) +
+                            " dimensions");
+      if (!at(Tok::Int))
+        return err(cur().Loc, "array dimensions must be integer literals");
+      Token Extent = take();
+      if (Extent.IntVal < 1 || Extent.IntVal > MaxDimExtent)
+        return err(Extent.Loc, "array dimension must be in [1, " +
+                                   std::to_string(MaxDimExtent) + "]");
+      D.Dims.push_back(Extent.IntVal);
+      Status S = expect(Tok::RBracket, "after array dimension");
+      if (!S)
+        return S;
+    }
+    if (D.flatSize() > MaxFlatSize)
+      return err(D.Loc, "array '" + D.Name + "' has " +
+                            std::to_string(D.flatSize()) +
+                            " elements; the frontend caps arrays at " +
+                            std::to_string(MaxFlatSize));
+    return Status::success();
+  }
+
+  Status parseConstDecl(Module &M) {
+    SourceLoc Loc = take().Loc; // const
+    if (!at(Tok::Ident))
+      return err(cur().Loc, "expected constant name after 'const'");
+    Token Name = take();
+    Status S = declareName(M, Name);
+    if (!S)
+      return S;
+    Status Eq = expect(Tok::Assign, "after constant name");
+    if (!Eq)
+      return Eq;
+
+    Decl D;
+    D.Kind = DeclKind::Const;
+    D.Loc = Loc;
+    D.Name = Name.Text;
+
+    if (!at(Tok::LBracket)) {
+      // Scalar: const n = <const-expr>.
+      int64_t V = 0;
+      Status E = parseConstScalar(M, V);
+      if (!E)
+        return E;
+      D.ConstValues.push_back(V);
+      M.Decls.push_back(std::move(D));
+      return Status::success();
+    }
+
+    if (peek().Kind == Tok::LBracket) {
+      // Matrix: [[...], [...], ...]; every row the same length.
+      take(); // outer '['
+      int64_t Cols = -1;
+      int64_t Rows = 0;
+      while (true) {
+        SourceLoc RowLoc = cur().Loc;
+        Status RB = expect(Tok::LBracket, "to open a matrix row");
+        if (!RB)
+          return RB;
+        int64_t RowLen = 0;
+        Status Row = parseConstRow(M, D.ConstValues, RowLen);
+        if (!Row)
+          return Row;
+        if (Cols >= 0 && RowLen != Cols)
+          return err(RowLoc, "matrix rows must all have the same length (" +
+                                 std::to_string(Cols) + " vs " +
+                                 std::to_string(RowLen) + ")");
+        Cols = RowLen;
+        ++Rows;
+        if (at(Tok::Comma)) {
+          take();
+          continue;
+        }
+        break;
+      }
+      Status OB = expect(Tok::RBracket, "to close the matrix");
+      if (!OB)
+        return OB;
+      D.Dims = {Rows, Cols};
+    } else {
+      // Vector: [a, b, ...].
+      take(); // '['
+      int64_t Len = 0;
+      Status Row = parseConstRow(M, D.ConstValues, Len);
+      if (!Row)
+        return Row;
+      D.Dims = {Len};
+    }
+    if (D.flatSize() > MaxFlatSize)
+      return err(D.Loc, "constant '" + D.Name + "' has too many elements");
+    M.Decls.push_back(std::move(D));
+    return Status::success();
+  }
+
+  /// Comma-separated const-exprs up to (and consuming) the closing ']'.
+  Status parseConstRow(const Module &M, std::vector<int64_t> &Out,
+                       int64_t &Len) {
+    Len = 0;
+    while (true) {
+      int64_t V = 0;
+      Status E = parseConstScalar(M, V);
+      if (!E)
+        return E;
+      Out.push_back(V);
+      if (++Len > MaxFlatSize)
+        return err(cur().Loc, "constant initializer is too large");
+      if (at(Tok::Comma)) {
+        take();
+        continue;
+      }
+      return expect(Tok::RBracket, "to close the constant initializer");
+    }
+  }
+
+  /// Parses an expression and folds it to a value; only earlier constants
+  /// are in scope (there are no loop variables at declaration level).
+  Status parseConstScalar(const Module &M, int64_t &Out) {
+    ExprPtr E;
+    Status S = parseExpr(E, 0);
+    if (!S)
+      return S;
+    return foldConst(M, *E, Out);
+  }
+
+  Status foldConst(const Module &M, const Expr &X, int64_t &Out) {
+    switch (X.Kind) {
+    case ExprKind::IntLit:
+      Out = X.IntValue;
+      return Status::success();
+    case ExprKind::VarRef: {
+      const Decl *D = M.findDecl(X.Name);
+      if (!D || D->Kind != DeclKind::Const)
+        return err(X.Loc, "unknown constant '" + X.Name +
+                              "' in a const initializer");
+      if (!D->Dims.empty())
+        return err(X.Loc, "constant '" + X.Name +
+                              "' is an array; index it");
+      Out = D->ConstValues[0];
+      return Status::success();
+    }
+    case ExprKind::ArrayRef: {
+      const Decl *D = M.findDecl(X.Name);
+      if (!D || D->Kind != DeclKind::Const)
+        return err(X.Loc, "only previously declared constants may appear "
+                          "in a const initializer");
+      if (X.Args.size() != D->Dims.size())
+        return err(X.Loc, "constant '" + X.Name + "' has " +
+                              std::to_string(D->Dims.size()) +
+                              " dimension(s), not " +
+                              std::to_string(X.Args.size()));
+      int64_t Flat = 0;
+      for (size_t K = 0; K < X.Args.size(); ++K) {
+        int64_t I = 0;
+        Status S = foldConst(M, *X.Args[K], I);
+        if (!S)
+          return S;
+        if (I < 0 || I >= D->Dims[K])
+          return err(X.Args[K]->Loc,
+                     "index " + std::to_string(I) + " is out of range for '" +
+                         X.Name + "' (dimension extent " +
+                         std::to_string(D->Dims[K]) + ")");
+        Flat = Flat * D->Dims[K] + I;
+      }
+      Out = D->ConstValues[static_cast<size_t>(Flat)];
+      return Status::success();
+    }
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul: {
+      int64_t A = 0, B = 0;
+      Status SA = foldConst(M, *X.Args[0], A);
+      if (!SA)
+        return SA;
+      Status SB = foldConst(M, *X.Args[1], B);
+      if (!SB)
+        return SB;
+      bool Ov = X.Kind == ExprKind::Add   ? __builtin_add_overflow(A, B, &Out)
+                : X.Kind == ExprKind::Sub ? __builtin_sub_overflow(A, B, &Out)
+                                          : __builtin_mul_overflow(A, B, &Out);
+      if (Ov)
+        return err(X.Loc, "constant expression overflows 64-bit integers");
+      return Status::success();
+    }
+    case ExprKind::Neg: {
+      int64_t A = 0;
+      Status S = foldConst(M, *X.Args[0], A);
+      if (!S)
+        return S;
+      if (__builtin_sub_overflow(static_cast<int64_t>(0), A, &Out))
+        return err(X.Loc, "constant expression overflows 64-bit integers");
+      return Status::success();
+    }
+    case ExprKind::Eq: {
+      int64_t A = 0, B = 0;
+      Status SA = foldConst(M, *X.Args[0], A);
+      if (!SA)
+        return SA;
+      Status SB = foldConst(M, *X.Args[1], B);
+      if (!SB)
+        return SB;
+      Out = A == B ? 1 : 0;
+      return Status::success();
+    }
+    case ExprKind::Sum:
+      return err(X.Loc, "sum() is not allowed in const initializers");
+    }
+    return err(X.Loc, "unsupported const initializer expression");
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statements
+  //===--------------------------------------------------------------------===
+
+  Status parseStmt(Module &M, StmtPtr &Out) {
+    if (at(Tok::KwFor))
+      return parseFor(M, Out);
+    return parseAssign(M, Out);
+  }
+
+  Status parseFor(Module &M, StmtPtr &Out) {
+    SourceLoc Loc = take().Loc; // for
+    if (!at(Tok::Ident))
+      return err(cur().Loc, "expected loop variable after 'for'");
+    Token Var = take();
+    if (M.findDecl(Var.Text))
+      return err(Var.Loc, "loop variable '" + Var.Text +
+                              "' shadows a declaration");
+    Status In = expect(Tok::KwIn, "after the loop variable");
+    if (!In)
+      return In;
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::For;
+    S->Loc = Loc;
+    S->Var = Var.Text;
+    Status R = parseRange(S->Lo, S->Hi);
+    if (!R)
+      return R;
+    Status LB = expect(Tok::LBrace, "to open the loop body");
+    if (!LB)
+      return LB;
+    while (!at(Tok::RBrace)) {
+      if (at(Tok::End))
+        return err(cur().Loc, "unterminated loop body (missing '}')");
+      StmtPtr Child;
+      Status C = parseStmt(M, Child);
+      if (!C)
+        return C;
+      S->Body.push_back(std::move(Child));
+    }
+    take(); // }
+    Out = std::move(S);
+    return Status::success();
+  }
+
+  Status parseRange(ExprPtr &Lo, ExprPtr &Hi) {
+    Status L = parseExpr(Lo, 0);
+    if (!L)
+      return L;
+    Status D = expect(Tok::DotDot, "between range bounds");
+    if (!D)
+      return D;
+    return parseExpr(Hi, 0);
+  }
+
+  Status parseAssign(Module &M, StmtPtr &Out) {
+    (void)M;
+    if (!at(Tok::Ident))
+      return err(cur().Loc, std::string("expected a statement, found ") +
+                                tokenName(cur().Kind));
+    Token Name = take();
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Assign;
+    S->Loc = Name.Loc;
+    S->Dest = Name.Text;
+    if (!at(Tok::LBracket))
+      return err(cur().Loc,
+                 "expected '[' (assignments target array elements)");
+    while (at(Tok::LBracket)) {
+      take();
+      ExprPtr Idx;
+      Status I = parseExpr(Idx, 0);
+      if (!I)
+        return I;
+      Status RB = expect(Tok::RBracket, "after index expression");
+      if (!RB)
+        return RB;
+      S->Indices.push_back(std::move(Idx));
+    }
+    Status Eq = expect(Tok::Assign, "in assignment");
+    if (!Eq)
+      return Eq;
+    Status V = parseExpr(S->Value, 0);
+    if (!V)
+      return V;
+    Out = std::move(S);
+    return Status::success();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  Status parseExpr(ExprPtr &Out, int Depth) {
+    if (Depth > MaxExprDepth)
+      return err(cur().Loc, "expression is nested too deeply");
+    Status S = parseTerm(Out, Depth + 1);
+    if (!S)
+      return S;
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      Token Op = take();
+      ExprPtr Rhs;
+      Status R = parseTerm(Rhs, Depth + 1);
+      if (!R)
+        return R;
+      auto E = std::make_unique<Expr>();
+      E->Kind = Op.Kind == Tok::Plus ? ExprKind::Add : ExprKind::Sub;
+      E->Loc = Op.Loc;
+      E->Args.push_back(std::move(Out));
+      E->Args.push_back(std::move(Rhs));
+      Out = std::move(E);
+    }
+    return Status::success();
+  }
+
+  Status parseTerm(ExprPtr &Out, int Depth) {
+    if (Depth > MaxExprDepth)
+      return err(cur().Loc, "expression is nested too deeply");
+    Status S = parseUnary(Out, Depth + 1);
+    if (!S)
+      return S;
+    while (at(Tok::Star)) {
+      Token Op = take();
+      ExprPtr Rhs;
+      Status R = parseUnary(Rhs, Depth + 1);
+      if (!R)
+        return R;
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Mul;
+      E->Loc = Op.Loc;
+      E->Args.push_back(std::move(Out));
+      E->Args.push_back(std::move(Rhs));
+      Out = std::move(E);
+    }
+    return Status::success();
+  }
+
+  Status parseUnary(ExprPtr &Out, int Depth) {
+    if (Depth > MaxExprDepth)
+      return err(cur().Loc, "expression is nested too deeply");
+    if (at(Tok::Minus)) {
+      Token Op = take();
+      ExprPtr Operand;
+      Status S = parseUnary(Operand, Depth + 1);
+      if (!S)
+        return S;
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Neg;
+      E->Loc = Op.Loc;
+      E->Args.push_back(std::move(Operand));
+      Out = std::move(E);
+      return Status::success();
+    }
+    return parsePrimary(Out, Depth + 1);
+  }
+
+  Status parsePrimary(ExprPtr &Out, int Depth) {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case Tok::Int: {
+      Token T = take();
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::IntLit;
+      E->Loc = Loc;
+      E->IntValue = T.IntVal;
+      Out = std::move(E);
+      return Status::success();
+    }
+    case Tok::LParen: {
+      take();
+      Status S = parseExpr(Out, Depth + 1);
+      if (!S)
+        return S;
+      return expect(Tok::RParen, "to close the parenthesized expression");
+    }
+    case Tok::KwSum:
+      return parseSum(Out, Depth);
+    case Tok::KwEq: {
+      take();
+      Status LP = expect(Tok::LParen, "after 'eq'");
+      if (!LP)
+        return LP;
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Eq;
+      E->Loc = Loc;
+      ExprPtr A, B;
+      Status SA = parseExpr(A, Depth + 1);
+      if (!SA)
+        return SA;
+      Status C = expect(Tok::Comma, "between eq() arguments");
+      if (!C)
+        return C;
+      Status SB = parseExpr(B, Depth + 1);
+      if (!SB)
+        return SB;
+      Status RP = expect(Tok::RParen, "to close eq()");
+      if (!RP)
+        return RP;
+      E->Args.push_back(std::move(A));
+      E->Args.push_back(std::move(B));
+      Out = std::move(E);
+      return Status::success();
+    }
+    case Tok::Ident: {
+      Token Name = take();
+      auto E = std::make_unique<Expr>();
+      E->Loc = Loc;
+      E->Name = Name.Text;
+      if (!at(Tok::LBracket)) {
+        E->Kind = ExprKind::VarRef;
+        Out = std::move(E);
+        return Status::success();
+      }
+      E->Kind = ExprKind::ArrayRef;
+      while (at(Tok::LBracket)) {
+        take();
+        ExprPtr Idx;
+        Status I = parseExpr(Idx, Depth + 1);
+        if (!I)
+          return I;
+        Status RB = expect(Tok::RBracket, "after index expression");
+        if (!RB)
+          return RB;
+        E->Args.push_back(std::move(Idx));
+      }
+      Out = std::move(E);
+      return Status::success();
+    }
+    default:
+      return err(Loc, std::string("expected an expression, found ") +
+                          tokenName(cur().Kind));
+    }
+  }
+
+  Status parseSum(ExprPtr &Out, int Depth) {
+    SourceLoc Loc = take().Loc; // sum
+    Status LP = expect(Tok::LParen, "after 'sum'");
+    if (!LP)
+      return LP;
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Sum;
+    E->Loc = Loc;
+    // One or more binders `v in lo..hi`, then the body expression. A
+    // binder is recognized by the `ident in` lookahead.
+    while (at(Tok::Ident) && peek().Kind == Tok::KwIn) {
+      Token Var = take();
+      take(); // in
+      SumBinder B;
+      B.Var = Var.Text;
+      Status R = parseRange(B.Lo, B.Hi);
+      if (!R)
+        return R;
+      E->Binders.push_back(std::move(B));
+      Status C = expect(Tok::Comma, "after a sum() binder");
+      if (!C)
+        return C;
+    }
+    if (E->Binders.empty())
+      return err(cur().Loc, "sum() needs at least one 'v in lo..hi' binder");
+    ExprPtr Body;
+    Status SB = parseExpr(Body, Depth + 1);
+    if (!SB)
+      return SB;
+    Status RP = expect(Tok::RParen, "to close sum()");
+    if (!RP)
+      return RP;
+    E->Args.push_back(std::move(Body));
+    Out = std::move(E);
+    return Status::success();
+  }
+
+  std::vector<Token> Toks;
+  const std::string &File;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+/// Binding strength for parenthesization: Add/Sub < Mul < Neg < primary.
+int precedence(ExprKind K) {
+  switch (K) {
+  case ExprKind::Add:
+  case ExprKind::Sub:
+    return 1;
+  case ExprKind::Mul:
+    return 2;
+  case ExprKind::Neg:
+    return 3;
+  default:
+    return 4;
+  }
+}
+
+void printExpr(std::ostringstream &OS, const Expr &X, int Parent);
+
+void printChild(std::ostringstream &OS, const Expr &X, int Min) {
+  bool Paren = precedence(X.Kind) < Min;
+  if (Paren)
+    OS << "(";
+  printExpr(OS, X, Min);
+  if (Paren)
+    OS << ")";
+}
+
+void printExpr(std::ostringstream &OS, const Expr &X, int) {
+  switch (X.Kind) {
+  case ExprKind::IntLit:
+    OS << X.IntValue;
+    return;
+  case ExprKind::VarRef:
+    OS << X.Name;
+    return;
+  case ExprKind::ArrayRef:
+    OS << X.Name;
+    for (const ExprPtr &I : X.Args) {
+      OS << "[";
+      printExpr(OS, *I, 0);
+      OS << "]";
+    }
+    return;
+  case ExprKind::Add:
+  case ExprKind::Sub:
+    printChild(OS, *X.Args[0], 1);
+    OS << (X.Kind == ExprKind::Add ? " + " : " - ");
+    // Right operand binds tighter so `a - (b + c)` keeps its parens.
+    printChild(OS, *X.Args[1], 2);
+    return;
+  case ExprKind::Mul:
+    printChild(OS, *X.Args[0], 2);
+    OS << " * ";
+    printChild(OS, *X.Args[1], 3);
+    return;
+  case ExprKind::Neg:
+    OS << "-";
+    printChild(OS, *X.Args[0], 3);
+    return;
+  case ExprKind::Sum:
+    OS << "sum(";
+    for (const SumBinder &B : X.Binders) {
+      OS << B.Var << " in ";
+      printExpr(OS, *B.Lo, 0);
+      OS << "..";
+      printExpr(OS, *B.Hi, 0);
+      OS << ", ";
+    }
+    printExpr(OS, *X.Args[0], 0);
+    OS << ")";
+    return;
+  case ExprKind::Eq:
+    OS << "eq(";
+    printExpr(OS, *X.Args[0], 0);
+    OS << ", ";
+    printExpr(OS, *X.Args[1], 0);
+    OS << ")";
+    return;
+  }
+}
+
+void printStmt(std::ostringstream &OS, const Stmt &S, int Indent) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  if (S.Kind == StmtKind::For) {
+    OS << Pad << "for " << S.Var << " in ";
+    printExpr(OS, *S.Lo, 0);
+    OS << "..";
+    printExpr(OS, *S.Hi, 0);
+    OS << " {\n";
+    for (const StmtPtr &B : S.Body)
+      printStmt(OS, *B, Indent + 1);
+    OS << Pad << "}\n";
+    return;
+  }
+  OS << Pad << S.Dest;
+  for (const ExprPtr &I : S.Indices) {
+    OS << "[";
+    printExpr(OS, *I, 0);
+    OS << "]";
+  }
+  OS << " = ";
+  printExpr(OS, *S.Value, 0);
+  OS << "\n";
+}
+
+} // namespace
+
+Expected<Module> frontend::parse(const std::string &Source,
+                                 const std::string &FileName) {
+  std::vector<Token> Toks;
+  Lexer L(Source, FileName);
+  Status S = L.run(Toks);
+  if (!S)
+    return S;
+  Parser P(std::move(Toks), FileName);
+  return P.run();
+}
+
+std::string frontend::printModule(const Module &M) {
+  std::ostringstream OS;
+  for (const Decl &D : M.Decls) {
+    switch (D.Kind) {
+    case DeclKind::Input:
+      OS << "input";
+      break;
+    case DeclKind::Output:
+      OS << "output";
+      break;
+    case DeclKind::Temp:
+      OS << "let";
+      break;
+    case DeclKind::Const:
+      OS << "const";
+      break;
+    }
+    OS << " " << D.Name;
+    if (D.Kind != DeclKind::Const) {
+      for (int64_t Dim : D.Dims)
+        OS << "[" << Dim << "]";
+      OS << "\n";
+      continue;
+    }
+    OS << " = ";
+    if (D.Dims.empty()) {
+      OS << D.ConstValues[0] << "\n";
+      continue;
+    }
+    if (D.Dims.size() == 1) {
+      OS << "[";
+      for (int64_t K = 0; K < D.Dims[0]; ++K)
+        OS << (K ? ", " : "") << D.ConstValues[static_cast<size_t>(K)];
+      OS << "]\n";
+      continue;
+    }
+    OS << "[";
+    for (int64_t R = 0; R < D.Dims[0]; ++R) {
+      OS << (R ? ", [" : "[");
+      for (int64_t C = 0; C < D.Dims[1]; ++C)
+        OS << (C ? ", " : "")
+           << D.ConstValues[static_cast<size_t>(R * D.Dims[1] + C)];
+      OS << "]";
+    }
+    OS << "]\n";
+  }
+  if (!M.Stmts.empty())
+    OS << "\n";
+  for (const StmtPtr &S : M.Stmts)
+    printStmt(OS, *S, 0);
+  return OS.str();
+}

@@ -1,0 +1,43 @@
+//===- frontend/Parser.h - .porc text parser --------------------*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text front door of the `.porc` language (grammar in docs/FRONTEND.md).
+/// Everything a user can get wrong — stray bytes, malformed declarations,
+/// unknown keywords, overflowing literals, runaway nesting — surfaces as a
+/// failed Expected<Module> whose diagnostic carries "file:line:col:"; the
+/// parser never throws and never aborts. `const` initializers are folded to
+/// values at parse time, so the AST downstream stages see is closed over
+/// plain integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_FRONTEND_PARSER_H
+#define PORCUPINE_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "support/Status.h"
+
+#include <string>
+
+namespace porcupine {
+namespace frontend {
+
+/// Parses one `.porc` compilation unit. \p FileName only labels
+/// diagnostics (and, stripped of directory and extension, names the
+/// module); it is never opened.
+Expected<Module> parse(const std::string &Source,
+                       const std::string &FileName = "<porc>");
+
+/// Renders \p M back as canonical `.porc` text. The canonical form is
+/// parse-stable: printModule(parse(printModule(M))) == printModule(M),
+/// which the frontend tests check for every bundled workload.
+std::string printModule(const Module &M);
+
+} // namespace frontend
+} // namespace porcupine
+
+#endif // PORCUPINE_FRONTEND_PARSER_H

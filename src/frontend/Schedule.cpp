@@ -1,0 +1,141 @@
+//===- frontend/Schedule.cpp - access tables to rotation plans ------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Schedule.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+using namespace porcupine;
+using namespace porcupine::frontend;
+
+RotationSchedule frontend::scheduleRotations(const AccessTable &T) {
+  RotationSchedule S;
+  S.VectorSize = T.VectorSize;
+  std::set<std::tuple<int, int64_t>> Rotations;
+
+  for (int A : T.DefOrder) {
+    ArrayPlan Plan;
+    Plan.Array = A;
+    Plan.ConstTerms.assign(T.VectorSize, 0);
+
+    // Group keys order linear groups before quadratic ones and both by
+    // (source, offset), so plans are deterministic.
+    using Key = std::tuple<int, int, int64_t, int, int64_t>;
+    std::map<Key, RotGroup> Groups;
+
+    const auto &Slots = T.Terms[static_cast<size_t>(A)];
+    for (size_t J = 0; J < Slots.size(); ++J) {
+      if (!T.Assigned[static_cast<size_t>(A)][J])
+        continue;
+      for (const Term &Tm : Slots[J]) {
+        if (Tm.Factors.empty()) {
+          Plan.ConstTerms[J] += Tm.Coeff;
+          if (Plan.ConstTerms[J] != 0)
+            Plan.HasConstTerms = true;
+          continue;
+        }
+        int64_t DestSlot = static_cast<int64_t>(J);
+        if (Tm.Factors.size() == 1) {
+          const CtAccess &F = Tm.Factors[0];
+          int64_t D = F.Slot - DestSlot;
+          Key K{0, F.Array, D, 0, 0};
+          RotGroup &G = Groups[K];
+          if (G.Mask.empty()) {
+            G.IsQuadratic = false;
+            G.ArrayA = F.Array;
+            G.OffsetA = D;
+            G.Mask.assign(T.VectorSize, 0);
+          }
+          G.Mask[J] = Tm.Coeff;
+          continue;
+        }
+        // Quadratic: factors are kept sorted by IndexElim, but sorting by
+        // (array, slot) is not the same as sorting by (array, offset) once
+        // the destination slot is subtracted — normalize on offsets here.
+        CtAccess FA = Tm.Factors[0], FB = Tm.Factors[1];
+        int64_t DA = FA.Slot - DestSlot, DB = FB.Slot - DestSlot;
+        if (std::tie(FA.Array, DA) > std::tie(FB.Array, DB)) {
+          std::swap(FA, FB);
+          std::swap(DA, DB);
+        }
+        Key K{1, FA.Array, DA, FB.Array, DB};
+        RotGroup &G = Groups[K];
+        if (G.Mask.empty()) {
+          G.IsQuadratic = true;
+          G.ArrayA = FA.Array;
+          G.OffsetA = DA;
+          G.ArrayB = FB.Array;
+          G.OffsetB = DB;
+          G.Mask.assign(T.VectorSize, 0);
+        }
+        G.Mask[J] = Tm.Coeff;
+      }
+    }
+
+    for (auto &KV : Groups) {
+      RotGroup &G = KV.second;
+      if (G.OffsetA != 0)
+        Rotations.insert({G.ArrayA, G.OffsetA});
+      if (G.IsQuadratic) {
+        ++S.CtCtMultiplies;
+        if (G.OffsetB != 0)
+          Rotations.insert({G.ArrayB, G.OffsetB});
+      }
+      Plan.Groups.push_back(std::move(G));
+    }
+    S.TotalGroups += Plan.Groups.size();
+    S.Plans.push_back(std::move(Plan));
+  }
+  S.DistinctRotations = Rotations.size();
+  return S;
+}
+
+std::string frontend::printSchedule(const RotationSchedule &S,
+                                    const AccessTable &T) {
+  std::ostringstream OS;
+  OS << "rotation-schedule W=" << S.VectorSize
+     << " rotations=" << S.DistinctRotations << " groups=" << S.TotalGroups
+     << " ctct=" << S.CtCtMultiplies << "\n";
+  auto name = [&](int A) {
+    return T.Arrays[static_cast<size_t>(A)].Name;
+  };
+  auto printMask = [&](const std::vector<int64_t> &Mask) {
+    size_t NonZero = 0;
+    for (int64_t V : Mask)
+      if (V != 0)
+        ++NonZero;
+    if (Mask.size() > 64) {
+      OS << " mask{" << NonZero << " nonzero of " << Mask.size() << "}";
+      return;
+    }
+    OS << " mask=[";
+    for (size_t K = 0; K < Mask.size(); ++K)
+      OS << (K ? "," : "") << Mask[K];
+    OS << "]";
+  };
+  for (const ArrayPlan &P : S.Plans) {
+    OS << "  plan " << name(P.Array) << ":\n";
+    for (const RotGroup &G : P.Groups) {
+      OS << "    ";
+      if (G.IsQuadratic)
+        OS << "rot(" << name(G.ArrayA) << "," << G.OffsetA << ") * rot("
+           << name(G.ArrayB) << "," << G.OffsetB << ")";
+      else
+        OS << "rot(" << name(G.ArrayA) << "," << G.OffsetA << ")";
+      printMask(G.Mask);
+      OS << "\n";
+    }
+    if (P.HasConstTerms) {
+      OS << "    const";
+      printMask(P.ConstTerms);
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,88 @@
+//===- frontend/Schedule.h - access tables to rotation plans ----*- C++ -*-===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage two of the `.porc` lowering pipeline: rotation scheduling. Terms
+/// from the access table (frontend/IndexElim.h) are regrouped from
+/// "per destination slot" to "per rotation": a linear term reading source
+/// slot i into destination slot j needs the source rotated left by
+/// d = i - j, so all terms of an array that share (source, d) become one
+/// *rotation group* — one RotCt, one plaintext mask multiply, one add —
+/// regardless of how many destination slots they feed. Quadratic terms
+/// group by their normalized pair of (source, offset) legs and cost one
+/// ct*ct multiply per group.
+///
+/// Offsets are kept signed and never reduced modulo the vector width: a
+/// slot whose unreduced source index falls outside the array's extent is
+/// simply absent from the mask (mask 0), which is what makes the emitted
+/// program width-portable — interpreting it at any width >= W computes the
+/// same masked values.
+///
+/// Scheduling is infallible: every diagnosable error was already rejected
+/// by index elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PORCUPINE_FRONTEND_SCHEDULE_H
+#define PORCUPINE_FRONTEND_SCHEDULE_H
+
+#include "frontend/IndexElim.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace porcupine {
+namespace frontend {
+
+/// One rotation group of an array's plan. Linear groups read
+/// rot(ArrayA, OffsetA); quadratic groups read
+/// rot(ArrayA, OffsetA) * rot(ArrayB, OffsetB) (one relinearized ct*ct
+/// multiply). Mask[j] is the integer coefficient applied at destination
+/// slot j (0 where the group contributes nothing).
+struct RotGroup {
+  bool IsQuadratic = false;
+  int ArrayA = 0;
+  int64_t OffsetA = 0;
+  int ArrayB = 0;   ///< Quadratic only.
+  int64_t OffsetB = 0; ///< Quadratic only.
+  std::vector<int64_t> Mask;
+};
+
+/// Everything needed to materialize one non-input array: its rotation
+/// groups plus the plaintext-only contribution (terms with no ciphertext
+/// factor).
+struct ArrayPlan {
+  int Array = 0;
+  std::vector<RotGroup> Groups;
+  std::vector<int64_t> ConstTerms; ///< Width-W additive plaintext vector.
+  bool HasConstTerms = false;      ///< Any nonzero entry in ConstTerms.
+};
+
+struct RotationSchedule {
+  size_t VectorSize = 0;
+  /// One plan per non-input array, in AccessTable::DefOrder (output last).
+  std::vector<ArrayPlan> Plans;
+  /// Distinct (source value, nonzero offset) pairs across all plans — the
+  /// number of RotCt instructions materialization emits before the
+  /// pipeline's rot-dedup pass sees the program.
+  size_t DistinctRotations = 0;
+  size_t TotalGroups = 0;
+  size_t CtCtMultiplies = 0;
+};
+
+/// Regroups \p T into per-rotation plans. Deterministic: groups are
+/// ordered by (source array, offset), so the same module always schedules
+/// — and therefore materializes — identically.
+RotationSchedule scheduleRotations(const AccessTable &T);
+
+/// Human-readable dump (porcc --dump-frontend, docs/FRONTEND.md).
+std::string printSchedule(const RotationSchedule &S, const AccessTable &T);
+
+} // namespace frontend
+} // namespace porcupine
+
+#endif // PORCUPINE_FRONTEND_SCHEDULE_H

@@ -1,0 +1,133 @@
+//===- kernels/FrontendKernels.cpp - .porc-lowered workloads --------------===//
+//
+// Part of the Porcupine reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three workloads that motivate the `.porc` frontend (ROADMAP item 4):
+/// a 5x5 convolution, a two-layer perceptron, and an encrypted group-by
+/// aggregation. Each is too large for direct synthesis within the default
+/// budget (frontend_test pins this with a capped-timeout synthesis run), so
+/// the bundle's Baseline and Synthesized programs are both the frontend's
+/// mechanical lowering of the embedded `.porc` source; the spec and sketch
+/// are derived from the same source via frontend::makeSpec/makeSketch, so
+/// the usual registry-wide test sweeps (symbolic verification, width
+/// portability, cross-backend byte equality) cover them like every
+/// hand-written kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "kernels/Kernels.h"
+#include "support/Error.h"
+
+#include <memory>
+
+using namespace porcupine;
+using namespace porcupine::kernels;
+
+namespace {
+
+/// 5x5 binomial-weighted convolution over an 8x8 image; the 4x4 valid
+/// region (windows fully in bounds) is produced, anchored top-left.
+const char Conv2D5x5Source[] = R"porc(# 5x5 convolution, 8x8 image, valid 4x4 output region.
+input img[8][8]
+output out[8][8]
+const k = [[1, 2, 3, 2, 1], [2, 4, 6, 4, 2], [3, 6, 9, 6, 3], [2, 4, 6, 4, 2], [1, 2, 3, 2, 1]]
+for r in 0..3 {
+  for c in 0..3 {
+    out[r][c] = sum(dr in 0..4, dc in 0..4, img[r + dr][c + dc] * k[dr][dc])
+  }
+}
+)porc";
+
+/// Two dense layers (8 -> 4 -> 1) with the HE-friendly square activation.
+const char Perceptron841Source[] = R"porc(# Two-layer perceptron 8 -> 4 -> 1, square activation.
+input x[8]
+output out[1]
+let z[4]
+let h[4]
+const w1 = [[2, 1, 3, 1, 2, 1, 1, 2], [1, 3, 1, 2, 1, 2, 2, 1], [3, 1, 2, 1, 1, 3, 1, 1], [1, 2, 1, 3, 2, 1, 1, 2]]
+const b1 = [1, 2, 1, 3]
+const w2 = [2, 1, 3, 1]
+const b2 = 5
+for j in 0..3 {
+  z[j] = sum(i in 0..7, w1[j][i] * x[i]) + b1[j]
+}
+for j in 0..3 {
+  h[j] = z[j] * z[j]
+}
+out[0] = sum(j in 0..3, w2[j] * h[j]) + b2
+)porc";
+
+/// Group-by aggregation: 16 encrypted values, a public 4-bucket key column
+/// folded into masks at compile time via eq().
+const char GroupBySumSource[] = R"porc(# Encrypted group-by: sum vals into 4 buckets keyed by a public column.
+input vals[16]
+output agg[4]
+const key = [0, 2, 1, 3, 3, 0, 2, 1, 0, 1, 2, 2, 3, 0, 1, 3]
+for g in 0..3 {
+  agg[g] = sum(i in 0..15, eq(key[i], g) * vals[i])
+}
+)porc";
+
+/// Builds a bundle from embedded `.porc` source. The sources are part of
+/// this library, so any failure here is a library bug, not user input —
+/// hence fatalError rather than Status.
+KernelBundle porcBundle(const std::string &Name, const char *Source) {
+  auto Parsed = frontend::parse(Source, Name);
+  if (!Parsed)
+    fatalError("embedded .porc workload '" + Name +
+               "' failed to parse: " + Parsed.status().message());
+  auto M = std::make_shared<const frontend::Module>(Parsed.take());
+
+  auto Spec = frontend::makeSpec(M, Name);
+  if (!Spec)
+    fatalError("embedded .porc workload '" + Name +
+               "' has no spec: " + Spec.status().message());
+  auto Sketch = frontend::makeSketch(*M, 65537, Name);
+  if (!Sketch)
+    fatalError("embedded .porc workload '" + Name +
+               "' has no sketch: " + Sketch.status().message());
+  auto Lowered = frontend::lower(*M, frontend::LowerOptions(), Name);
+  if (!Lowered)
+    fatalError("embedded .porc workload '" + Name +
+               "' failed to lower: " + Lowered.status().message());
+
+  KernelBundle B;
+  B.Spec = Spec.take();
+  B.Sketch = Sketch.take();
+  B.Baseline = Lowered->Program;
+  B.Synthesized = Lowered->Program;
+  B.Notes = "Not in the paper: lowered mechanically from embedded `.porc` "
+            "source by the frontend (index elimination -> rotation "
+            "scheduling -> materialization); baseline and synthesized are "
+            "the same program. Direct synthesis cannot reach this kernel "
+            "within the default budget.";
+  return B;
+}
+
+} // namespace
+
+KernelBundle kernels::conv2d5x5Kernel() {
+  return porcBundle("Conv2D 5x5", Conv2D5x5Source);
+}
+
+KernelBundle kernels::perceptron841Kernel() {
+  return porcBundle("Perceptron 8-4-1", Perceptron841Source);
+}
+
+KernelBundle kernels::groupBySumKernel() {
+  return porcBundle("Group-By Sum", GroupBySumSource);
+}
+
+const char *kernels::porcWorkloadSource(const std::string &Name) {
+  if (Name == "Conv2D 5x5")
+    return Conv2D5x5Source;
+  if (Name == "Perceptron 8-4-1")
+    return Perceptron841Source;
+  if (Name == "Group-By Sum")
+    return GroupBySumSource;
+  return nullptr;
+}

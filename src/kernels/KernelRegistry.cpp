@@ -158,6 +158,10 @@ const KernelRegistry &KernelRegistry::builtin() {
     (void)R.add("Gy", [] { return gyKernel(); });
     (void)R.add("Roberts Cross", [] { return robertsCrossKernel(); });
     (void)R.add("Variance", [] { return varianceKernel(); });
+    // Frontend workloads: lowered from `.porc` sources, not synthesized.
+    (void)R.add("Conv2D 5x5", [] { return conv2d5x5Kernel(); });
+    (void)R.add("Perceptron 8-4-1", [] { return perceptron841Kernel(); });
+    (void)R.add("Group-By Sum", [] { return groupBySumKernel(); });
     return R;
   }();
   return Registry;

@@ -76,8 +76,21 @@ KernelBundle gxKernel();           ///< x-gradient (paper Figure 6).
 KernelBundle gyKernel();           ///< y-gradient.
 KernelBundle robertsCrossKernel(); ///< Roberts cross response.
 
-/// Every bundled kernel: the paper's nine (Table 2 order) plus the
-/// variance extension.
+// Frontend workloads (kernels/FrontendKernels.cpp): lowered mechanically
+// from embedded `.porc` sources — too large for direct synthesis within
+// the default budget, which is what the frontend exists for. Baseline and
+// Synthesized are both the frontend's output.
+KernelBundle conv2d5x5Kernel();    ///< 5x5 conv over an 8x8 image (W=64).
+KernelBundle perceptron841Kernel();///< Dense 8->4->1, square activation.
+KernelBundle groupBySumKernel();   ///< 16 values into 4 keyed buckets.
+
+/// The embedded `.porc` source of a frontend workload, keyed by its exact
+/// registry name; nullptr for every other name. Lets tests and porcc smoke
+/// checks compile the same text through the public pipeline.
+const char *porcWorkloadSource(const std::string &Name);
+
+/// Every bundled kernel: the paper's nine (Table 2 order), the variance
+/// extension, and the three `.porc` frontend workloads.
 /// Materializes a fresh copy of every bundle from the builtin registry; for
 /// by-name lookup or catalog extension use kernels::KernelRegistry
 /// (KernelRegistry.h) instead of scanning this vector.

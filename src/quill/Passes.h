@@ -74,8 +74,13 @@ struct EqSatBudgets {
   /// Maximum saturation iterations (full rule sweeps). <= 0 makes the
   /// pass a no-op.
   int MaxIterations = 8;
-  /// Stop iterating once the e-graph holds this many live e-nodes.
-  int MaxNodes = 20000;
+  /// Stop once the e-graph holds this many live e-nodes. Enforced both
+  /// between sweeps and *inside* a sweep (wide programs with many
+  /// distinct rotations can blow past any between-sweep check within one
+  /// sweep), so it bounds work as well as memory. 40000 is the smallest
+  /// power-of-two-ish budget at which the variance kernel still discovers
+  /// its strength-reduction mult-depth win.
+  int MaxNodes = 40000;
   /// Wall-clock budget in milliseconds, checked between iterations.
   /// <= 0 (the default) disables the clock entirely: saturation is then
   /// bounded by iterations/nodes only and the extracted program is

@@ -39,7 +39,7 @@ int addSplatConst(EGraph &G, Opcode Op, int A, uint64_t K) {
 
 } // namespace
 
-int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
+int porcupine::quill::eqsat::runRuleIteration(EGraph &G, size_t MaxNodes) {
   G.rebuild();
   const uint64_t T = G.modulus();
 
@@ -51,6 +51,13 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
     Snap.emplace_back(C, G.nodes(C));
 
   int Applications = 0;
+  // The node cap binds mid-sweep (see Rules.h): once the graph exceeds
+  // it, the scan stops at the next match boundary rather than finishing
+  // the snapshot — deterministic, since node count is clock-free. Strict
+  // ">" mirrors saturate()'s between-sweep check, so a truncated sweep
+  // always grew the graph and thus counted >= 1 application — a sweep
+  // reporting 0 really is a fixpoint.
+  auto overCap = [&] { return MaxNodes != 0 && G.numNodes() > MaxNodes; };
   // One rule application: build the RHS term, assert LHS == RHS. Counts
   // only applications that changed the graph (new node or real merge).
   auto apply = [&](int LhsClass, int RhsClass) {
@@ -61,8 +68,12 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
   };
 
   for (const auto &Entry : Snap) {
+    if (overCap())
+      break;
     const int C = Entry.first;
     for (const ENode &N : Entry.second) {
+      if (overCap())
+        break;
       if (N.isInput())
         continue;
       const Opcode Op = N.op();
@@ -78,6 +89,8 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
       if (Op == Opcode::RotCt) {
         const int K = N.Payload;
         for (const ENode &M : ANodes) {
+          if (overCap())
+            break;
           if (M.isInput())
             continue;
           // rot(rot(x,a),b) == rot(x,(a+b) mod W).
@@ -97,17 +110,25 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
       if (isCtCt(Op)) {
         // --- Associativity (commutativity is free: operands sorted) ------
         if (isCommutative(Op)) {
-          for (const ENode &M : ANodes)
+          for (const ENode &M : ANodes) {
+            if (overCap())
+              break;
             if (!M.isInput() && M.op() == Op)
               apply(C, G.addCtCt(Op, M.A, G.addCtCt(Op, M.B, N.B)));
-          for (const ENode &M : BNodes)
+          }
+          for (const ENode &M : BNodes) {
+            if (overCap())
+              break;
             if (!M.isInput() && M.op() == Op)
               apply(C, G.addCtCt(Op, G.addCtCt(Op, N.A, M.A), M.B));
+          }
         }
 
         // --- Rotation factoring: op(rot(x,k), rot(y,k)) == rot(op(x,y),k)
         // — rot-dedup's hoist as an equality, with no single-use gate.
         for (const ENode &Ma : ANodes) {
+          if (overCap())
+            break;
           if (Ma.isInput() || Ma.op() != Opcode::RotCt)
             continue;
           for (const ENode &Mb : BNodes) {
@@ -122,6 +143,8 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
           // --- mulpt factoring: mulpt(x,c) op mulpt(y,c) == mulpt(x op y, c)
           // (exact slot-wise for any constant shape).
           for (const ENode &Ma : ANodes) {
+            if (overCap())
+              break;
             if (Ma.isInput() || Ma.op() != Opcode::MulCtPt)
               continue;
             for (const ENode &Mb : BNodes) {
@@ -136,6 +159,8 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
           // direction only — expansion adds multiplies and would only
           // bloat the graph): mul(s,p) op mul(s,q) == mul(s, p op q).
           for (const ENode &Ma : ANodes) {
+            if (overCap())
+              break;
             if (Ma.isInput() || Ma.op() != Opcode::MulCtCt)
               continue;
             for (const ENode &Mb : BNodes) {
@@ -184,6 +209,8 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
         // Splat constant chains fold mod t.
         if (Splat && (Op == Opcode::AddCtPt || Op == Opcode::MulCtPt)) {
           for (const ENode &M : ANodes) {
+            if (overCap())
+              break;
             if (M.isInput() || M.op() != Op)
               continue;
             const std::optional<uint64_t> Inner = G.splatOf(M.Payload);
@@ -217,6 +244,8 @@ int porcupine::quill::eqsat::runRuleIteration(EGraph &G) {
         // add/sub side.
         if (Op == Opcode::MulCtPt) {
           for (const ENode &M : ANodes) {
+            if (overCap())
+              break;
             if (M.isInput())
               continue;
             if (M.op() == Opcode::AddCtCt || M.op() == Opcode::SubCtCt)

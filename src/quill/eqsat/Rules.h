@@ -52,7 +52,14 @@ namespace eqsat {
 /// Returns the number of rule applications that structurally changed the
 /// graph (0 means the graph is saturated). Deterministic: the snapshot is
 /// scanned in ascending class-id / sorted-node order.
-int runRuleIteration(EGraph &G);
+///
+/// \p MaxNodes (0 = unbounded) caps live e-nodes *within* the sweep: the
+/// scan stops as soon as the graph reaches the cap. Wide programs with
+/// many distinct rotations can grow the graph combinatorially inside one
+/// sweep — far past any between-sweep check — so the budget must bind
+/// mid-sweep to bound work at all. A node-count cut is a pure function of
+/// the input graph, so determinism is unaffected (unlike a clock).
+int runRuleIteration(EGraph &G, size_t MaxNodes = 0);
 
 } // namespace eqsat
 } // namespace quill

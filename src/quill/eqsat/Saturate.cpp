@@ -51,14 +51,17 @@ SaturationStats eqsat::saturate(EGraph &G, const EqSatBudgets &Budgets) {
   const size_t NodeBudget =
       static_cast<size_t>(std::max(0, Budgets.MaxNodes));
   for (int It = 0; It < Budgets.MaxIterations; ++It) {
-    // Budgets are checked between sweeps only: a sweep is atomic, so a
-    // clock-free run's trajectory is a pure function of the input graph.
+    // The node budget binds both here and *inside* the sweep (Rules.h):
+    // one sweep over a wide program can grow the graph combinatorially,
+    // so a between-sweep check alone bounds nothing. Node-count cuts are
+    // clock-free, so the trajectory stays a pure function of the input
+    // graph; only the wall-clock budget is restricted to sweep borders.
     if (G.numNodes() > NodeBudget)
       break;
     if (Budgets.TimeBudgetMs > 0.0 &&
         Clock.seconds() * 1000.0 > Budgets.TimeBudgetMs)
       break;
-    int Apps = runRuleIteration(G);
+    int Apps = runRuleIteration(G, NodeBudget);
     ++S.Iterations;
     S.Applications += Apps;
     if (Apps == 0) {

@@ -8,10 +8,11 @@
 /// The ExecutorBackend contract, tested differentially: every bundled
 /// kernel must decrypt to byte-equal outputs on every available backend
 /// pair, the keyless dry-run backend must serve Engine and Server traffic
-/// without constructing a single KeyGenerator, the backend name must be
-/// part of the compile fingerprint (so the Engine cache never mixes
-/// backends), and the deprecated bool-flag execute() shim must keep
-/// routing to the right backend for one more release.
+/// without constructing a single KeyGenerator, and the backend name must
+/// be part of the compile fingerprint (so the Engine cache never mixes
+/// backends). The deprecated bool-flag execute() shim completed its
+/// one-release deprecation window and was removed; select a backend via
+/// CompileOptions::Backend instead.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -255,19 +256,3 @@ TEST(BackendMatrix, RotationCapabilityQueryMatchesTheProgramAnalysis) {
             porcupine::requiredRotations(Ps));
   EXPECT_TRUE(Reg.find("dryrun")->requiredRotations(Ps).empty());
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(BackendMatrix, DeprecatedBoolExecuteShimStillRoutesByFlag) {
-  Compiler C;
-  quill::Program P = addProgram();
-  std::vector<std::vector<uint64_t>> In = {{1, 2, 3, 4}, {10, 20, 30, 40}};
-  auto Plain = C.execute(P, In, /*Encrypted=*/false);
-  ASSERT_TRUE(Plain.hasValue()) << Plain.status().toString();
-  EXPECT_FALSE(Plain->Encrypted);
-  auto Enc = C.execute(P, In, /*Encrypted=*/true);
-  ASSERT_TRUE(Enc.hasValue()) << Enc.status().toString();
-  EXPECT_TRUE(Enc->Encrypted);
-  EXPECT_EQ(Enc->Outputs, Plain->Outputs);
-}
-#pragma GCC diagnostic pop

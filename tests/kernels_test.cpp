@@ -48,6 +48,9 @@ const KernelCase Cases[] = {
     {"Gy", gyKernel},
     {"RobertsCross", robertsCrossKernel},
     {"Variance", varianceKernel},
+    {"Conv2D5x5", conv2d5x5Kernel},
+    {"Perceptron841", perceptron841Kernel},
+    {"GroupBySum", groupBySumKernel},
 };
 
 class KernelParamTest : public ::testing::TestWithParam<KernelCase> {};

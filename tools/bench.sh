@@ -24,6 +24,10 @@
 #      open-loop request streams through driver::Server, batched vs
 #      one-request-per-ciphertext, with p50/p95/p99 — bench_compare.py
 #      gates the batching speedup and batched p99
+#   6c. run the frontend lowering benchmark (bench_frontend_lowering):
+#      parse + lower each embedded `.porc` workload, recording lowering
+#      wall time plus the host-independent cost and instruction counts
+#      bench_compare.py always gates
 #   7. write everything into one JSON document (default: BENCH_results.json
 #      at the repo root) so the perf trajectory can be tracked across PRs
 #      — tools/bench_compare.py diffs two such snapshots and gates CI
@@ -185,6 +189,18 @@ if ! "$BUILD_DIR/bench/bench_serving_load" --requests 96 --clients 8 \
 fi
 sed -n 's/^/  /p' "$TMP/serving_load.err"
 
+# Frontend lowering: parse + lower each embedded `.porc` workload
+# in-process (bench_frontend_lowering). Per-workload cost and instruction
+# counts are host-independent, so bench_compare.py always gates them;
+# lower_ms is wall time and is gated same-host only.
+echo "== frontend lowering (bench_frontend_lowering)"
+if ! "$BUILD_DIR/bench/bench_frontend_lowering" --repeats 9 \
+    >"$TMP/frontend" 2>"$TMP/frontend.err"; then
+  echo "  FAIL bench_frontend_lowering:" >&2
+  cat "$TMP/frontend.err" >&2
+  exit 1
+fi
+
 # BFV primitive microbenchmark: per-op median latencies straight from the
 # evaluator, no compiler in the loop. Emits one JSON object.
 echo "== bfv microbench"
@@ -211,7 +227,7 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
 
 {
   printf '{\n'
-  printf '  "schema": "porcupine-bench-results/5",\n'
+  printf '  "schema": "porcupine-bench-results/6",\n'
   printf '  "generated_by": "tools/bench.sh",\n'
   printf '  "date_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "host_jobs": %s,\n' "$JOBS"
@@ -227,6 +243,9 @@ sed -n 's/^/  /p' "$TMP/synthesis.err"
   printf '  "optimizer": [\n'
   cat "$TMP/optimizer"
   printf '\n  ],\n'
+  printf '  "frontend":\n'
+  sed 's/^/  /' "$TMP/frontend"
+  printf '  ,\n'
   printf '  "serving_load":\n'
   sed 's/^/  /' "$TMP/serving_load"
   printf '  ,\n'

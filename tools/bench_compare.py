@@ -30,6 +30,13 @@ run is the candidate. The gate:
     regress by more than the tolerance. Gated like serving latency (same
     machine class only), but a fresh snapshot silently missing the
     microbench section when the baseline has one always fails.
+  * frontend record (bench_frontend_lowering per-workload lowering): each
+    `.porc` workload's lowered cost-model cost and instruction count are
+    host-independent and ALWAYS gated (an increase means the lowering
+    pipeline emits a more expensive program for the same source); the
+    lowering wall time follows the usual latency rules. A baseline
+    predating the section skips gracefully; a fresh snapshot missing it
+    when the baseline has one always fails.
   * serving_load record (bench_serving_load): the cross-request batching
     speedup must stay >= 1.5x (always armed; < 3x warns against the
     acceptance bar), batched-mode p99 follows the latency rules, and a
@@ -386,6 +393,100 @@ def check_microbench(base, fresh, tolerance, latency_gates, failures):
         print(f"  {verdict:10s} {op}: {bval:.1f}us -> {fval:.1f}us ({ratio:.2f}x)")
 
 
+def frontend_by_workload(doc):
+    records = {}
+    for rec in (doc.get("frontend") or {}).get("workloads") or []:
+        name = rec.get("workload")
+        if isinstance(name, str):
+            records[name] = rec
+    return records
+
+
+def check_frontend(base, fresh, tolerance, latency_gates, failures):
+    """Frontend lowering gate (bench_frontend_lowering's "frontend" section).
+
+    Two different rules, by what the number measures:
+      * a workload's lowered cost-model cost and instruction count are
+        host-independent — an increase means the lowering pipeline emits a
+        more expensive program for the same source, and is ALWAYS gated
+        (eps comparison, no tolerance);
+      * lower_ms is wall time and follows the usual latency rules (gated
+        within a host class, warn-only across classes).
+    Baselines predating the section (schema < 6) skip gracefully; a fresh
+    snapshot missing it when the baseline has one always fails.
+    """
+    base_rec = frontend_by_workload(base)
+    fresh_rec = frontend_by_workload(fresh)
+    if not fresh_rec:
+        if base_rec:
+            failures.append(
+                "frontend section missing from fresh run (baseline has "
+                f"{len(base_rec)} workloads); did bench_frontend_lowering "
+                "break?"
+            )
+        return
+    if not base_rec:
+        print("frontend: new section, no baseline yet")
+        return
+    eps = 1e-6
+    print(f"frontend lowering (tolerance {tolerance:.2f}x on wall time):")
+    for name, brec in sorted(base_rec.items()):
+        frec = fresh_rec.get(name)
+        if frec is None:
+            failures.append(
+                f"frontend workload '{name}': record present in baseline "
+                "but missing from fresh run"
+            )
+            print(f"  MISSING    {name}: no fresh record")
+            continue
+        verdict = "ok"
+        for key, label in (("cost", "lowered cost"),
+                           ("instructions", "instruction count")):
+            bval, fval = brec.get(key), frec.get(key)
+            if not isinstance(bval, (int, float)) or not isinstance(
+                fval, (int, float)
+            ):
+                verdict = "MALFORMED"
+                failures.append(
+                    f"frontend workload '{name}': {key} missing or "
+                    "non-numeric"
+                )
+                continue
+            if fval > bval + eps:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"frontend workload '{name}': {label} rose "
+                    f"{bval:.0f} -> {fval:.0f} — lowering emits a more "
+                    "expensive program (host-independent, always gated)"
+                )
+        bms, fms = brec.get("lower_ms"), frec.get("lower_ms")
+        ratio_note = ""
+        if (
+            isinstance(bms, (int, float))
+            and bms > 0
+            and isinstance(fms, (int, float))
+            and fms > 0
+        ):
+            ratio = fms / bms
+            ratio_note = f", lower_ms {bms:.3f} -> {fms:.3f} ({ratio:.2f}x)"
+            if ratio > tolerance and verdict == "ok":
+                if latency_gates:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"frontend workload '{name}': lowering time "
+                        f"{bms:.3f}ms -> {fms:.3f}ms ({ratio:.2f}x > "
+                        f"{tolerance:.2f}x)"
+                    )
+                else:
+                    verdict = "WARN"
+        print(
+            f"  {verdict:10s} {name}: cost {brec.get('cost')} -> "
+            f"{frec.get('cost')}{ratio_note}"
+        )
+    for name in sorted(set(fresh_rec) - set(base_rec)):
+        print(f"  note  {name}: new workload record, no baseline yet")
+
+
 def check_serving_load(base, fresh, tolerance, latency_gates, failures):
     """Serving-tier load gate (bench_serving_load's "serving_load" section).
 
@@ -539,6 +640,7 @@ def main():
     check_optimizer(base, fresh, failures)
     check_backends(base, fresh, args.tolerance, latency_gates, failures)
     check_microbench(base, fresh, args.tolerance, latency_gates, failures)
+    check_frontend(base, fresh, args.tolerance, latency_gates, failures)
     check_serving_load(base, fresh, args.tolerance, latency_gates, failures)
 
     synth = fresh.get("synthesis")

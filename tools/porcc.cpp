@@ -12,13 +12,21 @@
 ///   porcc list
 ///       List the registered kernels (builtin registry) and the multi-step
 ///       applications.
-///   porcc compile <kernel> [--json] [--from-bundle] [--timeout S]
+///   porcc compile <kernel|file.porc> [--json] [--from-bundle] [--timeout S]
 ///                 [--no-optimize] [--explicit-rot] [--pipeline STR]
 ///                 [--function NAME] [--emit-artifact FILE]
+///                 [--synth-subkernels] [--dump-frontend]
 ///       Run the full pipeline (synthesis, analyses, parameter selection,
 ///       SEAL codegen) and print a human-readable report, or with --json a
 ///       single machine-readable record. --from-bundle skips synthesis and
 ///       compiles the bundled program (fast, deterministic).
+///       A `.porc` argument is compiled from source through the frontend
+///       (docs/FRONTEND.md) instead of the kernel registry: index
+///       elimination, rotation scheduling, materialization, then the same
+///       optimizer/parameters/codegen tail. --dump-frontend prints the two
+///       intermediate representations (access table, rotation schedule)
+///       before the report; --synth-subkernels routes small per-array
+///       sub-expressions through CEGIS synthesis.
 ///       --emit-artifact persists the compiled kernel as a versioned JSON
 ///       artifact that `porcc run --artifact` and driver::Engine can
 ///       warm-start from without re-synthesizing.
@@ -64,6 +72,7 @@
 #include "driver/Driver.h"
 #include "driver/Engine.h"
 #include "driver/Server.h"
+#include "frontend/Frontend.h"
 #include "kernels/Kernels.h"
 #include "math/ModArith.h"
 #include "quill/Analysis.h"
@@ -92,11 +101,12 @@ int usage() {
       "usage: porcc <list|compile|synth|opt|emit|show|run|bench|serve|check> "
       "[args]\n"
       "  porcc list\n"
-      "  porcc compile <kernel> [--json] [--from-bundle] [--timeout S] "
-      "[--no-optimize]\n"
+      "  porcc compile <kernel|file.porc> [--json] [--from-bundle] "
+      "[--timeout S] [--no-optimize]\n"
       "                [--jobs N] [--explicit-rot] [--pipeline STR] "
       "[--function NAME]\n"
-      "                [--emit-artifact FILE]\n"
+      "                [--emit-artifact FILE] [--synth-subkernels] "
+      "[--dump-frontend]\n"
       "  porcc synth <kernel> [--timeout S] [--no-optimize] [--jobs N] "
       "[--explicit-rot]\n"
       "  porcc opt <kernel|file.quill> [--baseline] [--pipeline STR]\n"
@@ -128,7 +138,12 @@ int usage() {
       "   'dryrun' = keyless plaintext semantics with cost-model charging,\n"
       "   'seal' = Microsoft SEAL (when built with "
       "-DPORCUPINE_WITH_SEAL).\n"
-      "   run defaults to dryrun, bench/serve to bfv.)\n");
+      "   run defaults to dryrun, bench/serve to bfv.\n"
+      " compile <file.porc>: compile loop-nest source through the frontend "
+      "(docs/FRONTEND.md);\n"
+      "   --dump-frontend prints the access table and rotation schedule, "
+      "--synth-subkernels\n"
+      "   routes small sub-expressions through CEGIS.)\n");
   return 2;
 }
 
@@ -188,21 +203,64 @@ driver::CompileOptions optionsFromFlags(int Argc, char **Argv) {
   if (const char *Pipe = argValue(Argc, Argv, "--pipeline", nullptr))
     Opts.Pipeline = Pipe;
   // eqsat saturation budgets (only consulted when the pipeline contains
-  // the eqsat pass). The time budget defaults to 0 = disabled so compiles
-  // stay deterministic; see CompileOptions::EqSat.
-  Opts.EqSat.MaxIterations =
-      std::atoi(argValue(Argc, Argv, "--eqsat-iters", "8"));
-  Opts.EqSat.MaxNodes =
-      std::atoi(argValue(Argc, Argv, "--eqsat-nodes", "20000"));
-  Opts.EqSat.TimeBudgetMs =
-      std::atof(argValue(Argc, Argv, "--eqsat-time-ms", "0"));
+  // the eqsat pass). Defaults come from EqSatBudgets itself so the CLI
+  // can never drift from the library; the time budget stays 0 = disabled
+  // so compiles stay deterministic; see CompileOptions::EqSat.
+  if (const char *V = argValue(Argc, Argv, "--eqsat-iters", nullptr))
+    Opts.EqSat.MaxIterations = std::atoi(V);
+  if (const char *V = argValue(Argc, Argv, "--eqsat-nodes", nullptr))
+    Opts.EqSat.MaxNodes = std::atoi(V);
+  if (const char *V = argValue(Argc, Argv, "--eqsat-time-ms", nullptr))
+    Opts.EqSat.TimeBudgetMs = std::atof(V);
   Opts.Codegen.FunctionName = argValue(Argc, Argv, "--function", "kernel");
   // --backend NAME: the execution backend ("bfv", "dryrun", "seal" when
   // built with -DPORCUPINE_WITH_SEAL). Also steers the default latency
   // source: cost estimates read the selected backend's latency table.
   if (const char *B = argValue(Argc, Argv, "--backend", nullptr))
     Opts.Backend = B;
+  // --synth-subkernels: when compiling .porc source, try CEGIS on small
+  // per-array sub-expressions (falls back to direct materialization with
+  // a note). No effect on registry kernels.
+  Opts.SynthSubkernels = hasFlag(Argc, Argv, "--synth-subkernels");
   return Opts;
+}
+
+/// Reads a whole file into a string; prints the reason and returns nullopt
+/// on failure.
+std::optional<std::string> readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return std::nullopt;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// `porcc compile file.porc`: frontend compilation, with --dump-frontend
+/// printing the two intermediate representations (the per-element access
+/// table out of index elimination, then the rotation schedule) before the
+/// driver takes over.
+Expected<driver::CompileResult>
+compilePorcFile(const driver::Compiler &C, const char *Path,
+                bool DumpFrontend) {
+  auto Src = readFile(Path);
+  if (!Src)
+    return Status::error("frontend",
+                         std::string("cannot read '") + Path + "'");
+  if (DumpFrontend) {
+    auto M = frontend::parse(*Src, Path);
+    if (!M)
+      return M.status();
+    auto T = frontend::eliminateIndices(*M, Path);
+    if (!T)
+      return T.status();
+    std::printf("%s", frontend::printAccessTable(*T).c_str());
+    frontend::RotationSchedule S = frontend::scheduleRotations(*T);
+    std::printf("%s", frontend::printSchedule(S, *T).c_str());
+  }
+  return C.compilePorc(*Src, Path);
 }
 
 void printAnalyses(const quill::Program &P) {
@@ -245,7 +303,13 @@ int cmdCompile(int Argc, char **Argv) {
   Opts.RunSynthesis = !hasFlag(Argc, Argv, "--from-bundle");
   Opts.FallbackToBundled = false;
   driver::Compiler C(Opts);
-  auto Result = C.compile(Argv[0]);
+  std::string Target = Argv[0];
+  bool IsPorc =
+      Target.size() > 5 && Target.rfind(".porc") == Target.size() - 5;
+  auto Result =
+      IsPorc ? compilePorcFile(C, Argv[0],
+                               hasFlag(Argc, Argv, "--dump-frontend"))
+             : C.compile(Target);
   if (!Result)
     return fail(Result.status());
 
@@ -265,7 +329,9 @@ int cmdCompile(int Argc, char **Argv) {
 
   printNotes(Result->Notes);
   std::printf("kernel: %s (%s)\n", Result->KernelName.c_str(),
-              Result->FromSynthesis ? "synthesized" : "bundled program");
+              Result->FromSynthesis ? "synthesized"
+              : IsPorc             ? "compiled from .porc source"
+                                   : "bundled program");
   printAnalyses(Result->Program);
   std::printf("%s", quill::printProgram(Result->Program).c_str());
   std::printf("cost: latency %.0f us, paper cost %.0f\n",
@@ -378,12 +444,12 @@ int cmdOpt(int Argc, char **Argv) {
   quill::PassManagerOptions PMO;
   PMO.Context.Latency = C.options().Synthesis.Latency;
   PMO.Context.PlainModulus = C.options().Synthesis.PlainModulus;
-  PMO.Context.EqSat.MaxIterations =
-      std::atoi(argValue(Argc, Argv, "--eqsat-iters", "8"));
-  PMO.Context.EqSat.MaxNodes =
-      std::atoi(argValue(Argc, Argv, "--eqsat-nodes", "20000"));
-  PMO.Context.EqSat.TimeBudgetMs =
-      std::atof(argValue(Argc, Argv, "--eqsat-time-ms", "0"));
+  if (const char *V = argValue(Argc, Argv, "--eqsat-iters", nullptr))
+    PMO.Context.EqSat.MaxIterations = std::atoi(V);
+  if (const char *V = argValue(Argc, Argv, "--eqsat-nodes", nullptr))
+    PMO.Context.EqSat.MaxNodes = std::atoi(V);
+  if (const char *V = argValue(Argc, Argv, "--eqsat-time-ms", nullptr))
+    PMO.Context.EqSat.TimeBudgetMs = std::atof(V);
   Rng R(1);
   for (int E = 0; E < 3; ++E) {
     std::vector<quill::SlotVector> Example;
